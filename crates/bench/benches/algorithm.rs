@@ -1,0 +1,54 @@
+//! Criterion bench: Algorithm 1 scaling (experiment E8 of `DESIGN.md`).
+//!
+//! The paper's complexity claim is `O(L² · W · F)`; this bench measures the
+//! reference implementation against the prefix-sum optimized variant as the
+//! signal length `L` grows, with the paper's `F = 10` features and a window of
+//! `W = 60` rows (a one-minute average seizure with one feature row per
+//! second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seizure_core::algorithm::{posteriori_detect, DetectorConfig, Implementation};
+use seizure_features::FeatureMatrix;
+
+fn synthetic_matrix(rows: usize, features: usize) -> FeatureMatrix {
+    let names = (0..features).map(|i| format!("f{i}")).collect();
+    let data = (0..rows)
+        .map(|r| {
+            (0..features)
+                .map(|f| ((r * 31 + f * 17) as f64 * 0.37).sin() + if (rows / 3..rows / 3 + 60).contains(&r) { 3.0 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    FeatureMatrix::from_rows(names, data).unwrap()
+}
+
+fn bench_algorithm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("posteriori_detect");
+    group.sample_size(10);
+    for &rows in &[300usize, 600, 1200] {
+        let matrix = synthetic_matrix(rows, 10);
+        let window = 60.min(rows / 4);
+        group.bench_with_input(BenchmarkId::new("optimized", rows), &rows, |b, _| {
+            let config = DetectorConfig {
+                implementation: Implementation::Optimized,
+                ..DetectorConfig::default()
+            };
+            b.iter(|| posteriori_detect(&matrix, window, &config).unwrap());
+        });
+        // The reference implementation is only benched at the smaller sizes to
+        // keep the run time reasonable.
+        if rows <= 600 {
+            group.bench_with_input(BenchmarkId::new("reference", rows), &rows, |b, _| {
+                let config = DetectorConfig {
+                    implementation: Implementation::Reference,
+                    ..DetectorConfig::default()
+                };
+                b.iter(|| posteriori_detect(&matrix, window, &config).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm);
+criterion_main!(benches);

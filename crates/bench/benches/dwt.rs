@@ -1,0 +1,26 @@
+//! Criterion bench: Daubechies-4 wavelet decomposition cost on the paper's
+//! 4-second / 256 Hz analysis window, as a function of the decomposition
+//! level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seizure_dsp::wavelet::{wavedec, Wavelet};
+
+fn bench_dwt(c: &mut Criterion) {
+    let window: Vec<f64> = (0..1024)
+        .map(|i| {
+            let t = i as f64 / 256.0;
+            (2.0 * std::f64::consts::PI * 4.0 * t).sin() + 0.3 * ((i * 7) as f64).sin()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("wavedec_db4_1024");
+    for &levels in &[1usize, 3, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &levels| {
+            b.iter(|| wavedec(&window, Wavelet::Daubechies4, levels).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dwt);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: per-window feature-extraction cost for the paper's
+//! 10-feature labeling set and the 54-feature real-time set, on the paper's
+//! 4-second / 256 Hz windows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seizure_features::extractor::{FeatureExtractor, PaperFeatureSet, RichFeatureSet};
+
+fn eeg_window(n: usize, phase: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / 256.0;
+            (2.0 * std::f64::consts::PI * 3.0 * t + phase).sin()
+                + 0.4 * (2.0 * std::f64::consts::PI * 10.0 * t).sin()
+                + 0.1 * ((i * 37) as f64).sin()
+        })
+        .collect()
+}
+
+fn bench_features(c: &mut Criterion) {
+    let w1 = eeg_window(1024, 0.0);
+    let w2 = eeg_window(1024, 1.0);
+
+    let paper = PaperFeatureSet::new(256.0).unwrap();
+    c.bench_function("paper_feature_set_window", |b| {
+        b.iter(|| paper.extract_window(&w1, &w2).unwrap())
+    });
+
+    let rich = RichFeatureSet::new(256.0).unwrap();
+    c.bench_function("rich_feature_set_window", |b| {
+        b.iter(|| rich.extract_window(&w1, &w2).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

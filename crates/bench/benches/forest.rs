@@ -1,0 +1,42 @@
+//! Criterion bench: random-forest training and per-window prediction cost —
+//! the per-window prediction cost is what drives the 75 % CPU duty cycle of
+//! the real-time detector in the energy model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seizure_ml::dataset::Dataset;
+use seizure_ml::forest::{RandomForest, RandomForestConfig};
+
+fn synthetic_dataset(samples: usize, features: usize) -> Dataset {
+    let rows: Vec<Vec<f64>> = (0..samples)
+        .map(|i| {
+            (0..features)
+                .map(|f| ((i * 13 + f * 7) as f64 * 0.29).sin() + if i % 2 == 0 { 0.0 } else { 1.5 })
+                .collect()
+        })
+        .collect();
+    let labels: Vec<bool> = (0..samples).map(|i| i % 2 == 1).collect();
+    Dataset::new(rows, labels).unwrap()
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let data = synthetic_dataset(400, 54);
+    let config = RandomForestConfig {
+        n_trees: 30,
+        max_depth: 8,
+        ..RandomForestConfig::default()
+    };
+
+    let mut group = c.benchmark_group("random_forest");
+    group.sample_size(10);
+    group.bench_function("fit_400x54", |b| {
+        b.iter(|| RandomForest::fit(&data, &config, 1).unwrap())
+    });
+
+    let forest = RandomForest::fit(&data, &config, 1).unwrap();
+    let sample = data.features()[17].clone();
+    group.bench_function("predict_window", |b| b.iter(|| forest.predict(&sample)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Feature-count ablation (study E9): labeling quality as a function of the
+//! number of (backward-elimination-ranked) features.
+//!
+//! ```text
+//! cargo run -p seizure-bench --release --bin ablation_features [-- --scale quick|medium|paper]
+//! ```
+
+use seizure_bench::ablation::run_feature_ablation;
+use seizure_bench::ExperimentScale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = ExperimentScale::from_args();
+    eprintln!("running the feature ablation at scale `{scale}`…");
+    let results = run_feature_ablation(scale)?;
+    println!("{}", results.format());
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Unsupervised clustering baseline (study E10): k-means and k-medoids window
+//! clustering versus the supervised random-forest detector.
+//!
+//! ```text
+//! cargo run -p seizure-bench --release --bin baseline_unsupervised [-- --scale quick|medium|paper]
+//! ```
+
+use seizure_bench::unsupervised::run_unsupervised_baseline;
+use seizure_bench::ExperimentScale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = ExperimentScale::from_args();
+    eprintln!("running the unsupervised baseline at scale `{scale}`…");
+    let results = run_unsupervised_baseline(scale)?;
+    println!("{}", results.format());
+    Ok(())
+}

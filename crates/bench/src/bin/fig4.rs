@@ -1,0 +1,18 @@
+//! Regenerates Fig. 4: geometric mean of the real-time detector trained with
+//! doctor (expert) labels versus algorithm-produced labels, per subject, plus
+//! the overall degradation numbers (paper: 2.35 % / 2.43 % / 2.26 %).
+//!
+//! ```text
+//! cargo run -p seizure-bench --release --bin fig4 [-- --scale quick|medium|paper]
+//! ```
+
+use seizure_bench::training::run_training_experiment;
+use seizure_bench::ExperimentScale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = ExperimentScale::from_args();
+    eprintln!("running the Fig. 4 experiment at scale `{scale}`…");
+    let results = run_training_experiment(scale)?;
+    println!("{}", results.format());
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Regenerates the §VI-C lifetime ranges: battery lifetime versus seizure
+//! frequency for the labeling-only mode (631.46 → 430.16 hours, i.e. 26.31 →
+//! 17.92 days) and for the combined self-learning system (2.71 → 2.59 days),
+//! plus the detection-only reference point (65.15 hours).
+//!
+//! ```text
+//! cargo run -p seizure-bench --release --bin lifetime_sweep
+//! ```
+
+use seizure_edge::energy::{EnergyModel, OperatingMode};
+use seizure_edge::platform::PlatformSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = EnergyModel::new(PlatformSpec::stm32l151_default());
+
+    let detection = model.lifetime(OperatingMode::DetectionOnly, 0.0)?;
+    println!(
+        "detection only: {:.2} hours ({:.2} days) — paper reference: 65.15 hours (2.71 days)\n",
+        detection.lifetime_hours(),
+        detection.lifetime_days()
+    );
+
+    println!("seizures/day | labeling-only lifetime        | combined lifetime");
+    println!("             |   hours      days             |   hours      days");
+    println!("-------------|-------------------------------|---------------------");
+    for report in model.lifetime_sweep(OperatingMode::Combined, 1.0 / 30.0, 1.0, 8)? {
+        let labeling = model.lifetime(OperatingMode::LabelingOnly, report.seizures_per_day())?;
+        println!(
+            "  {:>9.4}  | {:>8.2}  {:>8.2}            | {:>8.2}  {:>8.2}",
+            report.seizures_per_day(),
+            labeling.lifetime_hours(),
+            labeling.lifetime_days(),
+            report.lifetime_hours(),
+            report.lifetime_days()
+        );
+    }
+    println!(
+        "\npaper reference: labeling-only 631.46 → 430.16 hours (26.31 → 17.92 days), \
+         combined 2.71 → 2.59 days"
+    );
+    Ok(())
+}

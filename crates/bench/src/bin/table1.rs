@@ -1,0 +1,23 @@
+//! Regenerates Table I (per-patient δ / δ_norm) and the §VI-A headline numbers.
+//!
+//! ```text
+//! cargo run -p seizure-bench --release --bin table1 [-- --scale quick|medium|paper]
+//! ```
+
+use seizure_bench::labeling::run_labeling_experiment;
+use seizure_bench::ExperimentScale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = ExperimentScale::from_args();
+    eprintln!(
+        "running the labeling experiment at scale `{scale}` \
+         ({} samples per seizure, records up to {:.0} s at {:.0} Hz)…",
+        scale.samples_per_seizure(),
+        scale.sample_config().max_duration_secs(),
+        scale.sample_config().sampling_frequency()
+    );
+    let results = run_labeling_experiment(scale)?;
+    println!("{}", results.format_table1());
+    println!("{}", results.format_summary());
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table II (mean δ per seizure) and the detection-fraction
+//! summary (73.3 % / 86.7 % / 93.3 % within 15 / 30 / 60 s in the paper).
+//!
+//! ```text
+//! cargo run -p seizure-bench --release --bin table2 [-- --scale quick|medium|paper]
+//! ```
+
+use seizure_bench::labeling::run_labeling_experiment;
+use seizure_bench::ExperimentScale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = ExperimentScale::from_args();
+    eprintln!("running the labeling experiment at scale `{scale}`…");
+    let results = run_labeling_experiment(scale)?;
+    println!("{}", results.format_table2());
+    println!("{}", results.format_summary());
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Regenerates Table III (per-task current, duty cycle, average current and
+//! energy share for the worst case of one seizure per day) and the Fig. 5
+//! energy-breakdown series.
+//!
+//! ```text
+//! cargo run -p seizure-bench --release --bin table3
+//! ```
+
+use seizure_edge::energy::{EnergyModel, OperatingMode};
+use seizure_edge::platform::PlatformSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = EnergyModel::new(PlatformSpec::stm32l151_default());
+    let report = model.lifetime(OperatingMode::Combined, 1.0)?;
+
+    println!("TABLE III. BATTERY LIFETIME OF THE SYSTEM FOR THE WORST CASE (ONE SEIZURE PER DAY)");
+    println!("task                  | current (mA) | duty (%) | avg current (mA) | energy (%)");
+    println!("----------------------|--------------|----------|------------------|-----------");
+    let percentages = report.energy_percentages();
+    for (task, pct) in report.tasks().tasks().iter().zip(percentages.iter()) {
+        println!(
+            "{:<22}| {:>12.3} | {:>8.2} | {:>16.3} | {:>9.2}",
+            task.name,
+            task.current_ma,
+            task.duty_cycle * 100.0,
+            task.average_current_ma(),
+            pct
+        );
+    }
+    println!(
+        "battery lifetime: {:.2} days ({:.2} hours) — paper reference: 2.59 days",
+        report.lifetime_days(),
+        report.lifetime_hours()
+    );
+
+    println!("\nFIG. 5: percentage of energy consumption of each task");
+    for (task, pct) in report.tasks().tasks().iter().zip(percentages.iter()) {
+        let bars = (pct / 2.0).round() as usize;
+        println!("{:<22}| {:>6.2} % {}", task.name, pct, "#".repeat(bars));
+    }
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! # seizure-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§VI) on the synthetic CHB-MIT-like cohort, plus the ablation
+//! and baseline studies listed in `DESIGN.md`.
+//!
+//! Each experiment is exposed as a library function returning a plain result
+//! struct, and a thin binary (`table1`, `table2`, `fig4`, `table3`,
+//! `lifetime_sweep`, `ablation_features`, `baseline_unsupervised`) formats it
+//! for the terminal. Every binary accepts `--scale quick|medium|paper`
+//! (default `quick`) so the same code runs both as a fast smoke test and at
+//! the paper's full scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod labeling;
+pub mod scale;
+pub mod training;
+pub mod unsupervised;
+
+pub use scale::ExperimentScale;

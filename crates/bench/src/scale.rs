@@ -1,0 +1,115 @@
+//! Experiment scale presets.
+
+use seizure_data::sampler::SampleConfig;
+
+/// How large an experiment run should be.
+///
+/// * `Quick` — minutes-scale smoke run: 10–15 minute records at 128 Hz, a
+///   few samples per seizure. The *shape* of the paper's results (who wins,
+///   rough factors, which patients are hard) is preserved.
+/// * `Medium` — tens of minutes: 15–30 minute records at 128 Hz.
+/// * `Paper` — the paper's §VI-A protocol: 30–60 minute records at 256 Hz and
+///   100 samples per seizure (hours of compute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExperimentScale {
+    /// Fast smoke-test scale (default).
+    #[default]
+    Quick,
+    /// Intermediate scale.
+    Medium,
+    /// The paper's full-scale protocol.
+    Paper,
+}
+
+impl ExperimentScale {
+    /// Parses the scale from command-line arguments (`--scale quick|medium|paper`).
+    /// Unknown values fall back to `Quick`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        for pair in args.windows(2) {
+            if pair[0] == "--scale" {
+                return Self::parse(&pair[1]);
+            }
+        }
+        Self::Quick
+    }
+
+    /// Parses a scale name (case-insensitive); unknown names map to `Quick`.
+    pub fn parse(name: &str) -> Self {
+        match name.to_ascii_lowercase().as_str() {
+            "paper" | "full" => ExperimentScale::Paper,
+            "medium" => ExperimentScale::Medium,
+            _ => ExperimentScale::Quick,
+        }
+    }
+
+    /// The record-sampling configuration for this scale.
+    pub fn sample_config(&self) -> SampleConfig {
+        match self {
+            ExperimentScale::Quick => SampleConfig::new(600.0, 900.0, 128.0),
+            ExperimentScale::Medium => SampleConfig::new(900.0, 1800.0, 128.0),
+            ExperimentScale::Paper => SampleConfig::paper_default(),
+        }
+        .expect("preset sample configurations are valid")
+    }
+
+    /// Number of random samples generated per seizure for the labeling
+    /// experiment (the paper uses 100).
+    pub fn samples_per_seizure(&self) -> usize {
+        match self {
+            ExperimentScale::Quick => 3,
+            ExperimentScale::Medium => 10,
+            ExperimentScale::Paper => 100,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExperimentScale::Quick => "quick",
+            ExperimentScale::Medium => "medium",
+            ExperimentScale::Paper => "paper",
+        }
+    }
+}
+
+impl std::fmt::Display for ExperimentScale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(ExperimentScale::parse("paper"), ExperimentScale::Paper);
+        assert_eq!(ExperimentScale::parse("FULL"), ExperimentScale::Paper);
+        assert_eq!(ExperimentScale::parse("medium"), ExperimentScale::Medium);
+        assert_eq!(ExperimentScale::parse("quick"), ExperimentScale::Quick);
+        assert_eq!(ExperimentScale::parse("garbage"), ExperimentScale::Quick);
+        assert_eq!(ExperimentScale::default(), ExperimentScale::Quick);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_cost() {
+        let quick = ExperimentScale::Quick;
+        let medium = ExperimentScale::Medium;
+        let paper = ExperimentScale::Paper;
+        assert!(quick.samples_per_seizure() < medium.samples_per_seizure());
+        assert!(medium.samples_per_seizure() < paper.samples_per_seizure());
+        assert!(
+            quick.sample_config().max_duration_secs() <= medium.sample_config().max_duration_secs()
+        );
+        assert_eq!(paper.sample_config().sampling_frequency(), 256.0);
+        assert_eq!(paper.samples_per_seizure(), 100);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ExperimentScale::Quick.to_string(), "quick");
+        assert_eq!(ExperimentScale::Paper.to_string(), "paper");
+    }
+}

@@ -1,0 +1,200 @@
+//! The Fig. 4 experiment: real-time detector trained with expert labels versus
+//! algorithm-produced labels.
+//!
+//! Protocol (§VI-B): per patient, a balanced training set of a few seizures is
+//! assembled (between 2 and 5, from the same subject), once with expert labels
+//! and once with labels produced by the a-posteriori algorithm; the remaining
+//! seizures of the patient are used for evaluation. The per-subject geometric
+//! mean of sensitivity and specificity is reported for both label sources, and
+//! the overall degradation is the headline number (paper: 2.35 %).
+
+use crate::scale::ExperimentScale;
+use seizure_core::labeler::LabelerConfig;
+use seizure_core::pipeline::{LabelSource, SelfLearningPipeline};
+use seizure_core::realtime::RealTimeDetectorConfig;
+use seizure_core::CoreError;
+use seizure_data::cohort::Cohort;
+use seizure_ml::forest::RandomForestConfig;
+
+/// Per-patient comparison (one pair of bars in Fig. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatientComparison {
+    /// 1-based patient identifier.
+    pub patient_id: usize,
+    /// Number of seizures used for training.
+    pub training_seizures: usize,
+    /// Number of held-out seizures used for evaluation.
+    pub evaluation_seizures: usize,
+    /// Geometric mean with expert-labeled training data.
+    pub expert_gmean: f64,
+    /// Geometric mean with algorithm-labeled training data.
+    pub algorithm_gmean: f64,
+    /// Sensitivity with expert labels.
+    pub expert_sensitivity: f64,
+    /// Sensitivity with algorithm labels.
+    pub algorithm_sensitivity: f64,
+    /// Specificity with expert labels.
+    pub expert_specificity: f64,
+    /// Specificity with algorithm labels.
+    pub algorithm_specificity: f64,
+}
+
+/// Complete result of the Fig. 4 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingResults {
+    /// Scale the experiment was run at.
+    pub scale: ExperimentScale,
+    /// Per-patient comparisons.
+    pub per_patient: Vec<PatientComparison>,
+    /// Mean geometric mean across subjects with expert labels (paper: 94.95 %).
+    pub mean_expert_gmean: f64,
+    /// Mean geometric mean across subjects with algorithm labels
+    /// (paper: 92.60 %).
+    pub mean_algorithm_gmean: f64,
+    /// Degradation of the geometric mean in percentage points (paper: 2.35 %).
+    pub gmean_degradation_points: f64,
+    /// Degradation of the sensitivity in percentage points (paper: 2.43 %).
+    pub sensitivity_degradation_points: f64,
+    /// Degradation of the specificity in percentage points (paper: 2.26 %).
+    pub specificity_degradation_points: f64,
+}
+
+/// Runs the Fig. 4 experiment at the given scale.
+///
+/// # Errors
+///
+/// Propagates data-generation, labeling and training failures.
+pub fn run_training_experiment(scale: ExperimentScale) -> Result<TrainingResults, CoreError> {
+    let cohort = Cohort::chb_mit_like(42);
+    let sample_config = scale.sample_config();
+    let detector_config = RealTimeDetectorConfig {
+        forest: RandomForestConfig {
+            n_trees: 25,
+            max_depth: 8,
+            ..RandomForestConfig::default()
+        },
+        ..RealTimeDetectorConfig::default()
+    };
+
+    let mut per_patient = Vec::with_capacity(cohort.patients().len());
+    for patient_idx in 0..cohort.patients().len() {
+        let num_seizures = cohort.seizures_of(patient_idx)?.len();
+        // The paper uses balanced training sets of 2–5 seizures from the same
+        // subject; keep at least one seizure held out for evaluation.
+        let training_seizures = (num_seizures * 2 / 3).clamp(2, 5).min(num_seizures - 1);
+        let w = cohort.average_seizure_duration(patient_idx)?;
+
+        let held_out: Vec<_> = (training_seizures..num_seizures)
+            .map(|s| cohort.sample_record(patient_idx, s, &sample_config, 1000 + s as u64))
+            .collect::<Result<_, _>>()?;
+
+        let run = |source: LabelSource| -> Result<seizure_core::pipeline::SelfLearningReport, CoreError> {
+            let mut pipeline =
+                SelfLearningPipeline::new(LabelerConfig::default(), detector_config);
+            for seizure in 0..training_seizures {
+                let record =
+                    cohort.sample_record(patient_idx, seizure, &sample_config, seizure as u64)?;
+                pipeline.observe_missed_seizure(&record, w, source)?;
+            }
+            pipeline.evaluate_all(&held_out)
+        };
+
+        let expert = run(LabelSource::Expert)?;
+        let algorithm = run(LabelSource::Algorithm)?;
+        per_patient.push(PatientComparison {
+            patient_id: patient_idx + 1,
+            training_seizures,
+            evaluation_seizures: held_out.len(),
+            expert_gmean: expert.geometric_mean,
+            algorithm_gmean: algorithm.geometric_mean,
+            expert_sensitivity: expert.sensitivity,
+            algorithm_sensitivity: algorithm.sensitivity,
+            expert_specificity: expert.specificity,
+            algorithm_specificity: algorithm.specificity,
+        });
+    }
+
+    let mean = |f: &dyn Fn(&PatientComparison) -> f64| {
+        per_patient.iter().map(|p| f(p)).sum::<f64>() / per_patient.len() as f64
+    };
+    let mean_expert_gmean = mean(&|p| p.expert_gmean);
+    let mean_algorithm_gmean = mean(&|p| p.algorithm_gmean);
+    let mean_expert_sens = mean(&|p| p.expert_sensitivity);
+    let mean_algo_sens = mean(&|p| p.algorithm_sensitivity);
+    let mean_expert_spec = mean(&|p| p.expert_specificity);
+    let mean_algo_spec = mean(&|p| p.algorithm_specificity);
+
+    Ok(TrainingResults {
+        scale,
+        per_patient,
+        mean_expert_gmean,
+        mean_algorithm_gmean,
+        gmean_degradation_points: (mean_expert_gmean - mean_algorithm_gmean) * 100.0,
+        sensitivity_degradation_points: (mean_expert_sens - mean_algo_sens) * 100.0,
+        specificity_degradation_points: (mean_expert_spec - mean_algo_spec) * 100.0,
+    })
+}
+
+impl TrainingResults {
+    /// Formats the Fig. 4 series (per-subject geometric means for both label
+    /// sources) and the headline degradation numbers.
+    pub fn format(&self) -> String {
+        let mut out = String::new();
+        out.push_str("FIG. 4: geometric mean, doctor-labeled vs algorithm-labeled training\n");
+        out.push_str("patient | train/eval seizures | expert gmean | algorithm gmean\n");
+        out.push_str("--------|---------------------|--------------|----------------\n");
+        for p in &self.per_patient {
+            out.push_str(&format!(
+                "   {:>2}   |        {}/{}          |    {:6.2} %  |     {:6.2} %\n",
+                p.patient_id,
+                p.training_seizures,
+                p.evaluation_seizures,
+                p.expert_gmean * 100.0,
+                p.algorithm_gmean * 100.0
+            ));
+        }
+        out.push_str(&format!(
+            "\noverall: expert {:.2} %, algorithm {:.2} %, degradation {:.2} points \
+             (sensitivity {:.2}, specificity {:.2})\n\
+             (paper reference: 94.95 % vs 92.60 %, degradation 2.35 / 2.43 / 2.26)\n",
+            self.mean_expert_gmean * 100.0,
+            self.mean_algorithm_gmean * 100.0,
+            self.gmean_degradation_points,
+            self.sensitivity_degradation_points,
+            self.specificity_degradation_points,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_contains_all_patients() {
+        let results = TrainingResults {
+            scale: ExperimentScale::Quick,
+            per_patient: vec![PatientComparison {
+                patient_id: 1,
+                training_seizures: 3,
+                evaluation_seizures: 4,
+                expert_gmean: 0.95,
+                algorithm_gmean: 0.92,
+                expert_sensitivity: 0.96,
+                algorithm_sensitivity: 0.93,
+                expert_specificity: 0.94,
+                algorithm_specificity: 0.92,
+            }],
+            mean_expert_gmean: 0.95,
+            mean_algorithm_gmean: 0.92,
+            gmean_degradation_points: 3.0,
+            sensitivity_degradation_points: 3.0,
+            specificity_degradation_points: 2.0,
+        };
+        let text = results.format();
+        assert!(text.contains("FIG. 4"));
+        assert!(text.contains("degradation"));
+        assert!(text.contains("95.00"));
+    }
+}

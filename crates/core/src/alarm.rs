@@ -1,0 +1,333 @@
+//! Alarm generation and event-level evaluation.
+//!
+//! The real-time detector classifies individual 4-second windows, but what the
+//! wearable actually does is *raise alerts to caregivers* (paper §I). This
+//! module turns per-window decisions into alarm events with the usual
+//! embedded-detector post-processing — a window has to be positive for a
+//! minimum number of consecutive windows before an alarm fires, and after an
+//! alarm the detector stays silent for a refractory period — and evaluates the
+//! result at the event level: was the seizure detected, with what latency, and
+//! how many false alarms per hour were produced.
+
+use crate::error::CoreError;
+use crate::label::SeizureLabel;
+
+/// Configuration of the alarm post-processing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlarmConfig {
+    /// Number of consecutive positive windows required before an alarm fires.
+    pub min_consecutive_windows: usize,
+    /// Silent (refractory) period after an alarm, in seconds.
+    pub refractory_secs: f64,
+    /// Time between consecutive windows in seconds (the feature-extraction
+    /// step; 1 s in the paper's pipeline).
+    pub window_step_secs: f64,
+}
+
+impl Default for AlarmConfig {
+    fn default() -> Self {
+        Self {
+            min_consecutive_windows: 3,
+            refractory_secs: 60.0,
+            window_step_secs: 1.0,
+        }
+    }
+}
+
+impl AlarmConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the consecutive-window count
+    /// is zero, or the refractory period / window step is negative or NaN.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.min_consecutive_windows == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "min_consecutive_windows",
+                reason: "at least one positive window is required to raise an alarm".to_string(),
+            });
+        }
+        if self.refractory_secs < 0.0 || self.refractory_secs.is_nan() {
+            return Err(CoreError::InvalidParameter {
+                name: "refractory_secs",
+                reason: format!("must be non-negative, got {}", self.refractory_secs),
+            });
+        }
+        if self.window_step_secs <= 0.0 || self.window_step_secs.is_nan() {
+            return Err(CoreError::InvalidParameter {
+                name: "window_step_secs",
+                reason: format!("must be positive, got {}", self.window_step_secs),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One alarm raised by the post-processing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alarm {
+    /// Time of the alarm in seconds from the start of the recording (the time
+    /// of the window that completed the consecutive-positive run).
+    pub time_secs: f64,
+    /// Index of that window in the per-window decision vector.
+    pub window_index: usize,
+}
+
+/// Converts per-window decisions into alarm events.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if the configuration is invalid.
+///
+/// # Example
+///
+/// ```
+/// use seizure_core::alarm::{alarms_from_windows, AlarmConfig};
+///
+/// # fn main() -> Result<(), seizure_core::CoreError> {
+/// let mut windows = vec![false; 60];
+/// for w in windows.iter_mut().take(25).skip(20) {
+///     *w = true;
+/// }
+/// let alarms = alarms_from_windows(&windows, &AlarmConfig::default())?;
+/// assert_eq!(alarms.len(), 1);
+/// assert_eq!(alarms[0].window_index, 22); // third consecutive positive window
+/// # Ok(())
+/// # }
+/// ```
+pub fn alarms_from_windows(
+    window_decisions: &[bool],
+    config: &AlarmConfig,
+) -> Result<Vec<Alarm>, CoreError> {
+    config.validate()?;
+    let mut alarms = Vec::new();
+    let mut run = 0usize;
+    let mut silent_until = f64::NEG_INFINITY;
+    for (i, &positive) in window_decisions.iter().enumerate() {
+        let t = i as f64 * config.window_step_secs;
+        if t < silent_until {
+            run = 0;
+            continue;
+        }
+        if positive {
+            run += 1;
+            if run >= config.min_consecutive_windows {
+                alarms.push(Alarm {
+                    time_secs: t,
+                    window_index: i,
+                });
+                silent_until = t + config.refractory_secs;
+                run = 0;
+            }
+        } else {
+            run = 0;
+        }
+    }
+    Ok(alarms)
+}
+
+/// Event-level evaluation of a recording containing a single (known) seizure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventReport {
+    /// `true` if at least one alarm fell inside the seizure (extended by the
+    /// tolerance).
+    pub detected: bool,
+    /// Latency in seconds from the seizure onset to the first alarm inside the
+    /// seizure (`None` if the seizure was missed).
+    pub detection_latency_secs: Option<f64>,
+    /// Number of alarms outside the seizure.
+    pub false_alarms: usize,
+    /// False alarms normalized per hour of recording.
+    pub false_alarms_per_hour: f64,
+    /// Total number of alarms raised.
+    pub total_alarms: usize,
+}
+
+/// Evaluates a set of alarms against the ground-truth seizure of a recording
+/// of `duration_secs` seconds. Alarms within `tolerance_secs` of the seizure
+/// boundaries still count as detections (a small tolerance is standard for
+/// event-based seizure-detection scoring).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if the duration is not positive or
+/// the tolerance is negative.
+pub fn evaluate_events(
+    alarms: &[Alarm],
+    truth: &SeizureLabel,
+    duration_secs: f64,
+    tolerance_secs: f64,
+) -> Result<EventReport, CoreError> {
+    if duration_secs <= 0.0 || duration_secs.is_nan() {
+        return Err(CoreError::InvalidParameter {
+            name: "duration_secs",
+            reason: format!("must be positive, got {duration_secs}"),
+        });
+    }
+    if tolerance_secs < 0.0 || tolerance_secs.is_nan() {
+        return Err(CoreError::InvalidParameter {
+            name: "tolerance_secs",
+            reason: format!("must be non-negative, got {tolerance_secs}"),
+        });
+    }
+    let lo = (truth.onset_secs() - tolerance_secs).max(0.0);
+    let hi = truth.offset_secs() + tolerance_secs;
+    let mut detected = false;
+    let mut latency = None;
+    let mut false_alarms = 0usize;
+    for alarm in alarms {
+        if alarm.time_secs >= lo && alarm.time_secs <= hi {
+            if !detected {
+                detected = true;
+                latency = Some((alarm.time_secs - truth.onset_secs()).max(0.0));
+            }
+        } else {
+            false_alarms += 1;
+        }
+    }
+    Ok(EventReport {
+        detected,
+        detection_latency_secs: latency,
+        false_alarms,
+        false_alarms_per_hour: false_alarms as f64 / (duration_secs / 3600.0),
+        total_alarms: alarms.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AlarmConfig {
+        AlarmConfig::default()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(config().validate().is_ok());
+        assert!(AlarmConfig {
+            min_consecutive_windows: 0,
+            ..config()
+        }
+        .validate()
+        .is_err());
+        assert!(AlarmConfig {
+            refractory_secs: -1.0,
+            ..config()
+        }
+        .validate()
+        .is_err());
+        assert!(AlarmConfig {
+            window_step_secs: 0.0,
+            ..config()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn no_alarm_without_enough_consecutive_windows() {
+        // Isolated positives and pairs never reach the 3-window requirement.
+        let windows = vec![
+            false, true, false, true, true, false, false, true, false, false,
+        ];
+        let alarms = alarms_from_windows(&windows, &config()).unwrap();
+        assert!(alarms.is_empty());
+    }
+
+    #[test]
+    fn alarm_fires_after_three_consecutive_positives() {
+        let mut windows = vec![false; 30];
+        for w in windows.iter_mut().take(13).skip(10) {
+            *w = true;
+        }
+        let alarms = alarms_from_windows(&windows, &config()).unwrap();
+        assert_eq!(alarms.len(), 1);
+        assert_eq!(alarms[0].window_index, 12);
+        assert_eq!(alarms[0].time_secs, 12.0);
+    }
+
+    #[test]
+    fn refractory_period_suppresses_repeat_alarms() {
+        // A long positive run fires once, then stays silent for 60 s.
+        let windows = vec![true; 50];
+        let alarms = alarms_from_windows(&windows, &config()).unwrap();
+        assert_eq!(alarms.len(), 1);
+
+        // With a short refractory period the same run fires repeatedly.
+        let short = AlarmConfig {
+            refractory_secs: 5.0,
+            ..config()
+        };
+        let alarms = alarms_from_windows(&windows, &short).unwrap();
+        assert!(alarms.len() > 3);
+    }
+
+    #[test]
+    fn evaluation_detects_seizure_and_counts_false_alarms() {
+        let truth = SeizureLabel::new(100.0, 160.0).unwrap();
+        let alarms = vec![
+            Alarm {
+                time_secs: 30.0,
+                window_index: 30,
+            },
+            Alarm {
+                time_secs: 105.0,
+                window_index: 105,
+            },
+            Alarm {
+                time_secs: 300.0,
+                window_index: 300,
+            },
+        ];
+        let report = evaluate_events(&alarms, &truth, 3600.0, 5.0).unwrap();
+        assert!(report.detected);
+        assert_eq!(report.detection_latency_secs, Some(5.0));
+        assert_eq!(report.false_alarms, 2);
+        assert_eq!(report.total_alarms, 3);
+        assert!((report.false_alarms_per_hour - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluation_reports_missed_seizure() {
+        let truth = SeizureLabel::new(100.0, 160.0).unwrap();
+        let alarms = vec![Alarm {
+            time_secs: 500.0,
+            window_index: 500,
+        }];
+        let report = evaluate_events(&alarms, &truth, 1800.0, 5.0).unwrap();
+        assert!(!report.detected);
+        assert_eq!(report.detection_latency_secs, None);
+        assert_eq!(report.false_alarms, 1);
+        assert!((report.false_alarms_per_hour - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_extends_the_detection_window() {
+        let truth = SeizureLabel::new(100.0, 160.0).unwrap();
+        let alarms = vec![Alarm {
+            time_secs: 97.0,
+            window_index: 97,
+        }];
+        // Without tolerance this is a false alarm...
+        let strict = evaluate_events(&alarms, &truth, 3600.0, 0.0).unwrap();
+        assert!(!strict.detected);
+        assert_eq!(strict.false_alarms, 1);
+        // ...with a 5-second tolerance it counts as a (zero-latency) detection.
+        let tolerant = evaluate_events(&alarms, &truth, 3600.0, 5.0).unwrap();
+        assert!(tolerant.detected);
+        assert_eq!(tolerant.detection_latency_secs, Some(0.0));
+        assert_eq!(tolerant.false_alarms, 0);
+    }
+
+    #[test]
+    fn evaluation_validates_inputs() {
+        let truth = SeizureLabel::new(10.0, 20.0).unwrap();
+        assert!(evaluate_events(&[], &truth, 0.0, 1.0).is_err());
+        assert!(evaluate_events(&[], &truth, 100.0, -1.0).is_err());
+        let empty = evaluate_events(&[], &truth, 100.0, 1.0).unwrap();
+        assert!(!empty.detected);
+        assert_eq!(empty.total_alarms, 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Error type for the core methodology.
+
+use seizure_data::DataError;
+use seizure_features::FeatureError;
+use seizure_ml::MlError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the core self-learning methodology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Feature extraction failed.
+    Feature(FeatureError),
+    /// The machine-learning substrate failed.
+    Ml(MlError),
+    /// The data substrate failed.
+    Data(DataError),
+    /// An algorithm parameter was invalid (window length, subsampling step, …).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The signal is too short for the requested analysis.
+    SignalTooShort {
+        /// Description of what was required.
+        detail: String,
+    },
+    /// An operation needed a fitted model or non-empty state that was missing.
+    InvalidState {
+        /// Description of the missing precondition.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Feature(e) => write!(f, "feature extraction failed: {e}"),
+            CoreError::Ml(e) => write!(f, "classifier failed: {e}"),
+            CoreError::Data(e) => write!(f, "data substrate failed: {e}"),
+            CoreError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            CoreError::SignalTooShort { detail } => write!(f, "signal too short: {detail}"),
+            CoreError::InvalidState { detail } => write!(f, "invalid state: {detail}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Feature(e) => Some(e),
+            CoreError::Ml(e) => Some(e),
+            CoreError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FeatureError> for CoreError {
+    fn from(e: FeatureError) -> Self {
+        CoreError::Feature(e)
+    }
+}
+
+impl From<MlError> for CoreError {
+    fn from(e: MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}
+
+impl From<DataError> for CoreError {
+    fn from(e: DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: CoreError = FeatureError::SignalTooShort {
+            actual: 1,
+            required: 10,
+        }
+        .into();
+        assert!(e.to_string().contains("feature extraction"));
+        assert!(e.source().is_some());
+
+        let e: CoreError = MlError::InvalidDataset {
+            detail: "empty".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("classifier"));
+
+        let e: CoreError = DataError::InvalidParameter {
+            name: "fs",
+            reason: "bad".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("data substrate"));
+
+        let e = CoreError::InvalidParameter {
+            name: "window",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("window"));
+        assert!(e.source().is_none());
+
+        let e = CoreError::SignalTooShort {
+            detail: "need 2 windows".into(),
+        };
+        assert!(e.to_string().contains("too short"));
+
+        let e = CoreError::InvalidState {
+            detail: "detector not trained".into(),
+        };
+        assert!(e.to_string().contains("not trained"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

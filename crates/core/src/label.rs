@@ -1,0 +1,165 @@
+//! Seizure labels produced by the a-posteriori detector.
+
+use crate::error::CoreError;
+
+/// A seizure label on the time axis of a recording, expressed in seconds.
+///
+/// Labels are produced by the a-posteriori detector ("the seizure is labeled
+/// as the points in the range `[y, y + W]`") and consumed when building the
+/// training set of the real-time classifier.
+///
+/// # Example
+///
+/// ```
+/// use seizure_core::SeizureLabel;
+///
+/// # fn main() -> Result<(), seizure_core::CoreError> {
+/// let label = SeizureLabel::new(120.0, 180.0)?;
+/// assert_eq!(label.duration_secs(), 60.0);
+/// assert!(label.contains(150.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeizureLabel {
+    onset_secs: f64,
+    offset_secs: f64,
+}
+
+impl SeizureLabel {
+    /// Creates a label from onset and offset times in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the interval is empty,
+    /// negative or contains NaN.
+    pub fn new(onset_secs: f64, offset_secs: f64) -> Result<Self, CoreError> {
+        if onset_secs.is_nan() || offset_secs.is_nan() || onset_secs < 0.0 || offset_secs <= onset_secs
+        {
+            return Err(CoreError::InvalidParameter {
+                name: "label",
+                reason: format!("invalid label interval [{onset_secs}, {offset_secs}]"),
+            });
+        }
+        Ok(Self {
+            onset_secs,
+            offset_secs,
+        })
+    }
+
+    /// Label onset in seconds.
+    pub fn onset_secs(&self) -> f64 {
+        self.onset_secs
+    }
+
+    /// Label offset (end) in seconds.
+    pub fn offset_secs(&self) -> f64 {
+        self.offset_secs
+    }
+
+    /// Label duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.offset_secs - self.onset_secs
+    }
+
+    /// The label as a `(start, end)` tuple, the form the metric functions take.
+    pub fn as_interval(&self) -> (f64, f64) {
+        (self.onset_secs, self.offset_secs)
+    }
+
+    /// Returns `true` if time `t` (seconds) falls inside the label.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.onset_secs && t <= self.offset_secs
+    }
+
+    /// Length in seconds of the overlap between the label and `[start, end]`.
+    pub fn overlap_with(&self, start: f64, end: f64) -> f64 {
+        let lo = self.onset_secs.max(start);
+        let hi = self.offset_secs.min(end);
+        (hi - lo).max(0.0)
+    }
+}
+
+/// Converts a label into per-window boolean training labels: window `i`
+/// (starting at `i * step_secs` and spanning `window_secs`) is marked as
+/// seizure when at least half of it overlaps the label.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if `window_secs` or `step_secs` is
+/// not positive.
+pub fn window_labels(
+    label: &SeizureLabel,
+    num_windows: usize,
+    window_secs: f64,
+    step_secs: f64,
+) -> Result<Vec<bool>, CoreError> {
+    if window_secs <= 0.0 || step_secs <= 0.0 || window_secs.is_nan() || step_secs.is_nan() {
+        return Err(CoreError::InvalidParameter {
+            name: "window_secs",
+            reason: "window and step durations must be positive".to_string(),
+        });
+    }
+    Ok((0..num_windows)
+        .map(|i| {
+            let start = i as f64 * step_secs;
+            let end = start + window_secs;
+            label.overlap_with(start, end) >= window_secs / 2.0
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(SeizureLabel::new(10.0, 5.0).is_err());
+        assert!(SeizureLabel::new(-1.0, 5.0).is_err());
+        assert!(SeizureLabel::new(5.0, 5.0).is_err());
+        assert!(SeizureLabel::new(f64::NAN, 5.0).is_err());
+        assert!(SeizureLabel::new(0.0, 30.0).is_ok());
+    }
+
+    #[test]
+    fn accessors_and_overlap() {
+        let label = SeizureLabel::new(100.0, 160.0).unwrap();
+        assert_eq!(label.duration_secs(), 60.0);
+        assert_eq!(label.as_interval(), (100.0, 160.0));
+        assert!(label.contains(100.0) && label.contains(160.0));
+        assert!(!label.contains(99.0));
+        assert_eq!(label.overlap_with(150.0, 200.0), 10.0);
+        assert_eq!(label.overlap_with(0.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn window_labels_mark_overlapping_windows() {
+        let label = SeizureLabel::new(10.0, 20.0).unwrap();
+        // 4-second windows stepping by 1 s, 30 windows.
+        let labels = window_labels(&label, 30, 4.0, 1.0).unwrap();
+        assert_eq!(labels.len(), 30);
+        // A window starting at 12 s ([12, 16]) lies fully inside the label.
+        assert!(labels[12]);
+        // A window starting at 0 s does not touch the label.
+        assert!(!labels[0]);
+        // A window starting at 19 s ([19, 23]) overlaps by 1 s < 2 s -> not seizure.
+        assert!(!labels[19]);
+        // A window starting at 8 s ([8, 12]) overlaps by 2 s >= 2 s -> seizure.
+        assert!(labels[8]);
+    }
+
+    #[test]
+    fn window_labels_validation() {
+        let label = SeizureLabel::new(10.0, 20.0).unwrap();
+        assert!(window_labels(&label, 10, 0.0, 1.0).is_err());
+        assert!(window_labels(&label, 10, 4.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn window_labels_count_matches_requested_windows() {
+        let label = SeizureLabel::new(1.0, 2.0).unwrap();
+        assert_eq!(window_labels(&label, 0, 4.0, 1.0).unwrap().len(), 0);
+        assert_eq!(window_labels(&label, 7, 4.0, 1.0).unwrap().len(), 7);
+    }
+}

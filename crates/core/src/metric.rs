@@ -1,0 +1,282 @@
+//! The deviation metric δ and its normalized form δ_norm (paper §V-C).
+//!
+//! Given the ground-truth seizure interval `[y_start, y_end]` and the detected
+//! interval `[y'_start, y'_end]` (both in seconds),
+//!
+//! ```text
+//! δ      = (|y_start − y'_start| + |y_end − y'_end|) / 2
+//! δ_norm = 1 − (|y_start − y'_start| + |y_end − y'_end|) / (2 N)
+//! N      = max(L − (y_start + y_end)/2, (y_start + y_end)/2)
+//! ```
+//!
+//! where `L` is the length of the signal in seconds. `δ` is a non-normalized
+//! distance in seconds; `δ_norm` lies in `[0, 1]` with 1 meaning a perfect
+//! label.
+
+use crate::error::CoreError;
+
+fn validate_interval(name: &'static str, interval: (f64, f64)) -> Result<(), CoreError> {
+    let (start, end) = interval;
+    if start.is_nan() || end.is_nan() || start < 0.0 || end < start {
+        return Err(CoreError::InvalidParameter {
+            name,
+            reason: format!("invalid interval [{start}, {end}]"),
+        });
+    }
+    Ok(())
+}
+
+/// Deviation `δ` in seconds between a ground-truth and a detected seizure
+/// interval (each given as `(start, end)` in seconds).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if either interval is malformed
+/// (negative, reversed, or NaN).
+///
+/// # Example
+///
+/// ```
+/// use seizure_core::metric::deviation_seconds;
+///
+/// # fn main() -> Result<(), seizure_core::CoreError> {
+/// // Detected 10 s early on both edges: δ = 10 s.
+/// let delta = deviation_seconds((100.0, 160.0), (90.0, 150.0))?;
+/// assert!((delta - 10.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn deviation_seconds(
+    ground_truth: (f64, f64),
+    detected: (f64, f64),
+) -> Result<f64, CoreError> {
+    validate_interval("ground_truth", ground_truth)?;
+    validate_interval("detected", detected)?;
+    Ok(((ground_truth.0 - detected.0).abs() + (ground_truth.1 - detected.1).abs()) / 2.0)
+}
+
+/// Normalized deviation `δ_norm ∈ [0, 1]` for a signal of `signal_length_secs`
+/// seconds (1 = perfect label).
+///
+/// The result is clamped to `[0, 1]` to absorb rounding at the boundaries.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if either interval is malformed or
+/// the signal length is not positive.
+pub fn normalized_deviation(
+    ground_truth: (f64, f64),
+    detected: (f64, f64),
+    signal_length_secs: f64,
+) -> Result<f64, CoreError> {
+    validate_interval("ground_truth", ground_truth)?;
+    validate_interval("detected", detected)?;
+    if signal_length_secs <= 0.0 || signal_length_secs.is_nan() {
+        return Err(CoreError::InvalidParameter {
+            name: "signal_length_secs",
+            reason: format!("signal length must be positive, got {signal_length_secs}"),
+        });
+    }
+    let centre = 0.5 * (ground_truth.0 + ground_truth.1);
+    let n = (signal_length_secs - centre).max(centre);
+    if n <= 0.0 {
+        return Err(CoreError::InvalidParameter {
+            name: "signal_length_secs",
+            reason: "the ground-truth seizure lies outside the signal".to_string(),
+        });
+    }
+    let total = (ground_truth.0 - detected.0).abs() + (ground_truth.1 - detected.1).abs();
+    Ok((1.0 - total / (2.0 * n)).clamp(0.0, 1.0))
+}
+
+/// Summary of the label quality over a collection of evaluation samples.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeviationSummary {
+    deltas: Vec<f64>,
+    normalized: Vec<f64>,
+}
+
+impl DeviationSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one evaluation sample.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`deviation_seconds`] and
+    /// [`normalized_deviation`].
+    pub fn record(
+        &mut self,
+        ground_truth: (f64, f64),
+        detected: (f64, f64),
+        signal_length_secs: f64,
+    ) -> Result<(), CoreError> {
+        self.deltas
+            .push(deviation_seconds(ground_truth, detected)?);
+        self.normalized.push(normalized_deviation(
+            ground_truth,
+            detected,
+            signal_length_secs,
+        )?);
+        Ok(())
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// The recorded `δ` values in seconds.
+    pub fn deltas(&self) -> &[f64] {
+        &self.deltas
+    }
+
+    /// The recorded `δ_norm` values.
+    pub fn normalized(&self) -> &[f64] {
+        &self.normalized
+    }
+
+    /// Arithmetic mean of `δ` in seconds (the per-seizure aggregation used by
+    /// the paper's Table II).
+    pub fn mean_delta(&self) -> Option<f64> {
+        if self.deltas.is_empty() {
+            None
+        } else {
+            Some(self.deltas.iter().sum::<f64>() / self.deltas.len() as f64)
+        }
+    }
+
+    /// Median of `δ` in seconds.
+    pub fn median_delta(&self) -> Option<f64> {
+        median(&self.deltas)
+    }
+
+    /// Geometric mean of `δ_norm` (the paper's per-seizure aggregation of the
+    /// normalized metric, "the only correct average of normalized values").
+    pub fn geometric_mean_normalized(&self) -> Option<f64> {
+        if self.normalized.is_empty() {
+            return None;
+        }
+        let log_sum: f64 = self.normalized.iter().map(|v| v.max(1e-12).ln()).sum();
+        Some((log_sum / self.normalized.len() as f64).exp())
+    }
+
+    /// Fraction of samples whose `δ` is at most `threshold_secs` (used for the
+    /// "73.3 % of seizures within 15 s" style statements of §VI-A).
+    pub fn fraction_within(&self, threshold_secs: f64) -> Option<f64> {
+        if self.deltas.is_empty() {
+            return None;
+        }
+        let within = self.deltas.iter().filter(|&&d| d <= threshold_secs).count();
+        Some(within as f64 / self.deltas.len() as f64)
+    }
+}
+
+/// Median of a slice (`None` when empty).
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = sorted.len() / 2;
+    Some(if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detection_has_zero_delta_and_unit_delta_norm() {
+        let gt = (100.0, 160.0);
+        assert_eq!(deviation_seconds(gt, gt).unwrap(), 0.0);
+        assert_eq!(normalized_deviation(gt, gt, 1800.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn known_deviation_values() {
+        let gt = (100.0, 160.0);
+        let det = (110.0, 150.0);
+        assert!((deviation_seconds(gt, det).unwrap() - 10.0).abs() < 1e-12);
+        // Asymmetric errors average.
+        let det = (90.0, 160.0);
+        assert!((deviation_seconds(gt, det).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_deviation_uses_worst_case_normalizer() {
+        // Seizure centred at 130 s in a 1800 s signal: N = 1800 - 130 = 1670.
+        let gt = (100.0, 160.0);
+        let det = (110.0, 150.0);
+        let expected = 1.0 - 20.0 / (2.0 * 1670.0);
+        assert!((normalized_deviation(gt, det, 1800.0).unwrap() - expected).abs() < 1e-12);
+
+        // Seizure near the end: N = centre instead.
+        let gt = (1700.0, 1760.0);
+        let centre: f64 = 1730.0;
+        let n = centre.max(1800.0 - centre);
+        let det = (1600.0, 1700.0);
+        let expected = 1.0 - (100.0 + 60.0) / (2.0 * n);
+        assert!((normalized_deviation(gt, det, 1800.0).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_deviation_is_clamped_to_unit_interval() {
+        let gt = (10.0, 20.0);
+        let det = (5000.0, 6000.0);
+        let v = normalized_deviation(gt, det, 100.0).unwrap();
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(deviation_seconds((10.0, 5.0), (0.0, 1.0)).is_err());
+        assert!(deviation_seconds((-1.0, 5.0), (0.0, 1.0)).is_err());
+        assert!(deviation_seconds((0.0, 5.0), (f64::NAN, 1.0)).is_err());
+        assert!(normalized_deviation((0.0, 5.0), (0.0, 5.0), 0.0).is_err());
+        assert!(normalized_deviation((0.0, 5.0), (0.0, 5.0), -10.0).is_err());
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut summary = DeviationSummary::new();
+        assert!(summary.is_empty());
+        assert_eq!(summary.mean_delta(), None);
+        assert_eq!(summary.median_delta(), None);
+        assert_eq!(summary.geometric_mean_normalized(), None);
+        assert_eq!(summary.fraction_within(15.0), None);
+
+        summary.record((100.0, 160.0), (100.0, 160.0), 1800.0).unwrap();
+        summary.record((100.0, 160.0), (110.0, 150.0), 1800.0).unwrap();
+        summary.record((100.0, 160.0), (140.0, 200.0), 1800.0).unwrap();
+        assert_eq!(summary.len(), 3);
+        assert!((summary.mean_delta().unwrap() - 50.0 / 3.0).abs() < 1e-9);
+        assert_eq!(summary.median_delta().unwrap(), 10.0);
+        let gm = summary.geometric_mean_normalized().unwrap();
+        assert!(gm > 0.9 && gm < 1.0);
+        assert!((summary.fraction_within(15.0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(summary.deltas().len(), 3);
+        assert_eq!(summary.normalized().len(), 3);
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[3.0]), Some(3.0));
+        assert_eq!(median(&[1.0, 9.0, 4.0]), Some(4.0));
+        assert_eq!(median(&[4.0, 1.0, 9.0, 5.0]), Some(4.5));
+    }
+}

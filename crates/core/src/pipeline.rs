@@ -1,0 +1,330 @@
+//! The self-learning pipeline (paper §III, Fig. 1).
+//!
+//! The loop closes as follows: a seizure is missed by the real-time detector,
+//! the patient confirms it within the next hour, the a-posteriori algorithm
+//! labels the last hour of signal, the labeled data is added to the patient's
+//! personalized training set and the real-time detector is retrained. With
+//! every missed seizure the detector becomes more robust.
+
+use crate::error::CoreError;
+use crate::label::SeizureLabel;
+use crate::labeler::{LabelerConfig, PosterioriLabeler};
+use crate::realtime::{RealTimeDetector, RealTimeDetectorConfig};
+use seizure_data::sampler::EegRecord;
+use seizure_ml::dataset::Dataset;
+use seizure_ml::metrics::ConfusionMatrix;
+
+/// Where the seizure labels used for training come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LabelSource {
+    /// Labels produced by the a-posteriori minimally-supervised algorithm
+    /// (the paper's proposal).
+    #[default]
+    Algorithm,
+    /// Expert (ground-truth) labels — the paper's baseline for Fig. 4.
+    Expert,
+}
+
+/// Evaluation summary of a trained pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SelfLearningReport {
+    /// Per-window sensitivity of the real-time detector.
+    pub sensitivity: f64,
+    /// Per-window specificity of the real-time detector.
+    pub specificity: f64,
+    /// Geometric mean of sensitivity and specificity (the paper's Fig. 4
+    /// metric).
+    pub geometric_mean: f64,
+    /// Number of evaluation windows.
+    pub windows: usize,
+}
+
+impl SelfLearningReport {
+    /// Builds a report from a confusion matrix.
+    pub fn from_confusion(cm: &ConfusionMatrix) -> Self {
+        Self {
+            sensitivity: cm.sensitivity(),
+            specificity: cm.specificity(),
+            geometric_mean: cm.geometric_mean(),
+            windows: cm.total(),
+        }
+    }
+}
+
+/// The self-learning pipeline: a-posteriori labeler + personalized training
+/// set + real-time detector.
+///
+/// # Example
+///
+/// ```no_run
+/// use seizure_core::pipeline::{LabelSource, SelfLearningPipeline};
+/// use seizure_core::labeler::LabelerConfig;
+/// use seizure_core::realtime::RealTimeDetectorConfig;
+/// use seizure_data::cohort::Cohort;
+/// use seizure_data::sampler::SampleConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cohort = Cohort::chb_mit_like(1);
+/// let config = SampleConfig::fast_test()?;
+/// let mut pipeline = SelfLearningPipeline::new(
+///     LabelerConfig::default(),
+///     RealTimeDetectorConfig::default(),
+/// );
+///
+/// // Two missed seizures are reported by the patient and learned from.
+/// for seizure in 0..2 {
+///     let record = cohort.sample_record(0, seizure, &config, 0)?;
+///     let w = cohort.average_seizure_duration(0)?;
+///     pipeline.observe_missed_seizure(&record, w, LabelSource::Algorithm)?;
+/// }
+/// assert_eq!(pipeline.num_seizures_collected(), 2);
+///
+/// // Evaluate the personalized detector on a held-out seizure.
+/// let held_out = cohort.sample_record(0, 2, &config, 1)?;
+/// let report = pipeline.evaluate(&held_out)?;
+/// println!("geometric mean = {:.3}", report.geometric_mean);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SelfLearningPipeline {
+    labeler: PosterioriLabeler,
+    detector: RealTimeDetector,
+    training_set: Dataset,
+    num_seizures: usize,
+    produced_labels: Vec<SeizureLabel>,
+}
+
+impl SelfLearningPipeline {
+    /// Creates an empty pipeline.
+    pub fn new(labeler_config: LabelerConfig, detector_config: RealTimeDetectorConfig) -> Self {
+        Self {
+            labeler: PosterioriLabeler::new(labeler_config),
+            detector: RealTimeDetector::new(detector_config),
+            training_set: Dataset::empty(),
+            num_seizures: 0,
+            produced_labels: Vec::new(),
+        }
+    }
+
+    /// The a-posteriori labeler used by the pipeline.
+    pub fn labeler(&self) -> &PosterioriLabeler {
+        &self.labeler
+    }
+
+    /// The (possibly still untrained) real-time detector.
+    pub fn detector(&self) -> &RealTimeDetector {
+        &self.detector
+    }
+
+    /// Number of missed seizures that have been labeled and learned from.
+    pub fn num_seizures_collected(&self) -> usize {
+        self.num_seizures
+    }
+
+    /// Size of the accumulated personalized training set, in windows.
+    pub fn training_windows(&self) -> usize {
+        self.training_set.len()
+    }
+
+    /// The labels produced so far (one per observed missed seizure).
+    pub fn produced_labels(&self) -> &[SeizureLabel] {
+        &self.produced_labels
+    }
+
+    /// Processes one missed seizure: labels the record (with the algorithm or
+    /// with the expert annotation, depending on `source`), adds a balanced set
+    /// of windows to the personalized training set and retrains the real-time
+    /// detector. Returns the label that was used.
+    ///
+    /// # Errors
+    ///
+    /// Propagates labeling, feature-extraction and training failures.
+    pub fn observe_missed_seizure(
+        &mut self,
+        record: &EegRecord,
+        average_seizure_secs: f64,
+        source: LabelSource,
+    ) -> Result<SeizureLabel, CoreError> {
+        let label = match source {
+            LabelSource::Algorithm => self.labeler.label_record(record, average_seizure_secs)?,
+            LabelSource::Expert => SeizureLabel::new(
+                record.annotation().onset(),
+                record.annotation().offset(),
+            )?,
+        };
+        self.add_training_record(record, &label)?;
+        Ok(label)
+    }
+
+    /// Adds one labeled record to the personalized training set and retrains
+    /// the detector. This is the low-level entry point used by
+    /// [`SelfLearningPipeline::observe_missed_seizure`]; it can also be called
+    /// directly with an externally produced label.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-extraction and training failures.
+    pub fn add_training_record(
+        &mut self,
+        record: &EegRecord,
+        label: &SeizureLabel,
+    ) -> Result<(), CoreError> {
+        let windows = self
+            .detector
+            .build_training_windows(record.signal(), label)?;
+        let balanced = self.detector.balance(&windows)?;
+        if self.training_set.is_empty() {
+            self.training_set = balanced;
+        } else {
+            self.training_set.extend(&balanced)?;
+        }
+        self.num_seizures += 1;
+        self.produced_labels.push(*label);
+        self.detector.train(&self.training_set)?;
+        Ok(())
+    }
+
+    /// Evaluates the current real-time detector on a held-out record, using the
+    /// record's ground-truth annotation as the reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidState`] if the detector has not been trained
+    /// yet and propagates evaluation failures otherwise.
+    pub fn evaluate(&self, record: &EegRecord) -> Result<SelfLearningReport, CoreError> {
+        let truth = SeizureLabel::new(
+            record.annotation().onset(),
+            record.annotation().offset(),
+        )?;
+        let cm = self.detector.evaluate(record.signal(), &truth)?;
+        Ok(SelfLearningReport::from_confusion(&cm))
+    }
+
+    /// Evaluates the detector on several held-out records and returns the
+    /// pooled confusion matrix as a report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `records` is empty and the
+    /// errors of [`SelfLearningPipeline::evaluate`] otherwise.
+    pub fn evaluate_all(&self, records: &[EegRecord]) -> Result<SelfLearningReport, CoreError> {
+        if records.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "records",
+                reason: "evaluation requires at least one record".to_string(),
+            });
+        }
+        let mut pooled = ConfusionMatrix::default();
+        for record in records {
+            let truth = SeizureLabel::new(
+                record.annotation().onset(),
+                record.annotation().offset(),
+            )?;
+            let cm = self.detector.evaluate(record.signal(), &truth)?;
+            pooled.merge(&cm);
+        }
+        Ok(SelfLearningReport::from_confusion(&pooled))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seizure_data::cohort::Cohort;
+    use seizure_data::sampler::SampleConfig;
+    use seizure_ml::forest::RandomForestConfig;
+
+    fn fast_detector_config() -> RealTimeDetectorConfig {
+        RealTimeDetectorConfig {
+            forest: RandomForestConfig {
+                n_trees: 8,
+                max_depth: 6,
+                ..RandomForestConfig::default()
+            },
+            ..RealTimeDetectorConfig::default()
+        }
+    }
+
+    fn small_sample_config() -> SampleConfig {
+        SampleConfig::new(150.0, 200.0, 64.0).unwrap()
+    }
+
+    #[test]
+    fn pipeline_learns_from_missed_seizures_and_detects_new_ones() {
+        let cohort = Cohort::chb_mit_like(21);
+        let config = small_sample_config();
+        let patient = 8; // clean patient 9
+        let w = cohort.average_seizure_duration(patient).unwrap();
+        let mut pipeline =
+            SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+        assert_eq!(pipeline.num_seizures_collected(), 0);
+
+        for seizure in 0..2 {
+            let record = cohort.sample_record(patient, seizure, &config, 7).unwrap();
+            let label = pipeline
+                .observe_missed_seizure(&record, w, LabelSource::Algorithm)
+                .unwrap();
+            assert!(label.duration_secs() > 0.0);
+        }
+        assert_eq!(pipeline.num_seizures_collected(), 2);
+        assert_eq!(pipeline.produced_labels().len(), 2);
+        assert!(pipeline.training_windows() > 0);
+        assert!(pipeline.detector().is_trained());
+
+        let held_out = cohort.sample_record(patient, 2, &config, 8).unwrap();
+        let report = pipeline.evaluate(&held_out).unwrap();
+        assert!(report.windows > 0);
+        assert!(report.geometric_mean > 0.5, "gmean = {}", report.geometric_mean);
+    }
+
+    #[test]
+    fn expert_labels_can_be_used_as_a_baseline() {
+        let cohort = Cohort::chb_mit_like(22);
+        let config = small_sample_config();
+        let patient = 4;
+        let w = cohort.average_seizure_duration(patient).unwrap();
+        let mut pipeline =
+            SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+        let record = cohort.sample_record(patient, 0, &config, 1).unwrap();
+        let label = pipeline
+            .observe_missed_seizure(&record, w, LabelSource::Expert)
+            .unwrap();
+        // Expert labels coincide exactly with the ground-truth annotation.
+        assert_eq!(label.onset_secs(), record.annotation().onset());
+        assert_eq!(label.offset_secs(), record.annotation().offset());
+    }
+
+    #[test]
+    fn evaluation_before_training_fails() {
+        let cohort = Cohort::chb_mit_like(23);
+        let config = small_sample_config();
+        let record = cohort.sample_record(0, 0, &config, 1).unwrap();
+        let pipeline =
+            SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+        assert!(pipeline.evaluate(&record).is_err());
+        assert!(pipeline.evaluate_all(&[record]).is_err());
+    }
+
+    #[test]
+    fn evaluate_all_rejects_empty_input_and_pools_otherwise() {
+        let cohort = Cohort::chb_mit_like(24);
+        let config = small_sample_config();
+        let patient = 8;
+        let w = cohort.average_seizure_duration(patient).unwrap();
+        let mut pipeline =
+            SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+        let record = cohort.sample_record(patient, 0, &config, 2).unwrap();
+        pipeline
+            .observe_missed_seizure(&record, w, LabelSource::Algorithm)
+            .unwrap();
+        assert!(pipeline.evaluate_all(&[]).is_err());
+
+        let held_out: Vec<_> = (1..3)
+            .map(|s| cohort.sample_record(patient, s, &config, 3).unwrap())
+            .collect();
+        let report = pipeline.evaluate_all(&held_out).unwrap();
+        assert!(report.windows > 0);
+        assert!((0.0..=1.0).contains(&report.geometric_mean));
+    }
+}

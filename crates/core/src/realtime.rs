@@ -1,0 +1,378 @@
+//! Supervised real-time seizure detector.
+//!
+//! The paper's real-time stage is the random-forest detector of Sopic et al.
+//! (e-Glass): a rich feature vector is extracted from each 4-second window of
+//! the two-channel EEG and classified as seizure / non-seizure. In the
+//! self-learning methodology this detector is trained with the labels produced
+//! by the a-posteriori algorithm instead of expert annotations.
+
+use crate::error::CoreError;
+use crate::label::{window_labels, SeizureLabel};
+use seizure_data::signal::EegSignal;
+use seizure_features::extractor::{FeatureExtractor, RichFeatureSet, SlidingWindowConfig};
+use seizure_ml::dataset::Dataset;
+use seizure_ml::forest::{RandomForest, RandomForestConfig};
+use seizure_ml::metrics::ConfusionMatrix;
+
+/// Configuration of the real-time detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealTimeDetectorConfig {
+    /// Analysis window length in seconds (paper: 4 s).
+    pub window_secs: f64,
+    /// Window overlap in `[0, 1)` (paper: 0.75).
+    pub overlap: f64,
+    /// Random-forest hyper-parameters.
+    pub forest: RandomForestConfig,
+    /// Seed controlling the forest's bootstrap sampling.
+    pub seed: u64,
+}
+
+impl Default for RealTimeDetectorConfig {
+    fn default() -> Self {
+        Self {
+            window_secs: 4.0,
+            overlap: 0.75,
+            forest: RandomForestConfig {
+                n_trees: 30,
+                max_depth: 8,
+                ..RandomForestConfig::default()
+            },
+            seed: 0,
+        }
+    }
+}
+
+/// The random-forest real-time seizure detector.
+///
+/// # Example
+///
+/// ```no_run
+/// use seizure_core::realtime::{RealTimeDetector, RealTimeDetectorConfig};
+/// use seizure_core::SeizureLabel;
+/// use seizure_data::cohort::Cohort;
+/// use seizure_data::sampler::SampleConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cohort = Cohort::chb_mit_like(1);
+/// let config = SampleConfig::fast_test()?;
+/// let record = cohort.sample_record(0, 0, &config, 0)?;
+///
+/// let mut detector = RealTimeDetector::new(RealTimeDetectorConfig::default());
+/// let expert_label = SeizureLabel::new(
+///     record.annotation().onset(),
+///     record.annotation().offset(),
+/// )?;
+/// let training = detector.build_training_windows(record.signal(), &expert_label)?;
+/// detector.train(&training)?;
+/// let alarms = detector.detect(record.signal())?;
+/// assert_eq!(alarms.len(), training.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealTimeDetector {
+    config: RealTimeDetectorConfig,
+    forest: Option<RandomForest>,
+    feature_means: Vec<f64>,
+    feature_stds: Vec<f64>,
+}
+
+impl RealTimeDetector {
+    /// Creates an untrained detector.
+    pub fn new(config: RealTimeDetectorConfig) -> Self {
+        Self {
+            config,
+            forest: None,
+            feature_means: Vec::new(),
+            feature_stds: Vec::new(),
+        }
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &RealTimeDetectorConfig {
+        &self.config
+    }
+
+    /// Returns `true` once [`RealTimeDetector::train`] has succeeded.
+    pub fn is_trained(&self) -> bool {
+        self.forest.is_some()
+    }
+
+    fn window_config(&self, fs: f64) -> Result<SlidingWindowConfig, CoreError> {
+        Ok(SlidingWindowConfig::new(
+            fs,
+            self.config.window_secs,
+            self.config.overlap,
+        )?)
+    }
+
+    /// Extracts the rich (54-feature) matrix of a signal as plain rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-extraction failures.
+    pub fn extract_features(&self, signal: &EegSignal) -> Result<Vec<Vec<f64>>, CoreError> {
+        let fs = signal.sampling_frequency();
+        let window = self.window_config(fs)?;
+        let extractor = RichFeatureSet::new(fs)?;
+        let matrix = extractor.extract_matrix(signal.f7t3(), signal.f8t4(), &window)?;
+        Ok(matrix.to_rows())
+    }
+
+    /// Builds a per-window labeled dataset from a signal and a seizure label
+    /// (which may come from the a-posteriori algorithm or from an expert).
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-extraction failures.
+    pub fn build_training_windows(
+        &self,
+        signal: &EegSignal,
+        label: &SeizureLabel,
+    ) -> Result<Dataset, CoreError> {
+        let fs = signal.sampling_frequency();
+        let window = self.window_config(fs)?;
+        let rows = self.extract_features(signal)?;
+        let labels = window_labels(
+            label,
+            rows.len(),
+            window.window_seconds(),
+            window.step_seconds(),
+        )?;
+        Ok(Dataset::new(rows, labels)?)
+    }
+
+    /// Builds a balanced training dataset: all seizure windows of `dataset`
+    /// plus an equal number of evenly spaced non-seizure windows (the paper
+    /// trains on balanced sets of 2–5 seizures plus seizure-free samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidState`] if the dataset contains no seizure
+    /// or no seizure-free windows.
+    pub fn balance(&self, dataset: &Dataset) -> Result<Dataset, CoreError> {
+        let positive_idx: Vec<usize> = dataset
+            .labels()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| l.then_some(i))
+            .collect();
+        let negative_idx: Vec<usize> = dataset
+            .labels()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (!l).then_some(i))
+            .collect();
+        if positive_idx.is_empty() || negative_idx.is_empty() {
+            return Err(CoreError::InvalidState {
+                detail: "balancing requires both seizure and seizure-free windows".to_string(),
+            });
+        }
+        let take = positive_idx.len().min(negative_idx.len());
+        // Evenly spaced negatives avoid clustering right at the label boundary.
+        let stride = (negative_idx.len() as f64 / take as f64).max(1.0);
+        let mut selected: Vec<usize> = positive_idx.clone();
+        for j in 0..take {
+            let idx = (j as f64 * stride) as usize;
+            selected.push(negative_idx[idx.min(negative_idx.len() - 1)]);
+        }
+        Ok(dataset.subset(&selected)?)
+    }
+
+    /// Trains the random forest on a labeled window dataset. Feature columns
+    /// are standardized with statistics captured from this training set and
+    /// re-applied at prediction time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ml`] if the forest cannot be fitted (for instance
+    /// on an empty dataset).
+    pub fn train(&mut self, dataset: &Dataset) -> Result<(), CoreError> {
+        let f = dataset.num_features();
+        let n = dataset.len() as f64;
+        let mut means = vec![0.0; f];
+        for row in dataset.features() {
+            for (m, x) in means.iter_mut().zip(row.iter()) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; f];
+        for row in dataset.features() {
+            for ((s, x), m) in stds.iter_mut().zip(row.iter()).zip(means.iter()) {
+                *s += (x - m) * (x - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+        }
+        let scaled: Vec<Vec<f64>> = dataset
+            .features()
+            .iter()
+            .map(|row| scale_row(row, &means, &stds))
+            .collect();
+        let scaled_dataset = Dataset::new(scaled, dataset.labels().to_vec())?;
+        let forest = RandomForest::fit(&scaled_dataset, &self.config.forest, self.config.seed)?;
+        self.forest = Some(forest);
+        self.feature_means = means;
+        self.feature_stds = stds;
+        Ok(())
+    }
+
+    /// Classifies every analysis window of `signal` (true = seizure alarm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidState`] if the detector has not been trained
+    /// and propagates feature-extraction failures.
+    pub fn detect(&self, signal: &EegSignal) -> Result<Vec<bool>, CoreError> {
+        let rows = self.extract_features(signal)?;
+        self.predict_rows(&rows)
+    }
+
+    /// Classifies pre-extracted rich-feature rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidState`] if the detector has not been trained.
+    pub fn predict_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<bool>, CoreError> {
+        let forest = self.forest.as_ref().ok_or_else(|| CoreError::InvalidState {
+            detail: "the real-time detector has not been trained yet".to_string(),
+        })?;
+        Ok(rows
+            .iter()
+            .map(|row| forest.predict(&scale_row(row, &self.feature_means, &self.feature_stds)))
+            .collect())
+    }
+
+    /// Evaluates the detector on a signal whose true seizure position is known,
+    /// returning the per-window confusion matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`RealTimeDetector::detect`].
+    pub fn evaluate(
+        &self,
+        signal: &EegSignal,
+        truth: &SeizureLabel,
+    ) -> Result<ConfusionMatrix, CoreError> {
+        let fs = signal.sampling_frequency();
+        let window = self.window_config(fs)?;
+        let predictions = self.detect(signal)?;
+        let truth_labels = window_labels(
+            truth,
+            predictions.len(),
+            window.window_seconds(),
+            window.step_seconds(),
+        )?;
+        Ok(ConfusionMatrix::from_predictions(&predictions, &truth_labels)?)
+    }
+}
+
+fn scale_row(row: &[f64], means: &[f64], stds: &[f64]) -> Vec<f64> {
+    row.iter()
+        .zip(means.iter().zip(stds.iter()))
+        .map(|(x, (m, s))| if *s > 0.0 { (x - m) / s } else { x - m })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seizure_data::cohort::Cohort;
+    use seizure_data::sampler::SampleConfig;
+
+    fn record_and_truth(seed: u64) -> (seizure_data::sampler::EegRecord, SeizureLabel) {
+        let cohort = Cohort::chb_mit_like(3);
+        let config = SampleConfig::new(180.0, 220.0, 64.0).unwrap();
+        let record = cohort.sample_record(8, 0, &config, seed).unwrap(); // patient 9: clean
+        let truth = SeizureLabel::new(
+            record.annotation().onset(),
+            record.annotation().offset(),
+        )
+        .unwrap();
+        (record, truth)
+    }
+
+    fn fast_config() -> RealTimeDetectorConfig {
+        RealTimeDetectorConfig {
+            forest: RandomForestConfig {
+                n_trees: 10,
+                max_depth: 6,
+                ..RandomForestConfig::default()
+            },
+            ..RealTimeDetectorConfig::default()
+        }
+    }
+
+    #[test]
+    fn untrained_detector_refuses_to_predict() {
+        let detector = RealTimeDetector::new(fast_config());
+        assert!(!detector.is_trained());
+        let (record, _) = record_and_truth(0);
+        assert!(matches!(
+            detector.detect(record.signal()),
+            Err(CoreError::InvalidState { .. })
+        ));
+    }
+
+    #[test]
+    fn trains_and_detects_the_seizure_it_was_trained_on() {
+        let (record, truth) = record_and_truth(1);
+        let mut detector = RealTimeDetector::new(fast_config());
+        let training = detector
+            .build_training_windows(record.signal(), &truth)
+            .unwrap();
+        let balanced = detector.balance(&training).unwrap();
+        detector.train(&balanced).unwrap();
+        assert!(detector.is_trained());
+
+        let cm = detector.evaluate(record.signal(), &truth).unwrap();
+        // Training data, so the detector should do very well.
+        assert!(cm.sensitivity() > 0.7, "sensitivity = {}", cm.sensitivity());
+        assert!(cm.specificity() > 0.7, "specificity = {}", cm.specificity());
+    }
+
+    #[test]
+    fn generalizes_to_another_record_of_the_same_patient() {
+        let (train_record, train_truth) = record_and_truth(2);
+        let (test_record, test_truth) = record_and_truth(3);
+        let mut detector = RealTimeDetector::new(fast_config());
+        let training = detector
+            .build_training_windows(train_record.signal(), &train_truth)
+            .unwrap();
+        let balanced = detector.balance(&training).unwrap();
+        detector.train(&balanced).unwrap();
+        let cm = detector.evaluate(test_record.signal(), &test_truth).unwrap();
+        assert!(cm.geometric_mean() > 0.6, "gmean = {}", cm.geometric_mean());
+    }
+
+    #[test]
+    fn balance_produces_equal_class_counts() {
+        let (record, truth) = record_and_truth(4);
+        let detector = RealTimeDetector::new(fast_config());
+        let training = detector
+            .build_training_windows(record.signal(), &truth)
+            .unwrap();
+        let balanced = detector.balance(&training).unwrap();
+        assert_eq!(balanced.num_positive(), balanced.num_negative());
+        assert!(balanced.len() < training.len());
+    }
+
+    #[test]
+    fn balance_requires_both_classes() {
+        let detector = RealTimeDetector::new(fast_config());
+        let all_negative = Dataset::new(vec![vec![1.0]; 5], vec![false; 5]).unwrap();
+        assert!(detector.balance(&all_negative).is_err());
+        let all_positive = Dataset::new(vec![vec![1.0]; 5], vec![true; 5]).unwrap();
+        assert!(detector.balance(&all_positive).is_err());
+    }
+
+    #[test]
+    fn config_accessor() {
+        let detector = RealTimeDetector::new(fast_config());
+        assert_eq!(detector.config().window_secs, 4.0);
+    }
+}

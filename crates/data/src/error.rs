@@ -1,0 +1,98 @@
+//! Error type for the data substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the synthetic-data substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A generation or sampling parameter was invalid.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A patient or seizure index was out of range for the cohort.
+    IndexOutOfRange {
+        /// What kind of entity the index refers to ("patient" or "seizure").
+        entity: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Number of available entities.
+        available: usize,
+    },
+    /// Reading or writing record files failed.
+    Io {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+    /// A record file had an unexpected format.
+    Format {
+        /// Description of the formatting problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DataError::IndexOutOfRange {
+                entity,
+                index,
+                available,
+            } => write!(
+                f,
+                "{entity} index {index} out of range: only {available} available"
+            ),
+            DataError::Io { detail } => write!(f, "record i/o failed: {detail}"),
+            DataError::Format { detail } => write!(f, "malformed record: {detail}"),
+        }
+    }
+}
+
+impl Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DataError::InvalidParameter {
+            name: "fs",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("fs"));
+        let e = DataError::IndexOutOfRange {
+            entity: "patient",
+            index: 12,
+            available: 9,
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains('9'));
+        let e: DataError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        assert!(e.to_string().contains("nope"));
+        let e = DataError::Format {
+            detail: "bad header".into(),
+        };
+        assert!(e.to_string().contains("bad header"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

@@ -1,0 +1,455 @@
+//! Synthetic EEG generation.
+//!
+//! The generator reproduces the statistical structure of scalp EEG that the
+//! labeling algorithm relies on, without reproducing any real patient data:
+//!
+//! * **Background** activity is 1/f ("pink") noise with a patient-specific RMS
+//!   amplitude, an alpha rhythm (~10 Hz) with slow amplitude modulation and a
+//!   small theta component.
+//! * **Ictal** activity (the seizure) is rhythmic spike-wave discharge at the
+//!   patient's dominant ictal frequency with harmonics, an amplitude envelope
+//!   that builds up, plateaus and decays, superimposed on the background.
+//! * **Artifacts** are short, high-amplitude broadband bursts mimicking
+//!   movement/electrode artifacts. For noisy patients an additional large burst
+//!   can be placed *near* the seizure — the confounder that the paper reports
+//!   as the cause of its three mislabeled seizures.
+
+use crate::annotation::SeizureAnnotation;
+use crate::error::DataError;
+use crate::patient::PatientProfile;
+use crate::signal::EegSignal;
+use rand::Rng;
+
+/// Draws a standard-normal sample using the Box–Muller transform.
+pub(crate) fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates `n` samples of 1/f-like ("pink") noise with approximately unit
+/// variance, using the Paul Kellet filter cascade.
+pub fn pink_noise<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
+    let (mut b0, mut b1, mut b2, mut b3, mut b4, mut b5, mut b6) =
+        (0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let white = randn(rng);
+        b0 = 0.99886 * b0 + white * 0.0555179;
+        b1 = 0.99332 * b1 + white * 0.0750759;
+        b2 = 0.96900 * b2 + white * 0.1538520;
+        b3 = 0.86650 * b3 + white * 0.3104856;
+        b4 = 0.55000 * b4 + white * 0.5329522;
+        b5 = -0.7616 * b5 - white * 0.0168980;
+        let pink = b0 + b1 + b2 + b3 + b4 + b5 + b6 + white * 0.5362;
+        b6 = white * 0.115926;
+        // The cascade has a gain of roughly 5; scale back to ~unit variance.
+        out.push(pink / 5.0);
+    }
+    out
+}
+
+/// Generates one channel of background (interictal) EEG for `duration_secs`
+/// seconds at `fs` Hz.
+fn background_channel<R: Rng + ?Sized>(
+    profile: &PatientProfile,
+    duration_secs: f64,
+    fs: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    let n = (duration_secs * fs).round() as usize;
+    let mut signal = pink_noise(n, rng);
+    let amplitude = profile.background_amplitude;
+    // Alpha rhythm with slow amplitude modulation and a small theta component.
+    let alpha_freq = 9.0 + rng.gen_range(0.0..2.0);
+    let theta_freq = 5.0 + rng.gen_range(0.0..1.5);
+    let alpha_phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    let theta_phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    let mod_freq = rng.gen_range(0.05..0.15);
+    for (i, x) in signal.iter_mut().enumerate() {
+        let t = i as f64 / fs;
+        let alpha_env = 0.25 * (1.0 + (std::f64::consts::TAU * mod_freq * t).sin());
+        let alpha = alpha_env * (std::f64::consts::TAU * alpha_freq * t + alpha_phase).sin();
+        let theta = 0.12 * (std::f64::consts::TAU * theta_freq * t + theta_phase).sin();
+        *x = amplitude * (*x + alpha + theta);
+    }
+    signal
+}
+
+/// Adds movement-artifact bursts to a channel in place. Returns the burst
+/// onset times in seconds (useful for tests).
+fn add_artifacts<R: Rng + ?Sized>(
+    channel: &mut [f64],
+    profile: &PatientProfile,
+    fs: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    let duration_hours = channel.len() as f64 / fs / 3600.0;
+    let expected = profile.artifact_rate_per_hour * duration_hours;
+    // Draw the artifact count from a Poisson-like distribution (normal approx
+    // clamped at zero is adequate here).
+    let count = (expected + randn(rng) * expected.sqrt()).round().max(0.0) as usize;
+    let mut onsets = Vec::with_capacity(count);
+    for _ in 0..count {
+        let burst_len = (rng.gen_range(0.4..2.0) * fs) as usize;
+        if channel.len() <= burst_len + 1 {
+            continue;
+        }
+        let start = rng.gen_range(0..channel.len() - burst_len);
+        apply_burst(channel, start, burst_len, profile, rng);
+        onsets.push(start as f64 / fs);
+    }
+    onsets
+}
+
+/// Applies one broadband high-amplitude burst starting at `start`.
+fn apply_burst<R: Rng + ?Sized>(
+    channel: &mut [f64],
+    start: usize,
+    burst_len: usize,
+    profile: &PatientProfile,
+    rng: &mut R,
+) {
+    let amplitude = profile.background_amplitude * profile.artifact_gain;
+    for i in 0..burst_len {
+        let envelope = (std::f64::consts::PI * i as f64 / burst_len as f64).sin();
+        channel[start + i] += amplitude * envelope * randn(rng);
+    }
+}
+
+/// Generates one channel of ictal (seizure) EEG for `duration_secs` seconds.
+///
+/// `lateralization` scales the ictal amplitude for the channel (seizures are
+/// rarely perfectly symmetric across hemispheres).
+fn ictal_channel<R: Rng + ?Sized>(
+    profile: &PatientProfile,
+    duration_secs: f64,
+    fs: f64,
+    lateralization: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    let n = (duration_secs * fs).round() as usize;
+    let mut signal = pink_noise(n, rng);
+    let base_amp = profile.background_amplitude;
+    let ictal_amp = base_amp * profile.ictal_gain * lateralization;
+    let f0 = profile.ictal_frequency * (1.0 + 0.05 * randn(rng));
+    let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    // Rise over the first 20 %, sustain, decay over the last 25 %, with the
+    // discharge frequency slowing slightly towards the end (typical of tonic-
+    // clonic evolution).
+    for (i, x) in signal.iter_mut().enumerate() {
+        let t = i as f64 / fs;
+        let progress = i as f64 / n.max(1) as f64;
+        let envelope = if progress < 0.2 {
+            progress / 0.2
+        } else if progress > 0.75 {
+            ((1.0 - progress) / 0.25).max(0.0)
+        } else {
+            1.0
+        };
+        let freq = f0 * (1.0 - 0.25 * progress);
+        let fundamental = (std::f64::consts::TAU * freq * t + phase).sin();
+        let spike = profile.spike_sharpness
+            * ((std::f64::consts::TAU * 2.0 * freq * t + phase).sin()
+                + 0.5 * (std::f64::consts::TAU * 3.0 * freq * t + phase).sin());
+        *x = base_amp * 0.6 * *x + ictal_amp * envelope * (fundamental + spike);
+    }
+    signal
+}
+
+/// Output of [`generate_record`]: the synthetic recording, its ground-truth
+/// annotation, and the onset times (seconds) of any injected artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedRecord {
+    /// The two-channel synthetic EEG signal.
+    pub signal: EegSignal,
+    /// Ground-truth position of the single seizure contained in the record.
+    pub annotation: SeizureAnnotation,
+    /// Onset times in seconds of the background artifacts that were injected.
+    pub artifact_onsets: Vec<f64>,
+    /// `true` if a large noise burst was placed near the seizure.
+    pub near_seizure_burst: bool,
+}
+
+/// Generates a complete recording of `total_secs` seconds containing exactly
+/// one seizure.
+///
+/// The seizure starts at `seizure_onset_secs` and lasts `seizure_duration_secs`
+/// seconds; both channels carry the ictal discharge with slightly different
+/// amplitudes. Background artifacts are injected at the patient's artifact
+/// rate, and — with the patient's `near_seizure_burst_probability` — one large
+/// burst is placed within ±90 s of the seizure boundary.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidParameter`] if the durations are not positive,
+/// the seizure does not fit inside the recording, or `fs` is not positive.
+pub fn generate_record<R: Rng + ?Sized>(
+    profile: &PatientProfile,
+    total_secs: f64,
+    seizure_onset_secs: f64,
+    seizure_duration_secs: f64,
+    fs: f64,
+    rng: &mut R,
+) -> Result<GeneratedRecord, DataError> {
+    if fs <= 0.0 || fs.is_nan() {
+        return Err(DataError::InvalidParameter {
+            name: "fs",
+            reason: format!("sampling frequency must be positive, got {fs}"),
+        });
+    }
+    if total_secs <= 0.0 || seizure_duration_secs <= 0.0 {
+        return Err(DataError::InvalidParameter {
+            name: "duration",
+            reason: "durations must be positive".to_string(),
+        });
+    }
+    if seizure_onset_secs < 0.0
+        || seizure_onset_secs + seizure_duration_secs > total_secs
+    {
+        return Err(DataError::InvalidParameter {
+            name: "seizure_onset_secs",
+            reason: format!(
+                "seizure [{seizure_onset_secs}, {}] does not fit in a {total_secs}-second record",
+                seizure_onset_secs + seizure_duration_secs
+            ),
+        });
+    }
+
+    let pre_secs = seizure_onset_secs;
+    let post_secs = total_secs - seizure_onset_secs - seizure_duration_secs;
+
+    let mut f7t3 = Vec::new();
+    let mut f8t4 = Vec::new();
+    if pre_secs > 0.0 {
+        f7t3.extend(background_channel(profile, pre_secs, fs, rng));
+        f8t4.extend(background_channel(profile, pre_secs, fs, rng));
+    }
+    let lateral_left = 1.0 + 0.15 * randn(rng).clamp(-1.5, 1.5);
+    let lateral_right = 1.0 + 0.15 * randn(rng).clamp(-1.5, 1.5);
+    f7t3.extend(ictal_channel(
+        profile,
+        seizure_duration_secs,
+        fs,
+        lateral_left.max(0.4),
+        rng,
+    ));
+    f8t4.extend(ictal_channel(
+        profile,
+        seizure_duration_secs,
+        fs,
+        lateral_right.max(0.4),
+        rng,
+    ));
+    if post_secs > 0.0 {
+        f7t3.extend(background_channel(profile, post_secs, fs, rng));
+        f8t4.extend(background_channel(profile, post_secs, fs, rng));
+    }
+
+    // Background artifacts across the whole record.
+    let mut artifact_onsets = add_artifacts(&mut f7t3, profile, fs, rng);
+    artifact_onsets.extend(add_artifacts(&mut f8t4, profile, fs, rng));
+    artifact_onsets.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    // Optionally place a large confounding burst near the seizure. The burst is
+    // long, strong and partly rhythmic (movement artifacts on scalp EEG often
+    // contain quasi-periodic components), so in the ten-feature space it can
+    // compete with the genuine seizure — the failure mode the paper reports for
+    // its three mislabeled seizures.
+    let near_seizure_burst = rng.gen_bool(profile.near_seizure_burst_probability.clamp(0.0, 1.0));
+    if near_seizure_burst {
+        let offset = rng.gen_range(30.0..180.0);
+        let before = rng.gen_bool(0.5);
+        let burst_time = if before {
+            (seizure_onset_secs - offset).max(0.0)
+        } else {
+            (seizure_onset_secs + seizure_duration_secs + offset).min(total_secs - 30.0)
+        };
+        let burst_secs = rng.gen_range(10.0..25.0);
+        let burst_len = (burst_secs * fs) as usize;
+        let start = ((burst_time * fs) as usize).min(f7t3.len().saturating_sub(burst_len + 1));
+        // The confounding burst is strong and appears on both channels.
+        let strong = PatientProfile {
+            artifact_gain: profile.artifact_gain * 2.2,
+            ..profile.clone()
+        };
+        apply_burst(&mut f7t3, start, burst_len, &strong, rng);
+        apply_burst(&mut f8t4, start, burst_len, &strong, rng);
+        // Rhythmic low-frequency component riding on the broadband burst.
+        let rhythm_freq = rng.gen_range(2.0..6.0);
+        let rhythm_amp = profile.background_amplitude * profile.artifact_gain;
+        let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        for i in 0..burst_len {
+            let t = i as f64 / fs;
+            let envelope = (std::f64::consts::PI * i as f64 / burst_len as f64).sin();
+            let rhythm = rhythm_amp * envelope * (std::f64::consts::TAU * rhythm_freq * t + phase).sin();
+            f7t3[start + i] += rhythm;
+            f8t4[start + i] += 0.8 * rhythm;
+        }
+        artifact_onsets.push(burst_time);
+    }
+
+    let signal = EegSignal::new(f7t3, f8t4, fs)?;
+    let annotation =
+        SeizureAnnotation::new(seizure_onset_secs, seizure_onset_secs + seizure_duration_secs)?;
+    Ok(GeneratedRecord {
+        signal,
+        annotation,
+        artifact_onsets,
+        near_seizure_burst,
+    })
+}
+
+/// Generates a seizure-free background recording of `total_secs` seconds
+/// (used to build the non-seizure half of balanced training sets).
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidParameter`] if the duration or `fs` is not
+/// positive.
+pub fn generate_background_record<R: Rng + ?Sized>(
+    profile: &PatientProfile,
+    total_secs: f64,
+    fs: f64,
+    rng: &mut R,
+) -> Result<EegSignal, DataError> {
+    if fs <= 0.0 || total_secs <= 0.0 {
+        return Err(DataError::InvalidParameter {
+            name: "duration",
+            reason: "duration and sampling frequency must be positive".to_string(),
+        });
+    }
+    let mut f7t3 = background_channel(profile, total_secs, fs, rng);
+    let mut f8t4 = background_channel(profile, total_secs, fs, rng);
+    add_artifacts(&mut f7t3, profile, fs, rng);
+    add_artifacts(&mut f8t4, profile, fs, rng);
+    EegSignal::new(f7t3, f8t4, fs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn profile() -> PatientProfile {
+        PatientProfile::chb_mit_like_cohort()[0].clone()
+    }
+
+    fn rms(x: &[f64]) -> f64 {
+        (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn pink_noise_has_unit_scale_and_more_low_frequency_energy() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let noise = pink_noise(8192, &mut rng);
+        let r = rms(&noise);
+        assert!(r > 0.3 && r < 3.0, "rms = {r}");
+        // Compare energy in low vs high frequency halves via simple first
+        // differences: pink noise has much weaker differences than white noise.
+        let diff_energy: f64 = noise.windows(2).map(|w| (w[1] - w[0]).powi(2)).sum();
+        let total_energy: f64 = noise.iter().map(|v| v * v).sum();
+        assert!(diff_energy < total_energy);
+    }
+
+    #[test]
+    fn generated_record_has_expected_length_and_annotation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let rec = generate_record(&profile(), 120.0, 40.0, 30.0, 64.0, &mut rng).unwrap();
+        assert_eq!(rec.signal.len(), (120.0 * 64.0) as usize);
+        assert_eq!(rec.annotation.onset(), 40.0);
+        assert_eq!(rec.annotation.offset(), 70.0);
+    }
+
+    #[test]
+    fn ictal_segment_has_higher_amplitude_than_background() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let rec = generate_record(&profile(), 180.0, 60.0, 40.0, 64.0, &mut rng).unwrap();
+        let fs = 64.0;
+        let ictal = &rec.signal.f7t3()
+            [(62.0 * fs) as usize..(98.0 * fs) as usize];
+        let background = &rec.signal.f7t3()[0..(50.0 * fs) as usize];
+        assert!(rms(ictal) > 1.5 * rms(background));
+    }
+
+    #[test]
+    fn ictal_activity_appears_on_both_channels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let rec = generate_record(&profile(), 180.0, 60.0, 40.0, 64.0, &mut rng).unwrap();
+        let fs = 64.0;
+        for channel in [rec.signal.f7t3(), rec.signal.f8t4()] {
+            let ictal = &channel[(62.0 * fs) as usize..(98.0 * fs) as usize];
+            let background = &channel[0..(50.0 * fs) as usize];
+            assert!(rms(ictal) > 1.3 * rms(background));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_given_a_seed() {
+        let mut rng1 = ChaCha8Rng::seed_from_u64(42);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(42);
+        let a = generate_record(&profile(), 90.0, 30.0, 20.0, 64.0, &mut rng1).unwrap();
+        let b = generate_record(&profile(), 90.0, 30.0, 20.0, 64.0, &mut rng2).unwrap();
+        assert_eq!(a.signal, b.signal);
+        assert_eq!(a.annotation, b.annotation);
+    }
+
+    #[test]
+    fn different_seeds_give_different_records() {
+        let mut rng1 = ChaCha8Rng::seed_from_u64(1);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(2);
+        let a = generate_record(&profile(), 90.0, 30.0, 20.0, 64.0, &mut rng1).unwrap();
+        let b = generate_record(&profile(), 90.0, 30.0, 20.0, 64.0, &mut rng2).unwrap();
+        assert_ne!(a.signal, b.signal);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let p = profile();
+        assert!(generate_record(&p, 100.0, 90.0, 30.0, 64.0, &mut rng).is_err());
+        assert!(generate_record(&p, 0.0, 0.0, 30.0, 64.0, &mut rng).is_err());
+        assert!(generate_record(&p, 100.0, 10.0, 0.0, 64.0, &mut rng).is_err());
+        assert!(generate_record(&p, 100.0, 10.0, 30.0, 0.0, &mut rng).is_err());
+        assert!(generate_background_record(&p, 0.0, 64.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn background_record_is_seizure_free_scale() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let p = profile();
+        let bg = generate_background_record(&p, 120.0, 64.0, &mut rng).unwrap();
+        assert_eq!(bg.len(), (120.0 * 64.0) as usize);
+        // The background RMS stays in the vicinity of the configured amplitude.
+        let r = rms(bg.f7t3());
+        assert!(r > 0.3 * p.background_amplitude && r < 3.0 * p.background_amplitude);
+    }
+
+    #[test]
+    fn noisy_patient_gets_near_seizure_bursts_sometimes() {
+        // Patient 2 has a 45 % near-seizure-burst probability; over 40 records
+        // at least one burst should occur and at least one should not.
+        let p = PatientProfile::chb_mit_like_cohort()[1].clone();
+        let mut with_burst = 0;
+        for seed in 0..40 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let rec = generate_record(&p, 150.0, 60.0, 30.0, 32.0, &mut rng).unwrap();
+            if rec.near_seizure_burst {
+                with_burst += 1;
+            }
+        }
+        assert!(with_burst > 0 && with_burst < 40, "with_burst = {with_burst}");
+    }
+
+    #[test]
+    fn randn_has_roughly_standard_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..20000).map(|_| randn(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.05);
+        assert!((var - 1.0).abs() < 0.1);
+    }
+}

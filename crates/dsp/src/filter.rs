@@ -1,0 +1,390 @@
+//! Digital filtering used to condition raw EEG channels.
+//!
+//! Wearable EEG front-ends typically apply a high-pass filter to remove
+//! electrode drift, a power-line notch and optionally a band-pass restricted to
+//! the clinically relevant 0.5–40 Hz range before feature extraction. This
+//! module provides windowed-sinc FIR design, biquad IIR sections and
+//! forward–backward (zero-phase) filtering.
+
+use crate::error::DspError;
+use crate::window::{coefficients, WindowKind};
+
+/// A finite-impulse-response filter described by its tap coefficients.
+///
+/// # Example
+///
+/// ```
+/// use seizure_dsp::filter::FirFilter;
+///
+/// # fn main() -> Result<(), seizure_dsp::DspError> {
+/// let lp = FirFilter::low_pass(64.0, 256.0, 65)?;
+/// let filtered = lp.filter(&vec![1.0; 512]);
+/// assert_eq!(filtered.len(), 512);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirFilter {
+    taps: Vec<f64>,
+}
+
+impl FirFilter {
+    /// Creates a filter from explicit tap coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if `taps` is empty.
+    pub fn from_taps(taps: Vec<f64>) -> Result<Self, DspError> {
+        if taps.is_empty() {
+            return Err(DspError::EmptyInput {
+                operation: "FirFilter::from_taps",
+            });
+        }
+        Ok(Self { taps })
+    }
+
+    /// Designs a windowed-sinc low-pass filter with the given cutoff.
+    ///
+    /// `num_taps` should be odd so that the filter has a symmetric, linear-phase
+    /// impulse response centred on an integer delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if the cutoff does not lie in
+    /// `(0, fs/2)`, `fs` is not positive, or `num_taps` is zero or even.
+    pub fn low_pass(cutoff_hz: f64, fs: f64, num_taps: usize) -> Result<Self, DspError> {
+        validate_design(cutoff_hz, fs, num_taps)?;
+        let fc = cutoff_hz / fs;
+        let m = (num_taps - 1) as f64;
+        let hamming = coefficients(WindowKind::Hamming, num_taps)?;
+        let mut taps: Vec<f64> = (0..num_taps)
+            .map(|n| {
+                let x = n as f64 - m / 2.0;
+                let sinc = if x == 0.0 {
+                    2.0 * fc
+                } else {
+                    (2.0 * std::f64::consts::PI * fc * x).sin() / (std::f64::consts::PI * x)
+                };
+                sinc * hamming[n]
+            })
+            .collect();
+        // Normalize to unit DC gain.
+        let sum: f64 = taps.iter().sum();
+        for t in &mut taps {
+            *t /= sum;
+        }
+        Ok(Self { taps })
+    }
+
+    /// Designs a windowed-sinc high-pass filter by spectral inversion of the
+    /// corresponding low-pass design.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FirFilter::low_pass`].
+    pub fn high_pass(cutoff_hz: f64, fs: f64, num_taps: usize) -> Result<Self, DspError> {
+        let lp = Self::low_pass(cutoff_hz, fs, num_taps)?;
+        let mut taps: Vec<f64> = lp.taps.iter().map(|t| -t).collect();
+        let centre = (num_taps - 1) / 2;
+        taps[centre] += 1.0;
+        Ok(Self { taps })
+    }
+
+    /// Designs a band-pass filter as the cascade-free difference of two
+    /// low-pass designs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `low_hz >= high_hz` or either
+    /// edge fails the single-edge validation.
+    pub fn band_pass(low_hz: f64, high_hz: f64, fs: f64, num_taps: usize) -> Result<Self, DspError> {
+        if low_hz >= high_hz {
+            return Err(DspError::InvalidParameter {
+                name: "band",
+                reason: format!("band edges must satisfy low < high, got [{low_hz}, {high_hz}]"),
+            });
+        }
+        let lp_high = Self::low_pass(high_hz, fs, num_taps)?;
+        let lp_low = Self::low_pass(low_hz, fs, num_taps)?;
+        let taps = lp_high
+            .taps
+            .iter()
+            .zip(lp_low.taps.iter())
+            .map(|(h, l)| h - l)
+            .collect();
+        Ok(Self { taps })
+    }
+
+    /// Filter tap coefficients.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Returns `true` if the filter has no taps (cannot happen for constructed
+    /// filters, provided for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// Causal convolution of the filter with `signal`, returning an output of
+    /// the same length (the leading transient is included).
+    pub fn filter(&self, signal: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; signal.len()];
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (k, &tap) in self.taps.iter().enumerate() {
+                if i >= k {
+                    acc += tap * signal[i - k];
+                }
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Zero-phase filtering: runs the filter forward and then backward so the
+    /// result has no group delay, mirroring `filtfilt`.
+    pub fn filtfilt(&self, signal: &[f64]) -> Vec<f64> {
+        let forward = self.filter(signal);
+        let mut reversed: Vec<f64> = forward.into_iter().rev().collect();
+        reversed = self.filter(&reversed);
+        reversed.into_iter().rev().collect()
+    }
+}
+
+fn validate_design(cutoff_hz: f64, fs: f64, num_taps: usize) -> Result<(), DspError> {
+    if fs <= 0.0 || fs.is_nan() {
+        return Err(DspError::InvalidParameter {
+            name: "fs",
+            reason: format!("sampling frequency must be positive, got {fs}"),
+        });
+    }
+    if !(cutoff_hz > 0.0 && cutoff_hz < fs / 2.0) {
+        return Err(DspError::InvalidParameter {
+            name: "cutoff_hz",
+            reason: format!("cutoff must lie in (0, fs/2) = (0, {}), got {cutoff_hz}", fs / 2.0),
+        });
+    }
+    if num_taps == 0 || num_taps % 2 == 0 {
+        return Err(DspError::InvalidParameter {
+            name: "num_taps",
+            reason: format!("tap count must be odd and non-zero, got {num_taps}"),
+        });
+    }
+    Ok(())
+}
+
+/// A second-order IIR (biquad) section in direct form I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Biquad {
+    b0: f64,
+    b1: f64,
+    b2: f64,
+    a1: f64,
+    a2: f64,
+}
+
+impl Biquad {
+    /// Designs a notch filter centred at `freq_hz` with the given quality
+    /// factor, typically used to suppress 50/60 Hz power-line interference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if the centre frequency does not
+    /// lie in `(0, fs/2)` or `q` is not positive.
+    pub fn notch(freq_hz: f64, fs: f64, q: f64) -> Result<Self, DspError> {
+        if fs <= 0.0 || freq_hz <= 0.0 || freq_hz >= fs / 2.0 {
+            return Err(DspError::InvalidParameter {
+                name: "freq_hz",
+                reason: format!("notch frequency must lie in (0, fs/2), got {freq_hz} at fs={fs}"),
+            });
+        }
+        if q <= 0.0 || q.is_nan() {
+            return Err(DspError::InvalidParameter {
+                name: "q",
+                reason: format!("quality factor must be positive, got {q}"),
+            });
+        }
+        let omega = 2.0 * std::f64::consts::PI * freq_hz / fs;
+        let alpha = omega.sin() / (2.0 * q);
+        let cosw = omega.cos();
+        let a0 = 1.0 + alpha;
+        Ok(Self {
+            b0: 1.0 / a0,
+            b1: -2.0 * cosw / a0,
+            b2: 1.0 / a0,
+            a1: -2.0 * cosw / a0,
+            a2: (1.0 - alpha) / a0,
+        })
+    }
+
+    /// Applies the biquad to `signal`, returning a same-length output.
+    pub fn filter(&self, signal: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(signal.len());
+        let (mut x1, mut x2, mut y1, mut y2) = (0.0, 0.0, 0.0, 0.0);
+        for &x in signal {
+            let y = self.b0 * x + self.b1 * x1 + self.b2 * x2 - self.a1 * y1 - self.a2 * y2;
+            x2 = x1;
+            x1 = x;
+            y2 = y1;
+            y1 = y;
+            out.push(y);
+        }
+        out
+    }
+}
+
+/// Centred moving average with the given window length (smoothing helper used
+/// by the synthetic data generator and plots).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if the signal is empty and
+/// [`DspError::InvalidParameter`] if `window` is zero.
+pub fn moving_average(signal: &[f64], window: usize) -> Result<Vec<f64>, DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput {
+            operation: "moving_average",
+        });
+    }
+    if window == 0 {
+        return Err(DspError::InvalidParameter {
+            name: "window",
+            reason: "window length must be at least 1".to_string(),
+        });
+    }
+    let half = window / 2;
+    let mut out = Vec::with_capacity(signal.len());
+    for i in 0..signal.len() {
+        let start = i.saturating_sub(half);
+        let end = (i + half + 1).min(signal.len());
+        let sum: f64 = signal[start..end].iter().sum();
+        out.push(sum / (end - start) as f64);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    fn rms(signal: &[f64]) -> f64 {
+        (signal.iter().map(|x| x * x).sum::<f64>() / signal.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn design_validation() {
+        assert!(FirFilter::low_pass(0.0, 256.0, 33).is_err());
+        assert!(FirFilter::low_pass(200.0, 256.0, 33).is_err());
+        assert!(FirFilter::low_pass(10.0, 0.0, 33).is_err());
+        assert!(FirFilter::low_pass(10.0, 256.0, 0).is_err());
+        assert!(FirFilter::low_pass(10.0, 256.0, 32).is_err());
+        assert!(FirFilter::from_taps(vec![]).is_err());
+    }
+
+    #[test]
+    fn low_pass_keeps_low_and_attenuates_high() {
+        let fs = 256.0;
+        let lp = FirFilter::low_pass(20.0, fs, 101).unwrap();
+        let low = lp.filter(&sine(5.0, fs, 2048));
+        let high = lp.filter(&sine(80.0, fs, 2048));
+        // Skip the transient before measuring.
+        assert!(rms(&low[200..]) > 0.6);
+        assert!(rms(&high[200..]) < 0.05);
+    }
+
+    #[test]
+    fn high_pass_keeps_high_and_attenuates_low() {
+        let fs = 256.0;
+        let hp = FirFilter::high_pass(20.0, fs, 101).unwrap();
+        let low = hp.filter(&sine(2.0, fs, 2048));
+        let high = hp.filter(&sine(60.0, fs, 2048));
+        assert!(rms(&low[200..]) < 0.05);
+        assert!(rms(&high[200..]) > 0.6);
+    }
+
+    #[test]
+    fn band_pass_selects_band() {
+        let fs = 256.0;
+        let bp = FirFilter::band_pass(4.0, 8.0, fs, 201).unwrap();
+        let inside = bp.filter(&sine(6.0, fs, 4096));
+        let below = bp.filter(&sine(1.0, fs, 4096));
+        let above = bp.filter(&sine(30.0, fs, 4096));
+        assert!(rms(&inside[400..]) > 0.5);
+        assert!(rms(&below[400..]) < 0.1);
+        assert!(rms(&above[400..]) < 0.1);
+    }
+
+    #[test]
+    fn band_pass_rejects_inverted_edges() {
+        assert!(FirFilter::band_pass(8.0, 4.0, 256.0, 101).is_err());
+    }
+
+    #[test]
+    fn unit_dc_gain_of_low_pass() {
+        let lp = FirFilter::low_pass(30.0, 256.0, 65).unwrap();
+        let sum: f64 = lp.taps().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(lp.len(), 65);
+        assert!(!lp.is_empty());
+    }
+
+    #[test]
+    fn filtfilt_preserves_phase_of_passband_tone() {
+        let fs = 256.0;
+        let lp = FirFilter::low_pass(30.0, fs, 65).unwrap();
+        let x = sine(5.0, fs, 2048);
+        let y = lp.filtfilt(&x);
+        // Compare mid-sections: zero-phase filtering should not shift the tone.
+        let x_mid = &x[1000..1100];
+        let y_mid = &y[1000..1100];
+        let corr: f64 = x_mid.iter().zip(y_mid.iter()).map(|(a, b)| a * b).sum();
+        let norm = (x_mid.iter().map(|a| a * a).sum::<f64>()
+            * y_mid.iter().map(|b| b * b).sum::<f64>())
+        .sqrt();
+        assert!(corr / norm > 0.99);
+    }
+
+    #[test]
+    fn notch_attenuates_target_frequency() {
+        let fs = 256.0;
+        let notch = Biquad::notch(50.0, fs, 30.0).unwrap();
+        let at_50 = notch.filter(&sine(50.0, fs, 4096));
+        let at_10 = notch.filter(&sine(10.0, fs, 4096));
+        assert!(rms(&at_50[1000..]) < 0.1);
+        assert!(rms(&at_10[1000..]) > 0.6);
+    }
+
+    #[test]
+    fn notch_rejects_bad_parameters() {
+        assert!(Biquad::notch(0.0, 256.0, 30.0).is_err());
+        assert!(Biquad::notch(200.0, 256.0, 30.0).is_err());
+        assert!(Biquad::notch(50.0, 256.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn moving_average_smooths_and_preserves_mean() {
+        let x: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let smoothed = moving_average(&x, 4).unwrap();
+        assert!(rms(&smoothed) < rms(&x));
+        assert!(moving_average(&[], 3).is_err());
+        assert!(moving_average(&x, 0).is_err());
+    }
+
+    #[test]
+    fn moving_average_of_constant_is_constant() {
+        let smoothed = moving_average(&[2.0; 32], 5).unwrap();
+        assert!(smoothed.iter().all(|v| (v - 2.0).abs() < 1e-12));
+    }
+}

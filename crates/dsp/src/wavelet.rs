@@ -1,0 +1,556 @@
+//! Discrete wavelet transform.
+//!
+//! The paper decomposes each 4-second EEG window "until level seven using the
+//! Daubechies 4 (db4) wavelet basis function" (§III-A) and computes nonlinear
+//! entropy features on the resulting sub-band coefficients. This module
+//! implements the db4 analysis/synthesis filter bank (alongside Haar and db2),
+//! single-level and multi-level decompositions with periodic signal extension,
+//! and the corresponding reconstructions.
+
+use crate::error::DspError;
+
+/// Wavelet families supported by the transform.
+///
+/// # Example
+///
+/// ```
+/// use seizure_dsp::Wavelet;
+///
+/// let db4 = Wavelet::Daubechies4;
+/// assert_eq!(db4.low_pass().len(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Wavelet {
+    /// Haar wavelet (db1), 2 filter taps.
+    Haar,
+    /// Daubechies-2 wavelet, 4 filter taps.
+    Daubechies2,
+    /// Daubechies-4 wavelet, 8 filter taps — the basis used by the paper.
+    #[default]
+    Daubechies4,
+}
+
+// db2 scaling coefficients (4 taps).
+const DB2_LOW: [f64; 4] = [
+    0.482_962_913_144_690_2,
+    0.836_516_303_737_469,
+    0.224_143_868_041_857_35,
+    -0.129_409_522_550_921_45,
+];
+
+// db4 scaling coefficients (8 taps).
+const DB4_LOW: [f64; 8] = [
+    0.230_377_813_308_855_23,
+    0.714_846_570_552_541_5,
+    0.630_880_767_929_590_4,
+    -0.027_983_769_416_983_85,
+    -0.187_034_811_718_881_14,
+    0.030_841_381_835_986_965,
+    0.032_883_011_666_982_945,
+    -0.010_597_401_784_997_278,
+];
+
+const HAAR_LOW: [f64; 2] = [std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2];
+
+impl Wavelet {
+    /// Low-pass (scaling) analysis filter coefficients.
+    pub fn low_pass(&self) -> &'static [f64] {
+        match self {
+            Wavelet::Haar => &HAAR_LOW,
+            Wavelet::Daubechies2 => &DB2_LOW,
+            Wavelet::Daubechies4 => &DB4_LOW,
+        }
+    }
+
+    /// High-pass (wavelet) analysis filter coefficients, derived from the
+    /// low-pass filter by the quadrature-mirror relation.
+    pub fn high_pass(&self) -> Vec<f64> {
+        let low = self.low_pass();
+        let n = low.len();
+        (0..n)
+            .map(|k| {
+                let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+                sign * low[n - 1 - k]
+            })
+            .collect()
+    }
+
+    /// Number of filter taps.
+    pub fn filter_len(&self) -> usize {
+        self.low_pass().len()
+    }
+
+    /// Short lowercase name of the wavelet (e.g. `"db4"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Wavelet::Haar => "haar",
+            Wavelet::Daubechies2 => "db2",
+            Wavelet::Daubechies4 => "db4",
+        }
+    }
+
+    /// Maximum number of decomposition levels that keeps every level at least
+    /// as long as the filter, following the usual `wmaxlev` convention.
+    pub fn max_level(&self, signal_len: usize) -> usize {
+        if signal_len < self.filter_len() {
+            return 0;
+        }
+        let ratio = signal_len as f64 / (self.filter_len() as f64 - 1.0);
+        ratio.log2().floor().max(0.0) as usize
+    }
+}
+
+impl std::fmt::Display for Wavelet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Result of a multi-level wavelet decomposition (the analogue of `wavedec`).
+///
+/// The decomposition of a signal at level `L` consists of one approximation
+/// band `a_L` and detail bands `d_L, d_{L-1}, …, d_1`, ordered from the coarsest
+/// (lowest-frequency) to the finest (highest-frequency) detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveletDecomposition {
+    wavelet: Wavelet,
+    levels: usize,
+    original_len: usize,
+    approximation: Vec<f64>,
+    details: Vec<Vec<f64>>,
+}
+
+impl WaveletDecomposition {
+    /// The wavelet family used for the decomposition.
+    pub fn wavelet(&self) -> Wavelet {
+        self.wavelet
+    }
+
+    /// Number of decomposition levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Length of the signal that was decomposed.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Approximation coefficients at the deepest level.
+    pub fn approximation(&self) -> &[f64] {
+        &self.approximation
+    }
+
+    /// Detail coefficients for a given level, `1` being the finest level and
+    /// `levels()` the coarsest. Returns `None` if the level is out of range.
+    pub fn detail(&self, level: usize) -> Option<&[f64]> {
+        if level == 0 || level > self.levels {
+            return None;
+        }
+        // details are stored from coarsest (index 0 == level `levels`) to finest.
+        Some(&self.details[self.levels - level])
+    }
+
+    /// All detail bands ordered from the coarsest (level `levels()`) to the
+    /// finest (level 1), mirroring the MATLAB `wavedec` coefficient ordering.
+    pub fn details(&self) -> &[Vec<f64>] {
+        &self.details
+    }
+
+    /// Approximate frequency band `[low, high]` in Hz covered by the detail
+    /// coefficients at `level`, for a signal sampled at `fs` Hz.
+    ///
+    /// Level `l` details cover `[fs / 2^(l+1), fs / 2^l]`; for instance at
+    /// 256 Hz the level-7 detail band is `[1, 2]` Hz, squarely inside the delta
+    /// band the paper's features focus on.
+    pub fn detail_band(&self, level: usize, fs: f64) -> Option<(f64, f64)> {
+        if level == 0 || level > self.levels {
+            return None;
+        }
+        let high = fs / 2f64.powi(level as i32);
+        let low = fs / 2f64.powi(level as i32 + 1);
+        Some((low, high))
+    }
+}
+
+/// Symmetrically maps an arbitrary (possibly negative) index into `0..len` via
+/// periodic extension.
+fn periodic_index(idx: isize, len: usize) -> usize {
+    let len = len as isize;
+    (((idx % len) + len) % len) as usize
+}
+
+/// Single-level DWT: returns `(approximation, detail)` coefficient vectors,
+/// each of length `ceil(signal.len() / 2)`, using periodic extension.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if the signal is empty and
+/// [`DspError::InvalidLength`] if it is shorter than the wavelet filter.
+///
+/// # Example
+///
+/// ```
+/// use seizure_dsp::{dwt_single, Wavelet};
+///
+/// # fn main() -> Result<(), seizure_dsp::DspError> {
+/// let signal: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+/// let (approx, detail) = dwt_single(&signal, Wavelet::Daubechies4)?;
+/// assert_eq!(approx.len(), 32);
+/// assert_eq!(detail.len(), 32);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dwt_single(signal: &[f64], wavelet: Wavelet) -> Result<(Vec<f64>, Vec<f64>), DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput {
+            operation: "dwt_single",
+        });
+    }
+    if signal.len() < wavelet.filter_len() {
+        return Err(DspError::InvalidLength {
+            operation: "dwt_single",
+            actual: signal.len(),
+            requirement: "signal must be at least as long as the wavelet filter",
+        });
+    }
+    let low = wavelet.low_pass();
+    let high = wavelet.high_pass();
+    let half = signal.len().div_ceil(2);
+    let mut approx = Vec::with_capacity(half);
+    let mut detail = Vec::with_capacity(half);
+    for i in 0..half {
+        let mut a = 0.0;
+        let mut d = 0.0;
+        for (k, (&lo, &hi)) in low.iter().zip(high.iter()).enumerate() {
+            let idx = periodic_index(2 * i as isize + k as isize, signal.len());
+            a += lo * signal[idx];
+            d += hi * signal[idx];
+        }
+        approx.push(a);
+        detail.push(d);
+    }
+    Ok((approx, detail))
+}
+
+/// Single-level inverse DWT reconstructing a signal of length `output_len` from
+/// approximation and detail coefficients produced by [`dwt_single`].
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if either coefficient vector is empty and
+/// [`DspError::InvalidLength`] if the vectors have different lengths or
+/// `output_len` is inconsistent with them.
+pub fn idwt_single(
+    approx: &[f64],
+    detail: &[f64],
+    wavelet: Wavelet,
+    output_len: usize,
+) -> Result<Vec<f64>, DspError> {
+    if approx.is_empty() || detail.is_empty() {
+        return Err(DspError::EmptyInput {
+            operation: "idwt_single",
+        });
+    }
+    if approx.len() != detail.len() {
+        return Err(DspError::InvalidLength {
+            operation: "idwt_single",
+            actual: detail.len(),
+            requirement: "approximation and detail must have the same length",
+        });
+    }
+    if output_len > 2 * approx.len() || output_len + 1 < 2 * approx.len() {
+        return Err(DspError::InvalidLength {
+            operation: "idwt_single",
+            actual: output_len,
+            requirement: "output length must be 2*len or 2*len-1 of the coefficient vectors",
+        });
+    }
+    let low = wavelet.low_pass();
+    let high = wavelet.high_pass();
+    let mut out = vec![0.0; output_len];
+    for i in 0..approx.len() {
+        for (k, (&lo, &hi)) in low.iter().zip(high.iter()).enumerate() {
+            let idx = periodic_index(2 * i as isize + k as isize, output_len);
+            out[idx] += lo * approx[i] + hi * detail[i];
+        }
+    }
+    Ok(out)
+}
+
+/// Multi-level wavelet decomposition (`wavedec`) down to `levels` levels.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal,
+/// [`DspError::InvalidParameter`] if `levels` is zero and
+/// [`DspError::InvalidLength`] if the signal is too short to support the
+/// requested number of levels.
+///
+/// # Example
+///
+/// Decompose a 4-second, 256 Hz window to level 7, as the paper does:
+///
+/// ```
+/// use seizure_dsp::{wavedec, Wavelet};
+///
+/// # fn main() -> Result<(), seizure_dsp::DspError> {
+/// let window: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.05).sin()).collect();
+/// let dec = wavedec(&window, Wavelet::Daubechies4, 7)?;
+/// assert_eq!(dec.levels(), 7);
+/// assert_eq!(dec.detail(7).unwrap().len(), 8);
+/// // Level 7 details at 256 Hz cover [1, 2] Hz.
+/// let (lo, hi) = dec.detail_band(7, 256.0).unwrap();
+/// assert!((lo - 1.0).abs() < 1e-9 && (hi - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn wavedec(
+    signal: &[f64],
+    wavelet: Wavelet,
+    levels: usize,
+) -> Result<WaveletDecomposition, DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput { operation: "wavedec" });
+    }
+    if levels == 0 {
+        return Err(DspError::InvalidParameter {
+            name: "levels",
+            reason: "decomposition requires at least one level".to_string(),
+        });
+    }
+    // Follow the `wmaxlev` convention: the requested depth must not exceed
+    // `max_level`, which guarantees that the input of every level stays at
+    // least as long as the analysis filter.
+    if levels > wavelet.max_level(signal.len()) || signal.len() < wavelet.filter_len() * 2 {
+        return Err(DspError::InvalidLength {
+            operation: "wavedec",
+            actual: signal.len(),
+            requirement: "signal too short for the requested number of levels",
+        });
+    }
+    let mut details: Vec<Vec<f64>> = Vec::with_capacity(levels);
+    let mut current = signal.to_vec();
+    for _ in 0..levels {
+        let (a, d) = dwt_single(&current, wavelet)?;
+        details.push(d);
+        current = a;
+    }
+    details.reverse(); // coarsest first
+    Ok(WaveletDecomposition {
+        wavelet,
+        levels,
+        original_len: signal.len(),
+        approximation: current,
+        details,
+    })
+}
+
+/// Reconstructs the original signal from a [`WaveletDecomposition`] (`waverec`).
+///
+/// # Errors
+///
+/// Returns the errors of [`idwt_single`] if the stored coefficient vectors are
+/// inconsistent (which cannot happen for values produced by [`wavedec`]).
+pub fn waverec(decomposition: &WaveletDecomposition) -> Result<Vec<f64>, DspError> {
+    let mut lengths = Vec::with_capacity(decomposition.levels);
+    let mut len = decomposition.original_len;
+    for _ in 0..decomposition.levels {
+        lengths.push(len);
+        len = len.div_ceil(2);
+    }
+    let mut current = decomposition.approximation.clone();
+    // details are stored coarsest-first; reconstruct from the deepest level up.
+    for (i, detail) in decomposition.details.iter().enumerate() {
+        let target_len = lengths[decomposition.levels - 1 - i];
+        current = idwt_single(&current, detail, decomposition.wavelet, target_len)?;
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn test_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / 256.0;
+                (2.0 * std::f64::consts::PI * 3.0 * t).sin()
+                    + 0.5 * (2.0 * std::f64::consts::PI * 17.0 * t).cos()
+                    + 0.1 * (i as f64 * 0.71).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn filters_have_expected_lengths() {
+        assert_eq!(Wavelet::Haar.filter_len(), 2);
+        assert_eq!(Wavelet::Daubechies2.filter_len(), 4);
+        assert_eq!(Wavelet::Daubechies4.filter_len(), 8);
+    }
+
+    #[test]
+    fn low_pass_filters_sum_to_sqrt_two() {
+        for w in [Wavelet::Haar, Wavelet::Daubechies2, Wavelet::Daubechies4] {
+            let sum: f64 = w.low_pass().iter().sum();
+            assert!((sum - std::f64::consts::SQRT_2).abs() < 1e-9, "{w}");
+        }
+    }
+
+    #[test]
+    fn high_pass_filters_sum_to_zero() {
+        for w in [Wavelet::Haar, Wavelet::Daubechies2, Wavelet::Daubechies4] {
+            let sum: f64 = w.high_pass().iter().sum();
+            assert!(sum.abs() < 1e-9, "{w}");
+        }
+    }
+
+    #[test]
+    fn filters_are_orthonormal() {
+        for w in [Wavelet::Haar, Wavelet::Daubechies2, Wavelet::Daubechies4] {
+            let low = w.low_pass();
+            let norm: f64 = low.iter().map(|c| c * c).sum();
+            assert!((norm - 1.0).abs() < 1e-9, "{w}");
+        }
+    }
+
+    #[test]
+    fn dwt_rejects_degenerate_inputs() {
+        assert!(dwt_single(&[], Wavelet::Haar).is_err());
+        assert!(dwt_single(&[1.0, 2.0, 3.0], Wavelet::Daubechies4).is_err());
+    }
+
+    #[test]
+    fn dwt_output_lengths() {
+        let x = test_signal(100);
+        let (a, d) = dwt_single(&x, Wavelet::Daubechies4).unwrap();
+        assert_eq!(a.len(), 50);
+        assert_eq!(d.len(), 50);
+        let x = test_signal(101);
+        let (a, d) = dwt_single(&x, Wavelet::Daubechies4).unwrap();
+        assert_eq!(a.len(), 51);
+        assert_eq!(d.len(), 51);
+    }
+
+    #[test]
+    fn single_level_perfect_reconstruction_even_length() {
+        for w in [Wavelet::Haar, Wavelet::Daubechies2, Wavelet::Daubechies4] {
+            let x = test_signal(256);
+            let (a, d) = dwt_single(&x, w).unwrap();
+            let rec = idwt_single(&a, &d, w, x.len()).unwrap();
+            assert!(max_abs_diff(&x, &rec) < 1e-9, "{w}");
+        }
+    }
+
+    #[test]
+    fn constant_signal_has_zero_details() {
+        let x = vec![3.0; 128];
+        let (_, d) = dwt_single(&x, Wavelet::Daubechies4).unwrap();
+        assert!(d.iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn db4_kills_cubic_polynomials_in_detail_band() {
+        // db4 has 4 vanishing moments, so details of a cubic are ~0 away from
+        // the periodic wrap-around boundary.
+        let x: Vec<f64> = (0..256)
+            .map(|i| {
+                let t = i as f64 / 256.0;
+                1.0 + t + t * t + t * t * t
+            })
+            .collect();
+        let (_, d) = dwt_single(&x, Wavelet::Daubechies4).unwrap();
+        // Ignore the last few coefficients affected by periodic wrap-around.
+        let interior = &d[..d.len() - 4];
+        assert!(interior.iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn wavedec_level7_on_paper_window() {
+        // 4-second window at 256 Hz = 1024 samples, decomposed to level 7.
+        let x = test_signal(1024);
+        let dec = wavedec(&x, Wavelet::Daubechies4, 7).unwrap();
+        assert_eq!(dec.levels(), 7);
+        assert_eq!(dec.approximation().len(), 8);
+        assert_eq!(dec.detail(1).unwrap().len(), 512);
+        assert_eq!(dec.detail(7).unwrap().len(), 8);
+        assert!(dec.detail(8).is_none());
+        assert!(dec.detail(0).is_none());
+    }
+
+    #[test]
+    fn wavedec_rejects_invalid_requests() {
+        let x = test_signal(64);
+        assert!(wavedec(&[], Wavelet::Daubechies4, 3).is_err());
+        assert!(wavedec(&x, Wavelet::Daubechies4, 0).is_err());
+        // 64 samples cannot support 7 levels of db4.
+        assert!(wavedec(&x, Wavelet::Daubechies4, 7).is_err());
+    }
+
+    #[test]
+    fn waverec_inverts_wavedec() {
+        for levels in 1..=5 {
+            let x = test_signal(1024);
+            let dec = wavedec(&x, Wavelet::Daubechies4, levels).unwrap();
+            let rec = waverec(&dec).unwrap();
+            assert_eq!(rec.len(), x.len());
+            assert!(max_abs_diff(&x, &rec) < 1e-8, "levels={levels}");
+        }
+    }
+
+    #[test]
+    fn waverec_inverts_wavedec_level7() {
+        let x = test_signal(1024);
+        let dec = wavedec(&x, Wavelet::Daubechies4, 7).unwrap();
+        let rec = waverec(&dec).unwrap();
+        assert!(max_abs_diff(&x, &rec) < 1e-8);
+    }
+
+    #[test]
+    fn energy_is_preserved_by_orthonormal_transform() {
+        let x = test_signal(512);
+        let dec = wavedec(&x, Wavelet::Daubechies4, 4).unwrap();
+        let coeff_energy: f64 = dec.approximation().iter().map(|c| c * c).sum::<f64>()
+            + dec
+                .details()
+                .iter()
+                .map(|d| d.iter().map(|c| c * c).sum::<f64>())
+                .sum::<f64>();
+        let signal_energy: f64 = x.iter().map(|v| v * v).sum();
+        assert!((coeff_energy - signal_energy).abs() / signal_energy < 1e-9);
+    }
+
+    #[test]
+    fn detail_band_frequencies_at_256hz() {
+        let x = test_signal(1024);
+        let dec = wavedec(&x, Wavelet::Daubechies4, 7).unwrap();
+        let (lo1, hi1) = dec.detail_band(1, 256.0).unwrap();
+        assert_eq!((lo1, hi1), (64.0, 128.0));
+        let (lo6, hi6) = dec.detail_band(6, 256.0).unwrap();
+        assert_eq!((lo6, hi6), (2.0, 4.0));
+        assert!(dec.detail_band(0, 256.0).is_none());
+        assert!(dec.detail_band(8, 256.0).is_none());
+    }
+
+    #[test]
+    fn max_level_matches_wmaxlev_convention() {
+        assert_eq!(Wavelet::Daubechies4.max_level(1024), 7);
+        assert_eq!(Wavelet::Haar.max_level(1024), 10);
+        assert_eq!(Wavelet::Daubechies4.max_level(4), 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Wavelet::Daubechies4.to_string(), "db4");
+        assert_eq!(Wavelet::Haar.to_string(), "haar");
+        assert_eq!(Wavelet::Daubechies2.to_string(), "db2");
+    }
+}

@@ -1,0 +1,158 @@
+//! Taper windows used by spectral estimation.
+
+use crate::error::DspError;
+
+/// Taper window shapes supported by [`coefficients`].
+///
+/// # Example
+///
+/// ```
+/// use seizure_dsp::window::{coefficients, WindowKind};
+///
+/// # fn main() -> Result<(), seizure_dsp::DspError> {
+/// let hann = coefficients(WindowKind::Hann, 8)?;
+/// assert_eq!(hann.len(), 8);
+/// assert!(hann[0] < 1e-12); // Hann starts at zero
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WindowKind {
+    /// Rectangular (boxcar) window: all coefficients equal to one.
+    Rectangular,
+    /// Hann window, the default choice for Welch PSD estimation.
+    #[default]
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window, with stronger side-lobe suppression.
+    Blackman,
+}
+
+/// Returns the coefficients of a window of the given kind and length.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if `len` is zero.
+pub fn coefficients(kind: WindowKind, len: usize) -> Result<Vec<f64>, DspError> {
+    if len == 0 {
+        return Err(DspError::InvalidParameter {
+            name: "len",
+            reason: "window length must be at least 1".to_string(),
+        });
+    }
+    if len == 1 {
+        return Ok(vec![1.0]);
+    }
+    let n = len as f64 - 1.0;
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let coeffs = (0..len)
+        .map(|i| {
+            let x = i as f64 / n;
+            match kind {
+                WindowKind::Rectangular => 1.0,
+                WindowKind::Hann => 0.5 - 0.5 * (two_pi * x).cos(),
+                WindowKind::Hamming => 0.54 - 0.46 * (two_pi * x).cos(),
+                WindowKind::Blackman => {
+                    0.42 - 0.5 * (two_pi * x).cos() + 0.08 * (2.0 * two_pi * x).cos()
+                }
+            }
+        })
+        .collect();
+    Ok(coeffs)
+}
+
+/// Multiplies `signal` element-wise by the window of the given kind.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if `signal` is empty.
+pub fn apply(kind: WindowKind, signal: &[f64]) -> Result<Vec<f64>, DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput {
+            operation: "window::apply",
+        });
+    }
+    let w = coefficients(kind, signal.len())?;
+    Ok(signal.iter().zip(w.iter()).map(|(s, c)| s * c).collect())
+}
+
+/// Sum of squared window coefficients, used to normalize PSD estimates so that
+/// power is preserved (the "window power" correction factor).
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if `len` is zero.
+pub fn power_correction(kind: WindowKind, len: usize) -> Result<f64, DspError> {
+    Ok(coefficients(kind, len)?.iter().map(|c| c * c).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        let w = coefficients(WindowKind::Rectangular, 16).unwrap();
+        assert!(w.iter().all(|&c| (c - 1.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn hann_is_symmetric_and_peaks_at_center() {
+        let w = coefficients(WindowKind::Hann, 33).unwrap();
+        for i in 0..w.len() {
+            assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-12);
+        }
+        assert!((w[16] - 1.0).abs() < 1e-12);
+        assert!(w[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints() {
+        let w = coefficients(WindowKind::Hamming, 11).unwrap();
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[10] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_is_nonnegative() {
+        let w = coefficients(WindowKind::Blackman, 64).unwrap();
+        assert!(w.iter().all(|&c| c >= -1e-12));
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        assert!(coefficients(WindowKind::Hann, 0).is_err());
+    }
+
+    #[test]
+    fn length_one_is_unity() {
+        assert_eq!(coefficients(WindowKind::Hann, 1).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn apply_multiplies_elementwise() {
+        let signal = vec![2.0; 8];
+        let windowed = apply(WindowKind::Hann, &signal).unwrap();
+        let w = coefficients(WindowKind::Hann, 8).unwrap();
+        for (x, c) in windowed.iter().zip(w.iter()) {
+            assert!((x - 2.0 * c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_empty_rejected() {
+        assert!(apply(WindowKind::Hann, &[]).is_err());
+    }
+
+    #[test]
+    fn power_correction_rectangular_equals_length() {
+        let p = power_correction(WindowKind::Rectangular, 50).unwrap();
+        assert!((p - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_kind_is_hann() {
+        assert_eq!(WindowKind::default(), WindowKind::Hann);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the edge-platform model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the edge-platform model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeError {
+    /// A model parameter was out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A duty-cycle budget exceeded 100 %.
+    DutyCycleOverflow {
+        /// Total requested duty cycle (1.0 = 100 %).
+        total: f64,
+    },
+}
+
+impl fmt::Display for EdgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            EdgeError::DutyCycleOverflow { total } => write!(
+                f,
+                "cpu duty cycles add up to {:.1} % which exceeds 100 %",
+                total * 100.0
+            ),
+        }
+    }
+}
+
+impl Error for EdgeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = EdgeError::InvalidParameter {
+            name: "battery",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("battery"));
+        let e = EdgeError::DutyCycleOverflow { total: 1.2 };
+        assert!(e.to_string().contains("120.0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EdgeError>();
+    }
+}

@@ -1,0 +1,51 @@
+//! # seizure-edge
+//!
+//! Analytic model of the wearable edge platform the paper evaluates on
+//! (§V-B, §VI-C): an STM32L151 ultra-low-power microcontroller (ARM
+//! Cortex-M3, 32 MHz, 48 KB RAM, 384 KB Flash) paired with an ADS1299
+//! biopotential front-end and a 570 mAh battery.
+//!
+//! The paper's battery-lifetime numbers are themselves computed from per-task
+//! currents and duty cycles (Table III); this crate reproduces that
+//! computation and exposes it as a reusable model:
+//!
+//! * [`platform`] — hardware specifications and per-task current draws,
+//! * [`tasks`] — duty-cycle derivation for acquisition, real-time detection,
+//!   a-posteriori labeling and idle,
+//! * [`energy`] — average current, energy breakdown (Fig. 5) and battery
+//!   lifetime (Table III) for any seizure frequency,
+//! * [`memory`] — RAM/Flash budget of the one-hour feature buffer,
+//! * [`timing`] — operation-count model of Algorithm 1 and the real-time
+//!   constraint check ("one second of signal is processed in one second").
+//!
+//! # Example
+//!
+//! ```
+//! use seizure_edge::energy::{EnergyModel, OperatingMode};
+//! use seizure_edge::platform::PlatformSpec;
+//!
+//! # fn main() -> Result<(), seizure_edge::EdgeError> {
+//! let model = EnergyModel::new(PlatformSpec::stm32l151_default());
+//! // Worst case of the paper: one seizure per day, labeling + detection.
+//! let report = model.lifetime(OperatingMode::Combined, 1.0)?;
+//! assert!((report.lifetime_days() - 2.59).abs() < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod error;
+pub mod memory;
+pub mod platform;
+pub mod tasks;
+pub mod timing;
+
+pub use energy::{EnergyModel, EnergyReport, OperatingMode};
+pub use error::EdgeError;
+pub use memory::MemoryModel;
+pub use platform::PlatformSpec;
+pub use tasks::{Task, TaskSet};
+pub use timing::TimingModel;

@@ -1,0 +1,224 @@
+//! Spectral band-power features.
+//!
+//! The clinical EEG bands used throughout the crate follow the paper: delta is
+//! [0.5, 4] Hz and theta is [4, 8] Hz; the remaining standard bands are provided
+//! for the rich feature set of the real-time detector.
+
+use crate::error::FeatureError;
+use seizure_dsp::spectrum::{band_power, periodogram, relative_band_power, PowerSpectrum};
+
+/// Standard clinical EEG frequency bands.
+///
+/// # Example
+///
+/// ```
+/// use seizure_features::bandpower::Band;
+///
+/// assert_eq!(Band::Theta.range(), (4.0, 8.0));
+/// assert_eq!(Band::Delta.range(), (0.5, 4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Band {
+    /// Delta band, [0.5, 4] Hz.
+    Delta,
+    /// Theta band, [4, 8] Hz.
+    Theta,
+    /// Alpha band, [8, 13] Hz.
+    Alpha,
+    /// Beta band, [13, 30] Hz.
+    Beta,
+    /// Gamma band, [30, 45] Hz (upper edge kept below typical notch filters).
+    Gamma,
+}
+
+impl Band {
+    /// All bands in ascending frequency order.
+    pub const ALL: [Band; 5] = [Band::Delta, Band::Theta, Band::Alpha, Band::Beta, Band::Gamma];
+
+    /// Frequency range `(low, high)` of the band in Hz.
+    pub fn range(&self) -> (f64, f64) {
+        match self {
+            Band::Delta => (0.5, 4.0),
+            Band::Theta => (4.0, 8.0),
+            Band::Alpha => (8.0, 13.0),
+            Band::Beta => (13.0, 30.0),
+            Band::Gamma => (30.0, 45.0),
+        }
+    }
+
+    /// Lowercase band name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Band::Delta => "delta",
+            Band::Theta => "theta",
+            Band::Alpha => "alpha",
+            Band::Beta => "beta",
+            Band::Gamma => "gamma",
+        }
+    }
+}
+
+impl std::fmt::Display for Band {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Band-power summary of one analysis window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandPowers {
+    /// Absolute power per band, ordered as [`Band::ALL`].
+    pub absolute: [f64; 5],
+    /// Relative power per band (absolute divided by total signal power).
+    pub relative: [f64; 5],
+    /// Total power over the whole spectrum.
+    pub total: f64,
+}
+
+impl BandPowers {
+    /// Absolute power of a specific band.
+    pub fn absolute(&self, band: Band) -> f64 {
+        self.absolute[Band::ALL.iter().position(|b| *b == band).expect("band in ALL")]
+    }
+
+    /// Relative power of a specific band.
+    pub fn relative(&self, band: Band) -> f64 {
+        self.relative[Band::ALL.iter().position(|b| *b == band).expect("band in ALL")]
+    }
+}
+
+/// Computes the absolute power of `band` in `window` sampled at `fs` Hz.
+///
+/// # Errors
+///
+/// Propagates [`FeatureError::Dsp`] from the underlying PSD estimation.
+pub fn total_band_power(window: &[f64], fs: f64, band: Band) -> Result<f64, FeatureError> {
+    let psd = periodogram(window, fs)?;
+    let (lo, hi) = band.range();
+    Ok(band_power(&psd, lo, hi)?)
+}
+
+/// Computes the relative power of `band` (power in the band divided by the
+/// total power of the window).
+///
+/// # Errors
+///
+/// Propagates [`FeatureError::Dsp`] from the underlying PSD estimation.
+pub fn total_relative_band_power(window: &[f64], fs: f64, band: Band) -> Result<f64, FeatureError> {
+    let psd = periodogram(window, fs)?;
+    let (lo, hi) = band.range();
+    Ok(relative_band_power(&psd, lo, hi)?)
+}
+
+/// Computes absolute and relative power for all five clinical bands from a
+/// single PSD estimate (cheaper than calling the per-band helpers repeatedly).
+///
+/// # Errors
+///
+/// Propagates [`FeatureError::Dsp`] from the underlying PSD estimation.
+pub fn all_band_powers(window: &[f64], fs: f64) -> Result<BandPowers, FeatureError> {
+    let psd = periodogram(window, fs)?;
+    Ok(band_powers_from_psd(&psd)?)
+}
+
+/// Computes absolute and relative band powers from an existing PSD.
+///
+/// # Errors
+///
+/// Propagates [`seizure_dsp::DspError`] if a band is malformed (cannot happen
+/// for the fixed clinical bands).
+pub fn band_powers_from_psd(psd: &PowerSpectrum) -> Result<BandPowers, seizure_dsp::DspError> {
+    let total = psd.total_power();
+    let mut absolute = [0.0; 5];
+    let mut relative = [0.0; 5];
+    for (i, band) in Band::ALL.iter().enumerate() {
+        let (lo, hi) = band.range();
+        absolute[i] = band_power(psd, lo, hi)?;
+        relative[i] = if total > 0.0 { absolute[i] / total } else { 0.0 };
+    }
+    Ok(BandPowers {
+        absolute,
+        relative,
+        total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, fs: f64, n: usize, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn band_ranges_match_paper() {
+        assert_eq!(Band::Delta.range(), (0.5, 4.0));
+        assert_eq!(Band::Theta.range(), (4.0, 8.0));
+        assert_eq!(Band::Alpha.range(), (8.0, 13.0));
+        assert_eq!(Band::Beta.range(), (13.0, 30.0));
+        assert_eq!(Band::Gamma.range(), (30.0, 45.0));
+    }
+
+    #[test]
+    fn band_display_names() {
+        assert_eq!(Band::Theta.to_string(), "theta");
+        assert_eq!(Band::Gamma.to_string(), "gamma");
+    }
+
+    #[test]
+    fn theta_tone_dominates_theta_band() {
+        let fs = 256.0;
+        let window = tone(6.0, fs, 1024, 1.0);
+        let theta = total_band_power(&window, fs, Band::Theta).unwrap();
+        let delta = total_band_power(&window, fs, Band::Delta).unwrap();
+        let beta = total_band_power(&window, fs, Band::Beta).unwrap();
+        assert!(theta > 10.0 * delta);
+        assert!(theta > 10.0 * beta);
+    }
+
+    #[test]
+    fn relative_power_of_pure_tone_is_near_one() {
+        let fs = 256.0;
+        let window = tone(6.0, fs, 1024, 3.0);
+        let rel = total_relative_band_power(&window, fs, Band::Theta).unwrap();
+        assert!(rel > 0.95);
+    }
+
+    #[test]
+    fn relative_powers_sum_to_at_most_one() {
+        let fs = 256.0;
+        let mut window = tone(2.0, fs, 1024, 1.0);
+        let t2 = tone(10.0, fs, 1024, 0.5);
+        for (a, b) in window.iter_mut().zip(t2.iter()) {
+            *a += b;
+        }
+        let bp = all_band_powers(&window, fs).unwrap();
+        let sum: f64 = bp.relative.iter().sum();
+        assert!(sum <= 1.0 + 1e-9);
+        assert!(bp.total > 0.0);
+    }
+
+    #[test]
+    fn accessors_are_consistent_with_arrays() {
+        let fs = 256.0;
+        let window = tone(6.0, fs, 512, 1.0);
+        let bp = all_band_powers(&window, fs).unwrap();
+        assert_eq!(bp.absolute(Band::Theta), bp.absolute[1]);
+        assert_eq!(bp.relative(Band::Delta), bp.relative[0]);
+    }
+
+    #[test]
+    fn empty_window_is_rejected() {
+        assert!(total_band_power(&[], 256.0, Band::Theta).is_err());
+        assert!(all_band_powers(&[], 256.0).is_err());
+    }
+
+    #[test]
+    fn zero_signal_has_zero_relative_power() {
+        let bp = all_band_powers(&vec![0.0; 512], 256.0).unwrap();
+        assert!(bp.relative.iter().all(|&r| r == 0.0));
+    }
+}

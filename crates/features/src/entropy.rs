@@ -1,0 +1,430 @@
+//! Nonlinear entropy features.
+//!
+//! The paper's selected feature set uses permutation entropy (Bandt & Pompe,
+//! 2002), Rényi entropy and sample entropy (Chen et al., 2005) computed on the
+//! detail coefficients of a Daubechies-4 wavelet decomposition. Approximate and
+//! Shannon entropy are provided in addition for the rich feature set.
+
+use crate::error::FeatureError;
+use seizure_dsp::stats;
+
+/// Permutation entropy of `data` with ordinal patterns of length `order` and
+/// the given `delay` between successive samples of a pattern.
+///
+/// The result is normalized by `ln(order!)` so it lies in `[0, 1]`, with 1
+/// corresponding to a fully random ordinal structure. If the series is too
+/// short to contain a single pattern the entropy is defined as `0`.
+///
+/// # Errors
+///
+/// Returns [`FeatureError::InvalidConfig`] if `order < 2` or `delay == 0`.
+///
+/// # Example
+///
+/// ```
+/// use seizure_features::entropy::permutation_entropy;
+///
+/// # fn main() -> Result<(), seizure_features::FeatureError> {
+/// // A monotonically increasing ramp has a single ordinal pattern -> entropy 0.
+/// let ramp: Vec<f64> = (0..100).map(|i| i as f64).collect();
+/// assert!(permutation_entropy(&ramp, 3, 1)? < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn permutation_entropy(data: &[f64], order: usize, delay: usize) -> Result<f64, FeatureError> {
+    if order < 2 {
+        return Err(FeatureError::InvalidConfig {
+            name: "order",
+            reason: format!("permutation order must be at least 2, got {order}"),
+        });
+    }
+    if delay == 0 {
+        return Err(FeatureError::InvalidConfig {
+            name: "delay",
+            reason: "delay must be at least 1".to_string(),
+        });
+    }
+    let span = (order - 1) * delay;
+    if data.len() <= span {
+        return Ok(0.0);
+    }
+    let num_patterns = data.len() - span;
+    let mut counts: std::collections::HashMap<Vec<u8>, usize> = std::collections::HashMap::new();
+    let mut indices: Vec<usize> = Vec::with_capacity(order);
+    for start in 0..num_patterns {
+        indices.clear();
+        indices.extend(0..order);
+        // Sort pattern positions by their sample values to obtain the ordinal rank.
+        indices.sort_by(|&a, &b| {
+            let va = data[start + a * delay];
+            let vb = data[start + b * delay];
+            va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let key: Vec<u8> = indices.iter().map(|&i| i as u8).collect();
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    let mut entropy = 0.0;
+    for &count in counts.values() {
+        let p = count as f64 / num_patterns as f64;
+        entropy -= p * p.ln();
+    }
+    let max_entropy = ln_factorial(order);
+    if max_entropy <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok((entropy / max_entropy).clamp(0.0, 1.0))
+}
+
+fn ln_factorial(n: usize) -> f64 {
+    (2..=n).map(|k| (k as f64).ln()).sum()
+}
+
+/// Shannon entropy (in nats) of the energy distribution of `data`.
+///
+/// Each sample contributes `p_i = x_i^2 / sum(x^2)`; this is the standard
+/// "wavelet entropy" construction when applied to sub-band coefficients. A
+/// zero-energy series has zero entropy.
+pub fn shannon_entropy(data: &[f64]) -> f64 {
+    let probs = energy_distribution(data);
+    let mut h = 0.0;
+    for p in probs {
+        if p > 0.0 {
+            h -= p * p.ln();
+        }
+    }
+    h
+}
+
+/// Rényi entropy of order `alpha` of the energy distribution of `data`.
+///
+/// For `alpha == 1` the Rényi entropy degenerates to the Shannon entropy; the
+/// paper uses the common quadratic case `alpha = 2` (see
+/// [`renyi_entropy_quadratic`]). A zero-energy series has zero entropy.
+///
+/// # Errors
+///
+/// Returns [`FeatureError::InvalidConfig`] if `alpha <= 0` or `alpha` is NaN.
+pub fn renyi_entropy(data: &[f64], alpha: f64) -> Result<f64, FeatureError> {
+    if alpha <= 0.0 || alpha.is_nan() {
+        return Err(FeatureError::InvalidConfig {
+            name: "alpha",
+            reason: format!("Rényi order must be positive, got {alpha}"),
+        });
+    }
+    if (alpha - 1.0).abs() < 1e-9 {
+        return Ok(shannon_entropy(data));
+    }
+    let probs = energy_distribution(data);
+    let sum: f64 = probs.iter().map(|p| p.powf(alpha)).sum();
+    if sum <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok(sum.ln() / (1.0 - alpha))
+}
+
+/// Quadratic (order-2) Rényi entropy, the variant used by the paper's feature
+/// set ("third level Rényi entropy" is this quantity computed on level-3 detail
+/// coefficients).
+pub fn renyi_entropy_quadratic(data: &[f64]) -> f64 {
+    renyi_entropy(data, 2.0).expect("alpha = 2 is always valid")
+}
+
+fn energy_distribution(data: &[f64]) -> Vec<f64> {
+    let total: f64 = data.iter().map(|x| x * x).sum();
+    if total <= 0.0 {
+        return vec![0.0; data.len()];
+    }
+    data.iter().map(|x| x * x / total).collect()
+}
+
+/// Sample entropy `SampEn(m, r)` of `data` with embedding dimension `m` and a
+/// tolerance of `r = k * std(data)`.
+///
+/// Sample entropy is the negative logarithm of the conditional probability that
+/// two sequences similar for `m` points remain similar at the next point,
+/// excluding self-matches. Following Chen et al. (2005) the tolerance is
+/// expressed as a fraction `k` of the standard deviation; the paper uses
+/// `k = 0.2` and `k = 0.35`. Degenerate cases (too few points, zero matches)
+/// return `0`.
+///
+/// # Errors
+///
+/// Returns [`FeatureError::InvalidConfig`] if `m == 0`, `k <= 0` or `k` is NaN.
+pub fn sample_entropy(data: &[f64], m: usize, k: f64) -> Result<f64, FeatureError> {
+    if m == 0 {
+        return Err(FeatureError::InvalidConfig {
+            name: "m",
+            reason: "embedding dimension must be at least 1".to_string(),
+        });
+    }
+    if k <= 0.0 || k.is_nan() {
+        return Err(FeatureError::InvalidConfig {
+            name: "k",
+            reason: format!("tolerance fraction must be positive, got {k}"),
+        });
+    }
+    if data.len() < m + 2 {
+        return Ok(0.0);
+    }
+    let sd = stats::std_dev(data).unwrap_or(0.0);
+    if sd == 0.0 {
+        // A constant series is perfectly regular.
+        return Ok(0.0);
+    }
+    let r = k * sd;
+    let count_m = count_similar(data, m, r);
+    let count_m1 = count_similar(data, m + 1, r);
+    if count_m == 0 || count_m1 == 0 {
+        return Ok(0.0);
+    }
+    Ok(-((count_m1 as f64) / (count_m as f64)).ln())
+}
+
+/// Counts pairs of template vectors of length `m` whose Chebyshev distance is
+/// at most `r` (self-matches excluded).
+fn count_similar(data: &[f64], m: usize, r: f64) -> usize {
+    if data.len() < m {
+        return 0;
+    }
+    let n = data.len() - m + 1;
+    let mut count = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut similar = true;
+            for k in 0..m {
+                if (data[i + k] - data[j + k]).abs() > r {
+                    similar = false;
+                    break;
+                }
+            }
+            if similar {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Approximate entropy `ApEn(m, r)` with tolerance `r = k * std(data)`.
+///
+/// Approximate entropy differs from sample entropy by including self-matches
+/// and averaging the per-template logarithms; it is part of the rich feature
+/// set (Ocak 2009 uses DWT + ApEn for seizure detection). Degenerate inputs
+/// return `0`.
+///
+/// # Errors
+///
+/// Returns [`FeatureError::InvalidConfig`] if `m == 0`, `k <= 0` or `k` is NaN.
+pub fn approximate_entropy(data: &[f64], m: usize, k: f64) -> Result<f64, FeatureError> {
+    if m == 0 {
+        return Err(FeatureError::InvalidConfig {
+            name: "m",
+            reason: "embedding dimension must be at least 1".to_string(),
+        });
+    }
+    if k <= 0.0 || k.is_nan() {
+        return Err(FeatureError::InvalidConfig {
+            name: "k",
+            reason: format!("tolerance fraction must be positive, got {k}"),
+        });
+    }
+    if data.len() < m + 2 {
+        return Ok(0.0);
+    }
+    let sd = stats::std_dev(data).unwrap_or(0.0);
+    if sd == 0.0 {
+        return Ok(0.0);
+    }
+    let r = k * sd;
+    let phi = |m: usize| -> f64 {
+        let n = data.len() - m + 1;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let mut count = 0usize;
+            for j in 0..n {
+                let mut similar = true;
+                for t in 0..m {
+                    if (data[i + t] - data[j + t]).abs() > r {
+                        similar = false;
+                        break;
+                    }
+                }
+                if similar {
+                    count += 1;
+                }
+            }
+            sum += ((count as f64) / (n as f64)).ln();
+        }
+        sum / n as f64
+    };
+    Ok(phi(m) - phi(m + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn permutation_entropy_of_monotone_series_is_zero() {
+        let ramp: Vec<f64> = (0..200).map(|i| i as f64 * 0.5).collect();
+        for order in [3, 5, 7] {
+            assert!(permutation_entropy(&ramp, order, 1).unwrap() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn permutation_entropy_of_random_series_is_high() {
+        let noise = pseudo_random(4000, 7);
+        let pe = permutation_entropy(&noise, 3, 1).unwrap();
+        assert!(pe > 0.95, "pe = {pe}");
+    }
+
+    #[test]
+    fn permutation_entropy_is_bounded() {
+        let noise = pseudo_random(500, 13);
+        for order in [3, 4, 5, 6, 7] {
+            let pe = permutation_entropy(&noise, order, 1).unwrap();
+            assert!((0.0..=1.0).contains(&pe));
+        }
+    }
+
+    #[test]
+    fn permutation_entropy_short_series_is_zero() {
+        assert_eq!(permutation_entropy(&[1.0, 2.0], 5, 1).unwrap(), 0.0);
+        assert_eq!(permutation_entropy(&[], 3, 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn permutation_entropy_invalid_parameters() {
+        assert!(permutation_entropy(&[1.0; 10], 1, 1).is_err());
+        assert!(permutation_entropy(&[1.0; 10], 3, 0).is_err());
+    }
+
+    #[test]
+    fn permutation_entropy_periodic_vs_random() {
+        let periodic: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.3).sin()).collect();
+        let random = pseudo_random(1000, 23);
+        let pe_per = permutation_entropy(&periodic, 5, 1).unwrap();
+        let pe_rand = permutation_entropy(&random, 5, 1).unwrap();
+        assert!(pe_rand > pe_per);
+    }
+
+    #[test]
+    fn shannon_entropy_uniform_energy_is_log_n() {
+        let data = vec![1.0; 16];
+        assert!((shannon_entropy(&data) - (16.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shannon_entropy_single_spike_is_zero() {
+        let mut data = vec![0.0; 32];
+        data[5] = 4.0;
+        assert!(shannon_entropy(&data).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shannon_entropy_zero_signal_is_zero() {
+        assert_eq!(shannon_entropy(&vec![0.0; 8]), 0.0);
+        assert_eq!(shannon_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn renyi_entropy_quadratic_uniform_is_log_n() {
+        let data = vec![2.0; 8];
+        assert!((renyi_entropy_quadratic(&data) - (8.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renyi_entropy_alpha_one_matches_shannon() {
+        let data = pseudo_random(64, 3);
+        let r1 = renyi_entropy(&data, 1.0).unwrap();
+        let sh = shannon_entropy(&data);
+        assert!((r1 - sh).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renyi_entropy_is_nonincreasing_in_alpha() {
+        let data = pseudo_random(128, 5);
+        let r1 = renyi_entropy(&data, 1.0).unwrap();
+        let r2 = renyi_entropy(&data, 2.0).unwrap();
+        let r3 = renyi_entropy(&data, 3.0).unwrap();
+        assert!(r1 + 1e-9 >= r2);
+        assert!(r2 + 1e-9 >= r3);
+    }
+
+    #[test]
+    fn renyi_entropy_rejects_bad_alpha() {
+        assert!(renyi_entropy(&[1.0, 2.0], 0.0).is_err());
+        assert!(renyi_entropy(&[1.0, 2.0], -1.0).is_err());
+        assert!(renyi_entropy(&[1.0, 2.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn renyi_entropy_zero_signal_is_zero() {
+        assert_eq!(renyi_entropy(&vec![0.0; 8], 2.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sample_entropy_of_constant_is_zero() {
+        assert_eq!(sample_entropy(&[3.0; 100], 2, 0.2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sample_entropy_of_random_exceeds_periodic() {
+        let periodic: Vec<f64> = (0..400).map(|i| (i as f64 * 0.2).sin()).collect();
+        let random = pseudo_random(400, 11);
+        let se_periodic = sample_entropy(&periodic, 2, 0.2).unwrap();
+        let se_random = sample_entropy(&random, 2, 0.2).unwrap();
+        assert!(se_random > se_periodic);
+    }
+
+    #[test]
+    fn sample_entropy_decreases_with_larger_tolerance() {
+        let data = pseudo_random(300, 17);
+        let tight = sample_entropy(&data, 2, 0.2).unwrap();
+        let loose = sample_entropy(&data, 2, 0.35).unwrap();
+        assert!(loose <= tight + 1e-9);
+    }
+
+    #[test]
+    fn sample_entropy_invalid_parameters() {
+        assert!(sample_entropy(&[1.0; 10], 0, 0.2).is_err());
+        assert!(sample_entropy(&[1.0; 10], 2, 0.0).is_err());
+        assert!(sample_entropy(&[1.0; 10], 2, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn sample_entropy_short_series_is_zero() {
+        assert_eq!(sample_entropy(&[1.0, 2.0], 2, 0.2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn approximate_entropy_of_constant_is_zero() {
+        assert_eq!(approximate_entropy(&[1.0; 64], 2, 0.2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn approximate_entropy_of_random_exceeds_periodic() {
+        let periodic: Vec<f64> = (0..200).map(|i| (i as f64 * 0.2).sin()).collect();
+        let random = pseudo_random(200, 31);
+        let ap_periodic = approximate_entropy(&periodic, 2, 0.2).unwrap();
+        let ap_random = approximate_entropy(&random, 2, 0.2).unwrap();
+        assert!(ap_random > ap_periodic);
+    }
+
+    #[test]
+    fn approximate_entropy_invalid_parameters() {
+        assert!(approximate_entropy(&[1.0; 10], 0, 0.2).is_err());
+        assert!(approximate_entropy(&[1.0; 10], 2, -0.5).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for feature extraction.
+
+use seizure_dsp::DspError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by feature-extraction routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeatureError {
+    /// The underlying DSP routine failed.
+    Dsp(DspError),
+    /// The provided signal is too short for the requested window configuration.
+    SignalTooShort {
+        /// Number of samples provided.
+        actual: usize,
+        /// Number of samples required.
+        required: usize,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// The two EEG channels do not have the same number of samples.
+    ChannelLengthMismatch {
+        /// Length of the first channel (F7T3).
+        left: usize,
+        /// Length of the second channel (F8T4).
+        right: usize,
+    },
+    /// A feature-matrix operation received inconsistent dimensions.
+    DimensionMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FeatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureError::Dsp(e) => write!(f, "signal processing failed: {e}"),
+            FeatureError::SignalTooShort { actual, required } => write!(
+                f,
+                "signal too short for feature extraction: {actual} samples, need at least {required}"
+            ),
+            FeatureError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+            FeatureError::ChannelLengthMismatch { left, right } => write!(
+                f,
+                "channel length mismatch: F7T3 has {left} samples, F8T4 has {right}"
+            ),
+            FeatureError::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for FeatureError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FeatureError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DspError> for FeatureError {
+    fn from(e: DspError) -> Self {
+        FeatureError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = FeatureError::SignalTooShort {
+            actual: 10,
+            required: 1024,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("1024"));
+
+        let e = FeatureError::ChannelLengthMismatch { left: 5, right: 6 };
+        assert!(e.to_string().contains("F7T3"));
+
+        let e = FeatureError::InvalidConfig {
+            name: "overlap",
+            reason: "must be in [0,1)".to_string(),
+        };
+        assert!(e.to_string().contains("overlap"));
+
+        let e: FeatureError = DspError::EmptyInput { operation: "fft" }.into();
+        assert!(e.to_string().contains("fft"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FeatureError>();
+    }
+}

@@ -1,0 +1,610 @@
+//! Sliding-window feature extraction over the two-channel EEG montage.
+//!
+//! The paper extracts features "from four-second windows with an overlap of
+//! 75 %, i.e. after the features from one window are extracted, the window
+//! slides by one second" (§III-A). Two feature sets are provided:
+//!
+//! * [`PaperFeatureSet`] — the ten backward-elimination-selected features used
+//!   by the a-posteriori labeling algorithm;
+//! * [`RichFeatureSet`] — a 54-feature catalogue (27 per channel) mirroring the
+//!   real-time random-forest detector of Sopic et al. (e-Glass, ISCAS 2018).
+
+use crate::bandpower::{band_powers_from_psd, Band};
+use crate::entropy::{
+    permutation_entropy, renyi_entropy_quadratic, sample_entropy, shannon_entropy,
+};
+use crate::error::FeatureError;
+use crate::hjorth::hjorth_parameters;
+use crate::matrix::FeatureMatrix;
+use crate::statistics::window_statistics;
+use crate::waveform::{line_length, nonlinear_energy, peak_to_peak, zero_crossings};
+use seizure_dsp::spectrum::periodogram;
+use seizure_dsp::wavelet::{wavedec, Wavelet, WaveletDecomposition};
+
+/// Sliding-window segmentation parameters.
+///
+/// # Example
+///
+/// ```
+/// use seizure_features::extractor::SlidingWindowConfig;
+///
+/// # fn main() -> Result<(), seizure_features::FeatureError> {
+/// let cfg = SlidingWindowConfig::paper_default(256.0)?;
+/// assert_eq!(cfg.window_samples(), 1024); // 4 s at 256 Hz
+/// assert_eq!(cfg.step_samples(), 256);    // 1 s step (75 % overlap)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlidingWindowConfig {
+    fs: f64,
+    window_samples: usize,
+    step_samples: usize,
+}
+
+impl SlidingWindowConfig {
+    /// Creates a configuration from a window length in seconds and a
+    /// fractional overlap in `[0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::InvalidConfig`] if the sampling frequency or the
+    /// window length is not positive, or the overlap lies outside `[0, 1)`.
+    pub fn new(fs: f64, window_secs: f64, overlap: f64) -> Result<Self, FeatureError> {
+        if fs <= 0.0 || fs.is_nan() {
+            return Err(FeatureError::InvalidConfig {
+                name: "fs",
+                reason: format!("sampling frequency must be positive, got {fs}"),
+            });
+        }
+        if window_secs <= 0.0 || window_secs.is_nan() {
+            return Err(FeatureError::InvalidConfig {
+                name: "window_secs",
+                reason: format!("window length must be positive, got {window_secs}"),
+            });
+        }
+        if !(0.0..1.0).contains(&overlap) {
+            return Err(FeatureError::InvalidConfig {
+                name: "overlap",
+                reason: format!("overlap must lie in [0, 1), got {overlap}"),
+            });
+        }
+        let window_samples = (window_secs * fs).round() as usize;
+        let step_samples = ((window_secs * (1.0 - overlap)) * fs).round().max(1.0) as usize;
+        if window_samples == 0 {
+            return Err(FeatureError::InvalidConfig {
+                name: "window_secs",
+                reason: "window must contain at least one sample".to_string(),
+            });
+        }
+        Ok(Self {
+            fs,
+            window_samples,
+            step_samples,
+        })
+    }
+
+    /// The paper's configuration: 4-second windows with 75 % overlap
+    /// (a one-second step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::InvalidConfig`] if `fs` is not positive.
+    pub fn paper_default(fs: f64) -> Result<Self, FeatureError> {
+        Self::new(fs, 4.0, 0.75)
+    }
+
+    /// Sampling frequency in Hz.
+    pub fn sampling_frequency(&self) -> f64 {
+        self.fs
+    }
+
+    /// Window length in samples.
+    pub fn window_samples(&self) -> usize {
+        self.window_samples
+    }
+
+    /// Hop between consecutive windows in samples.
+    pub fn step_samples(&self) -> usize {
+        self.step_samples
+    }
+
+    /// Window length in seconds.
+    pub fn window_seconds(&self) -> f64 {
+        self.window_samples as f64 / self.fs
+    }
+
+    /// Hop between consecutive windows in seconds.
+    pub fn step_seconds(&self) -> f64 {
+        self.step_samples as f64 / self.fs
+    }
+
+    /// Number of complete windows that fit into a signal of `signal_len`
+    /// samples.
+    pub fn num_windows(&self, signal_len: usize) -> usize {
+        if signal_len < self.window_samples {
+            0
+        } else {
+            (signal_len - self.window_samples) / self.step_samples + 1
+        }
+    }
+
+    /// Sample index at which window `index` starts.
+    pub fn window_start_sample(&self, index: usize) -> usize {
+        index * self.step_samples
+    }
+
+    /// Time in seconds at which window `index` starts.
+    pub fn window_start_seconds(&self, index: usize) -> f64 {
+        self.window_start_sample(index) as f64 / self.fs
+    }
+
+    /// Index of the first window that contains the given sample, clamped into
+    /// the valid range for a signal with `num_windows` windows.
+    pub fn sample_to_window_index(&self, sample: usize, num_windows: usize) -> usize {
+        if num_windows == 0 {
+            return 0;
+        }
+        (sample / self.step_samples).min(num_windows - 1)
+    }
+
+    /// Iterator over the window slices of `signal`.
+    pub fn windows<'a>(&self, signal: &'a [f64]) -> impl Iterator<Item = &'a [f64]> + 'a {
+        let window = self.window_samples;
+        let step = self.step_samples;
+        let count = self.num_windows(signal.len());
+        (0..count).map(move |i| &signal[i * step..i * step + window])
+    }
+}
+
+/// A feature extractor mapping one pair of channel windows to a feature vector.
+///
+/// Implementations must return vectors whose length equals
+/// [`FeatureExtractor::num_features`] and whose entries line up with
+/// [`FeatureExtractor::feature_names`].
+pub trait FeatureExtractor {
+    /// Names of the produced features, in output order.
+    fn feature_names(&self) -> Vec<String>;
+
+    /// Number of features produced per window.
+    fn num_features(&self) -> usize {
+        self.feature_names().len()
+    }
+
+    /// Extracts the feature vector of a single window from the two channels.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`FeatureError`] when the window is too short or
+    /// a numeric routine fails.
+    fn extract_window(&self, f7t3: &[f64], f8t4: &[f64]) -> Result<Vec<f64>, FeatureError>;
+
+    /// Extracts the full feature matrix by sliding `config`'s window over both
+    /// channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::ChannelLengthMismatch`] if the channels differ in
+    /// length and [`FeatureError::SignalTooShort`] if not even one window fits.
+    fn extract_matrix(
+        &self,
+        f7t3: &[f64],
+        f8t4: &[f64],
+        config: &SlidingWindowConfig,
+    ) -> Result<FeatureMatrix, FeatureError> {
+        if f7t3.len() != f8t4.len() {
+            return Err(FeatureError::ChannelLengthMismatch {
+                left: f7t3.len(),
+                right: f8t4.len(),
+            });
+        }
+        let count = config.num_windows(f7t3.len());
+        if count == 0 {
+            return Err(FeatureError::SignalTooShort {
+                actual: f7t3.len(),
+                required: config.window_samples(),
+            });
+        }
+        let mut matrix = FeatureMatrix::with_names(self.feature_names());
+        for (w1, w2) in config.windows(f7t3).zip(config.windows(f8t4)) {
+            matrix.push_row(self.extract_window(w1, w2)?)?;
+        }
+        Ok(matrix)
+    }
+}
+
+/// Decomposition depth used for the wavelet-domain entropy features.
+const PAPER_WAVELET_LEVELS: usize = 7;
+
+/// The paper's ten-feature set (§III-A), selected by backward elimination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperFeatureSet {
+    fs: f64,
+}
+
+impl PaperFeatureSet {
+    /// Creates the extractor for signals sampled at `fs` Hz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::InvalidConfig`] if `fs` is not positive.
+    pub fn new(fs: f64) -> Result<Self, FeatureError> {
+        if fs <= 0.0 || fs.is_nan() {
+            return Err(FeatureError::InvalidConfig {
+                name: "fs",
+                reason: format!("sampling frequency must be positive, got {fs}"),
+            });
+        }
+        Ok(Self { fs })
+    }
+
+    /// Sampling frequency the extractor was built for.
+    pub fn sampling_frequency(&self) -> f64 {
+        self.fs
+    }
+
+    fn decompose(&self, window: &[f64]) -> Result<WaveletDecomposition, FeatureError> {
+        let wavelet = Wavelet::Daubechies4;
+        let levels = PAPER_WAVELET_LEVELS.min(wavelet.max_level(window.len())).max(1);
+        Ok(wavedec(window, wavelet, levels)?)
+    }
+
+    /// Detail coefficients at the requested level, falling back to the deepest
+    /// available level when the window is too short for the nominal depth.
+    fn detail_at<'a>(dec: &'a WaveletDecomposition, level: usize) -> &'a [f64] {
+        let level = level.min(dec.levels()).max(1);
+        dec.detail(level).expect("level clamped into valid range")
+    }
+}
+
+impl FeatureExtractor for PaperFeatureSet {
+    fn feature_names(&self) -> Vec<String> {
+        vec![
+            "f7t3_theta_power".to_string(),
+            "f7t3_theta_relative_power".to_string(),
+            "f7t3_delta_power".to_string(),
+            "f8t4_theta_relative_power".to_string(),
+            "f8t4_d7_permutation_entropy_n5".to_string(),
+            "f8t4_d7_permutation_entropy_n7".to_string(),
+            "f8t4_d6_permutation_entropy_n7".to_string(),
+            "f8t4_d3_renyi_entropy".to_string(),
+            "f8t4_d6_sample_entropy_k020".to_string(),
+            "f8t4_d6_sample_entropy_k035".to_string(),
+        ]
+    }
+
+    fn extract_window(&self, f7t3: &[f64], f8t4: &[f64]) -> Result<Vec<f64>, FeatureError> {
+        if f7t3.is_empty() || f8t4.is_empty() {
+            return Err(FeatureError::SignalTooShort {
+                actual: f7t3.len().min(f8t4.len()),
+                required: 2,
+            });
+        }
+        // Spectral features of F7T3 and F8T4 from one periodogram each.
+        let psd_left = periodogram(f7t3, self.fs)?;
+        let left = band_powers_from_psd(&psd_left)?;
+        let psd_right = periodogram(f8t4, self.fs)?;
+        let right = band_powers_from_psd(&psd_right)?;
+
+        // Wavelet-domain nonlinear features of F8T4.
+        let dec = self.decompose(f8t4)?;
+        let d7 = Self::detail_at(&dec, 7);
+        let d6 = Self::detail_at(&dec, 6);
+        let d3 = Self::detail_at(&dec, 3);
+
+        Ok(vec![
+            left.absolute(Band::Theta),
+            left.relative(Band::Theta),
+            left.absolute(Band::Delta),
+            right.relative(Band::Theta),
+            permutation_entropy(d7, 5, 1)?,
+            permutation_entropy(d7, 7, 1)?,
+            permutation_entropy(d6, 7, 1)?,
+            renyi_entropy_quadratic(d3),
+            sample_entropy(d6, 2, 0.2)?,
+            sample_entropy(d6, 2, 0.35)?,
+        ])
+    }
+}
+
+/// A 54-feature catalogue (27 per electrode pair) mirroring the feature
+/// families of the e-Glass real-time detector: band powers, statistics,
+/// Hjorth descriptors, waveform features, permutation entropies and wavelet
+/// Shannon entropies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RichFeatureSet {
+    fs: f64,
+}
+
+/// Number of features [`RichFeatureSet`] produces per channel.
+const RICH_FEATURES_PER_CHANNEL: usize = 27;
+
+impl RichFeatureSet {
+    /// Creates the extractor for signals sampled at `fs` Hz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::InvalidConfig`] if `fs` is not positive.
+    pub fn new(fs: f64) -> Result<Self, FeatureError> {
+        if fs <= 0.0 || fs.is_nan() {
+            return Err(FeatureError::InvalidConfig {
+                name: "fs",
+                reason: format!("sampling frequency must be positive, got {fs}"),
+            });
+        }
+        Ok(Self { fs })
+    }
+
+    /// Sampling frequency the extractor was built for.
+    pub fn sampling_frequency(&self) -> f64 {
+        self.fs
+    }
+
+    fn channel_feature_names(channel: &str) -> Vec<String> {
+        let mut names = Vec::with_capacity(RICH_FEATURES_PER_CHANNEL);
+        for band in Band::ALL {
+            names.push(format!("{channel}_{band}_power"));
+        }
+        for band in Band::ALL {
+            names.push(format!("{channel}_{band}_relative_power"));
+        }
+        names.push(format!("{channel}_total_power"));
+        for stat in ["mean", "variance", "skewness", "kurtosis", "rms"] {
+            names.push(format!("{channel}_{stat}"));
+        }
+        names.push(format!("{channel}_hjorth_mobility"));
+        names.push(format!("{channel}_hjorth_complexity"));
+        for wf in ["line_length", "nonlinear_energy", "zero_crossings", "peak_to_peak"] {
+            names.push(format!("{channel}_{wf}"));
+        }
+        names.push(format!("{channel}_permutation_entropy_n3"));
+        names.push(format!("{channel}_permutation_entropy_n5"));
+        for level in [3, 4, 5] {
+            names.push(format!("{channel}_d{level}_shannon_entropy"));
+        }
+        names
+    }
+
+    fn channel_features(&self, window: &[f64]) -> Result<Vec<f64>, FeatureError> {
+        if window.len() < 3 {
+            return Err(FeatureError::SignalTooShort {
+                actual: window.len(),
+                required: 3,
+            });
+        }
+        let mut out = Vec::with_capacity(RICH_FEATURES_PER_CHANNEL);
+        let psd = periodogram(window, self.fs)?;
+        let bands = band_powers_from_psd(&psd)?;
+        out.extend_from_slice(&bands.absolute);
+        out.extend_from_slice(&bands.relative);
+        out.push(bands.total);
+
+        let stats = window_statistics(window)?;
+        out.extend_from_slice(&[
+            stats.mean,
+            stats.variance,
+            stats.skewness,
+            stats.kurtosis,
+            stats.rms,
+        ]);
+
+        let hjorth = hjorth_parameters(window)?;
+        out.push(hjorth.mobility);
+        out.push(hjorth.complexity);
+
+        out.push(line_length(window)?);
+        out.push(nonlinear_energy(window)?);
+        out.push(zero_crossings(window)? as f64);
+        out.push(peak_to_peak(window)?);
+
+        out.push(permutation_entropy(window, 3, 1)?);
+        out.push(permutation_entropy(window, 5, 1)?);
+
+        let wavelet = Wavelet::Daubechies4;
+        let levels = 5usize.min(wavelet.max_level(window.len())).max(1);
+        let dec = wavedec(window, wavelet, levels)?;
+        for level in [3usize, 4, 5] {
+            let level = level.min(dec.levels()).max(1);
+            let detail = dec.detail(level).expect("clamped level");
+            out.push(shannon_entropy(detail));
+        }
+        debug_assert_eq!(out.len(), RICH_FEATURES_PER_CHANNEL);
+        Ok(out)
+    }
+}
+
+impl FeatureExtractor for RichFeatureSet {
+    fn feature_names(&self) -> Vec<String> {
+        let mut names = Self::channel_feature_names("f7t3");
+        names.extend(Self::channel_feature_names("f8t4"));
+        names
+    }
+
+    fn extract_window(&self, f7t3: &[f64], f8t4: &[f64]) -> Result<Vec<f64>, FeatureError> {
+        let mut out = self.channel_features(f7t3)?;
+        out.extend(self.channel_features(f8t4)?);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, fs: f64, n: usize, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    fn two_channels(fs: f64, secs: f64) -> (Vec<f64>, Vec<f64>) {
+        let n = (fs * secs) as usize;
+        (tone(6.0, fs, n, 1.0), tone(3.0, fs, n, 0.8))
+    }
+
+    #[test]
+    fn config_paper_default_matches_paper() {
+        let cfg = SlidingWindowConfig::paper_default(256.0).unwrap();
+        assert_eq!(cfg.window_samples(), 1024);
+        assert_eq!(cfg.step_samples(), 256);
+        assert!((cfg.window_seconds() - 4.0).abs() < 1e-12);
+        assert!((cfg.step_seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SlidingWindowConfig::new(0.0, 4.0, 0.75).is_err());
+        assert!(SlidingWindowConfig::new(256.0, 0.0, 0.75).is_err());
+        assert!(SlidingWindowConfig::new(256.0, 4.0, 1.0).is_err());
+        assert!(SlidingWindowConfig::new(256.0, 4.0, -0.1).is_err());
+    }
+
+    #[test]
+    fn num_windows_formula() {
+        let cfg = SlidingWindowConfig::paper_default(256.0).unwrap();
+        // A 60-second signal at 256 Hz yields 57 four-second windows stepping by 1 s.
+        assert_eq!(cfg.num_windows(60 * 256), 57);
+        assert_eq!(cfg.num_windows(1024), 1);
+        assert_eq!(cfg.num_windows(1023), 0);
+    }
+
+    #[test]
+    fn window_index_time_mapping_roundtrip() {
+        let cfg = SlidingWindowConfig::paper_default(256.0).unwrap();
+        assert_eq!(cfg.window_start_sample(10), 2560);
+        assert!((cfg.window_start_seconds(10) - 10.0).abs() < 1e-12);
+        assert_eq!(cfg.sample_to_window_index(2560, 57), 10);
+        assert_eq!(cfg.sample_to_window_index(100_000, 57), 56);
+        assert_eq!(cfg.sample_to_window_index(100, 0), 0);
+    }
+
+    #[test]
+    fn windows_iterator_covers_signal() {
+        let cfg = SlidingWindowConfig::new(10.0, 1.0, 0.5).unwrap();
+        let signal: Vec<f64> = (0..35).map(|i| i as f64).collect();
+        let windows: Vec<&[f64]> = cfg.windows(&signal).collect();
+        assert_eq!(windows.len(), cfg.num_windows(35));
+        assert_eq!(windows[0][0], 0.0);
+        assert_eq!(windows[1][0], 5.0);
+        assert!(windows.iter().all(|w| w.len() == 10));
+    }
+
+    #[test]
+    fn paper_feature_set_has_ten_named_features() {
+        let ex = PaperFeatureSet::new(256.0).unwrap();
+        assert_eq!(ex.num_features(), 10);
+        assert_eq!(ex.feature_names().len(), 10);
+        assert!(ex.feature_names()[0].starts_with("f7t3"));
+        assert!(ex.feature_names()[9].starts_with("f8t4"));
+    }
+
+    #[test]
+    fn paper_feature_set_rejects_bad_fs() {
+        assert!(PaperFeatureSet::new(0.0).is_err());
+        assert!(RichFeatureSet::new(-1.0).is_err());
+    }
+
+    #[test]
+    fn paper_features_on_single_window() {
+        let fs = 256.0;
+        let ex = PaperFeatureSet::new(fs).unwrap();
+        let w1 = tone(6.0, fs, 1024, 2.0);
+        let w2 = tone(2.0, fs, 1024, 1.0);
+        let features = ex.extract_window(&w1, &w2).unwrap();
+        assert_eq!(features.len(), 10);
+        assert!(features.iter().all(|f| f.is_finite()));
+        // F7T3 carries a theta tone, so its relative theta power is high.
+        assert!(features[1] > 0.8);
+        // F8T4 carries a delta tone, so its relative theta power is low.
+        assert!(features[3] < 0.2);
+    }
+
+    #[test]
+    fn paper_features_empty_window_rejected() {
+        let ex = PaperFeatureSet::new(256.0).unwrap();
+        assert!(ex.extract_window(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn extract_matrix_dimensions() {
+        let fs = 256.0;
+        let (a, b) = two_channels(fs, 20.0);
+        let cfg = SlidingWindowConfig::paper_default(fs).unwrap();
+        let ex = PaperFeatureSet::new(fs).unwrap();
+        let m = ex.extract_matrix(&a, &b, &cfg).unwrap();
+        assert_eq!(m.num_features(), 10);
+        assert_eq!(m.num_windows(), cfg.num_windows(a.len()));
+    }
+
+    #[test]
+    fn extract_matrix_rejects_mismatched_channels() {
+        let fs = 256.0;
+        let (a, mut b) = two_channels(fs, 10.0);
+        b.pop();
+        let cfg = SlidingWindowConfig::paper_default(fs).unwrap();
+        let ex = PaperFeatureSet::new(fs).unwrap();
+        assert!(matches!(
+            ex.extract_matrix(&a, &b, &cfg),
+            Err(FeatureError::ChannelLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn extract_matrix_rejects_short_signal() {
+        let fs = 256.0;
+        let a = tone(5.0, fs, 512, 1.0);
+        let cfg = SlidingWindowConfig::paper_default(fs).unwrap();
+        let ex = PaperFeatureSet::new(fs).unwrap();
+        assert!(matches!(
+            ex.extract_matrix(&a, &a, &cfg),
+            Err(FeatureError::SignalTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn rich_feature_set_has_54_features() {
+        let ex = RichFeatureSet::new(256.0).unwrap();
+        assert_eq!(ex.num_features(), 54);
+        let names = ex.feature_names();
+        assert_eq!(names.len(), 54);
+        // Names must be unique.
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), 54);
+    }
+
+    #[test]
+    fn rich_features_on_single_window() {
+        let fs = 256.0;
+        let ex = RichFeatureSet::new(fs).unwrap();
+        let w1 = tone(6.0, fs, 1024, 2.0);
+        let w2 = tone(25.0, fs, 1024, 1.0);
+        let features = ex.extract_window(&w1, &w2).unwrap();
+        assert_eq!(features.len(), 54);
+        assert!(features.iter().all(|f| f.is_finite()));
+    }
+
+    #[test]
+    fn rich_features_distinguish_amplitude_change() {
+        let fs = 256.0;
+        let ex = RichFeatureSet::new(fs).unwrap();
+        let quiet = tone(6.0, fs, 1024, 0.5);
+        let loud = tone(6.0, fs, 1024, 3.0);
+        let f_quiet = ex.extract_window(&quiet, &quiet).unwrap();
+        let f_loud = ex.extract_window(&loud, &loud).unwrap();
+        let names = ex.feature_names();
+        let ll_idx = names.iter().position(|n| n == "f7t3_line_length").unwrap();
+        assert!(f_loud[ll_idx] > 3.0 * f_quiet[ll_idx]);
+    }
+
+    #[test]
+    fn short_windows_still_produce_paper_features() {
+        // A 1-second window at 64 Hz cannot support 7 wavelet levels; the
+        // extractor clamps to the deepest available level instead of failing.
+        let fs = 64.0;
+        let ex = PaperFeatureSet::new(fs).unwrap();
+        let w = tone(5.0, fs, 64, 1.0);
+        let features = ex.extract_window(&w, &w).unwrap();
+        assert_eq!(features.len(), 10);
+        assert!(features.iter().all(|f| f.is_finite()));
+    }
+}

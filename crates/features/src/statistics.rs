@@ -1,0 +1,94 @@
+//! Per-window statistical descriptors (mean, variance, skewness, kurtosis,
+//! RMS) used by the rich feature set of the real-time detector.
+
+use crate::error::FeatureError;
+use seizure_dsp::stats;
+
+/// Statistical summary of one analysis window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowStatistics {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Skewness (third standardized moment).
+    pub skewness: f64,
+    /// Excess kurtosis (fourth standardized moment minus 3).
+    pub kurtosis: f64,
+    /// Root mean square.
+    pub rms: f64,
+}
+
+/// Computes the statistical summary of `window`.
+///
+/// # Errors
+///
+/// Returns [`FeatureError::SignalTooShort`] if the window is empty.
+///
+/// # Example
+///
+/// ```
+/// use seizure_features::statistics::window_statistics;
+///
+/// # fn main() -> Result<(), seizure_features::FeatureError> {
+/// let s = window_statistics(&[1.0, 2.0, 3.0, 4.0])?;
+/// assert_eq!(s.mean, 2.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn window_statistics(window: &[f64]) -> Result<WindowStatistics, FeatureError> {
+    if window.is_empty() {
+        return Err(FeatureError::SignalTooShort {
+            actual: 0,
+            required: 1,
+        });
+    }
+    Ok(WindowStatistics {
+        mean: stats::mean(window)?,
+        variance: stats::variance(window)?,
+        skewness: stats::skewness(window)?,
+        kurtosis: stats::kurtosis(window)?,
+        rms: stats::rms(window)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_rejected() {
+        assert!(window_statistics(&[]).is_err());
+    }
+
+    #[test]
+    fn summary_of_simple_data() {
+        let s = window_statistics(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.variance - 4.0).abs() < 1e-12);
+        assert!(s.rms > s.mean); // RMS exceeds mean for non-constant positive data
+    }
+
+    #[test]
+    fn symmetric_data_has_zero_skewness() {
+        let s = window_statistics(&[-3.0, -1.0, 0.0, 1.0, 3.0]).unwrap();
+        assert!(s.skewness.abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_window_is_degenerate_but_finite() {
+        let s = window_statistics(&[4.0; 16]).unwrap();
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.skewness, 0.0);
+        assert_eq!(s.kurtosis, 0.0);
+        assert_eq!(s.rms, 4.0);
+    }
+
+    #[test]
+    fn spiky_data_has_positive_kurtosis() {
+        let mut data = vec![0.0; 100];
+        data[50] = 10.0;
+        let s = window_statistics(&data).unwrap();
+        assert!(s.kurtosis > 10.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Time-domain waveform features: line length, nonlinear (Teager) energy,
+//! zero crossings and peak-to-peak amplitude.
+//!
+//! These cheap descriptors are prominent in embedded seizure detectors because
+//! they track the amplitude/frequency increase of ictal EEG at negligible
+//! computational cost; they belong to the rich feature catalogue of the
+//! real-time detector.
+
+use crate::error::FeatureError;
+
+/// Line length: the sum of absolute first differences of the window.
+///
+/// # Errors
+///
+/// Returns [`FeatureError::SignalTooShort`] if the window has fewer than two
+/// samples.
+///
+/// # Example
+///
+/// ```
+/// use seizure_features::waveform::line_length;
+///
+/// # fn main() -> Result<(), seizure_features::FeatureError> {
+/// assert_eq!(line_length(&[0.0, 1.0, -1.0])?, 3.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn line_length(window: &[f64]) -> Result<f64, FeatureError> {
+    if window.len() < 2 {
+        return Err(FeatureError::SignalTooShort {
+            actual: window.len(),
+            required: 2,
+        });
+    }
+    Ok(window.windows(2).map(|w| (w[1] - w[0]).abs()).sum())
+}
+
+/// Mean Teager–Kaiser nonlinear energy: `mean(x[n]^2 - x[n-1] * x[n+1])`.
+///
+/// # Errors
+///
+/// Returns [`FeatureError::SignalTooShort`] if the window has fewer than three
+/// samples.
+pub fn nonlinear_energy(window: &[f64]) -> Result<f64, FeatureError> {
+    if window.len() < 3 {
+        return Err(FeatureError::SignalTooShort {
+            actual: window.len(),
+            required: 3,
+        });
+    }
+    let sum: f64 = window
+        .windows(3)
+        .map(|w| w[1] * w[1] - w[0] * w[2])
+        .sum();
+    Ok(sum / (window.len() - 2) as f64)
+}
+
+/// Number of zero crossings in the window.
+///
+/// # Errors
+///
+/// Returns [`FeatureError::SignalTooShort`] if the window has fewer than two
+/// samples.
+pub fn zero_crossings(window: &[f64]) -> Result<usize, FeatureError> {
+    if window.len() < 2 {
+        return Err(FeatureError::SignalTooShort {
+            actual: window.len(),
+            required: 2,
+        });
+    }
+    Ok(window
+        .windows(2)
+        .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
+        .count())
+}
+
+/// Peak-to-peak amplitude (max minus min) of the window.
+///
+/// # Errors
+///
+/// Returns [`FeatureError::SignalTooShort`] if the window is empty.
+pub fn peak_to_peak(window: &[f64]) -> Result<f64, FeatureError> {
+    if window.is_empty() {
+        return Err(FeatureError::SignalTooShort {
+            actual: 0,
+            required: 1,
+        });
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in window {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    Ok(hi - lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, fs: f64, n: usize, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn line_length_known_value() {
+        assert_eq!(line_length(&[0.0, 2.0, -1.0, -1.0]).unwrap(), 5.0);
+        assert!(line_length(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn line_length_grows_with_amplitude_and_frequency() {
+        let base = line_length(&tone(5.0, 256.0, 1024, 1.0)).unwrap();
+        let louder = line_length(&tone(5.0, 256.0, 1024, 3.0)).unwrap();
+        let faster = line_length(&tone(20.0, 256.0, 1024, 1.0)).unwrap();
+        assert!(louder > 2.5 * base);
+        assert!(faster > 2.5 * base);
+    }
+
+    #[test]
+    fn nonlinear_energy_of_constant_is_zero() {
+        assert!(nonlinear_energy(&[2.0; 32]).unwrap().abs() < 1e-12);
+        assert!(nonlinear_energy(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn nonlinear_energy_tracks_amplitude_times_frequency() {
+        // Teager energy of A*sin(w n) is approximately A^2 sin^2(w).
+        let fs = 256.0;
+        let e1 = nonlinear_energy(&tone(4.0, fs, 4096, 1.0)).unwrap();
+        let e2 = nonlinear_energy(&tone(8.0, fs, 4096, 1.0)).unwrap();
+        let e3 = nonlinear_energy(&tone(4.0, fs, 4096, 2.0)).unwrap();
+        assert!(e2 > 3.0 * e1); // frequency doubled -> ~4x
+        assert!((e3 / e1 - 4.0).abs() < 0.2); // amplitude doubled -> 4x
+    }
+
+    #[test]
+    fn zero_crossings_of_sine() {
+        // A 4 Hz sine over 4 s crosses zero about 2 * 4 * 4 = 32 times.
+        let zc = zero_crossings(&tone(4.0, 256.0, 1024, 1.0)).unwrap();
+        assert!((31..=33).contains(&zc), "zc = {zc}");
+        assert!(zero_crossings(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn zero_crossings_of_positive_signal_is_zero() {
+        assert_eq!(zero_crossings(&[1.0, 2.0, 0.5, 3.0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn peak_to_peak_known_value() {
+        assert_eq!(peak_to_peak(&[-1.0, 4.0, 2.0]).unwrap(), 5.0);
+        assert_eq!(peak_to_peak(&[2.0; 8]).unwrap(), 0.0);
+        assert!(peak_to_peak(&[]).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! Labeled design-matrix container.
+
+use crate::error::MlError;
+
+/// A binary-classification dataset: one feature vector per sample and a
+/// boolean label (`true` = seizure window, `false` = seizure-free window).
+///
+/// # Example
+///
+/// ```
+/// use seizure_ml::Dataset;
+///
+/// # fn main() -> Result<(), seizure_ml::MlError> {
+/// let data = Dataset::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![false, true])?;
+/// assert_eq!(data.len(), 2);
+/// assert_eq!(data.num_features(), 2);
+/// assert_eq!(data.num_positive(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<bool>,
+}
+
+impl Dataset {
+    /// Creates a dataset from feature rows and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidDataset`] if the dataset is empty, the label
+    /// count differs from the row count, or rows have inconsistent lengths.
+    pub fn new(features: Vec<Vec<f64>>, labels: Vec<bool>) -> Result<Self, MlError> {
+        if features.is_empty() {
+            return Err(MlError::InvalidDataset {
+                detail: "dataset must contain at least one sample".to_string(),
+            });
+        }
+        if features.len() != labels.len() {
+            return Err(MlError::InvalidDataset {
+                detail: format!(
+                    "{} feature rows but {} labels",
+                    features.len(),
+                    labels.len()
+                ),
+            });
+        }
+        let width = features[0].len();
+        if width == 0 {
+            return Err(MlError::InvalidDataset {
+                detail: "feature rows must contain at least one feature".to_string(),
+            });
+        }
+        if let Some(bad) = features.iter().find(|r| r.len() != width) {
+            return Err(MlError::InvalidDataset {
+                detail: format!(
+                    "inconsistent row length: expected {width}, found {}",
+                    bad.len()
+                ),
+            });
+        }
+        Ok(Self { features, labels })
+    }
+
+    /// Builds an empty dataset accumulator with no validation; rows are added
+    /// with [`Dataset::push`]. Useful when assembling training sets
+    /// incrementally.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Appends one labeled sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidDataset`] if the row length differs from the
+    /// existing rows.
+    pub fn push(&mut self, row: Vec<f64>, label: bool) -> Result<(), MlError> {
+        if let Some(first) = self.features.first() {
+            if row.len() != first.len() {
+                return Err(MlError::InvalidDataset {
+                    detail: format!(
+                        "inconsistent row length: expected {}, found {}",
+                        first.len(),
+                        row.len()
+                    ),
+                });
+            }
+        } else if row.is_empty() {
+            return Err(MlError::InvalidDataset {
+                detail: "feature rows must contain at least one feature".to_string(),
+            });
+        }
+        self.features.push(row);
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// Appends all samples of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidDataset`] if the feature widths differ.
+    pub fn extend(&mut self, other: &Dataset) -> Result<(), MlError> {
+        for (row, &label) in other.features.iter().zip(other.labels.iter()) {
+            self.push(row.clone(), label)?;
+        }
+        Ok(())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Returns `true` if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of features per sample (0 for an empty accumulator).
+    pub fn num_features(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Feature rows.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// Labels, aligned with [`Dataset::features`].
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Number of positive (seizure) samples.
+    pub fn num_positive(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Number of negative (seizure-free) samples.
+    pub fn num_negative(&self) -> usize {
+        self.len() - self.num_positive()
+    }
+
+    /// Returns the sub-dataset at the given sample indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if any index is out of range or
+    /// the selection is empty.
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset, MlError> {
+        if indices.is_empty() {
+            return Err(MlError::DimensionMismatch {
+                detail: "cannot build an empty subset".to_string(),
+            });
+        }
+        let mut features = Vec::with_capacity(indices.len());
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(MlError::DimensionMismatch {
+                    detail: format!("sample index {i} out of range for {} samples", self.len()),
+                });
+            }
+            features.push(self.features[i].clone());
+            labels.push(self.labels[i]);
+        }
+        Dataset::new(features, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Dataset::new(vec![], vec![]).is_err());
+        assert!(Dataset::new(vec![vec![1.0]], vec![]).is_err());
+        assert!(Dataset::new(vec![vec![]], vec![true]).is_err());
+        assert!(Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![true, false]).is_err());
+        assert!(Dataset::new(vec![vec![1.0], vec![2.0]], vec![true, false]).is_ok());
+    }
+
+    #[test]
+    fn counts_and_accessors() {
+        let d = Dataset::new(
+            vec![vec![1.0, 0.0], vec![2.0, 1.0], vec![3.0, 0.0]],
+            vec![true, false, true],
+        )
+        .unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.num_positive(), 2);
+        assert_eq!(d.num_negative(), 1);
+        assert_eq!(d.features()[1][0], 2.0);
+        assert_eq!(d.labels()[2], true);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn push_and_extend() {
+        let mut d = Dataset::empty();
+        assert!(d.is_empty());
+        d.push(vec![1.0, 2.0], true).unwrap();
+        assert!(d.push(vec![1.0], false).is_err());
+        d.push(vec![3.0, 4.0], false).unwrap();
+        assert_eq!(d.len(), 2);
+
+        let other = Dataset::new(vec![vec![5.0, 6.0]], vec![true]).unwrap();
+        d.extend(&other).unwrap();
+        assert_eq!(d.len(), 3);
+
+        let incompatible = Dataset::new(vec![vec![1.0]], vec![true]).unwrap();
+        assert!(d.extend(&incompatible).is_err());
+    }
+
+    #[test]
+    fn push_into_empty_rejects_empty_row() {
+        let mut d = Dataset::empty();
+        assert!(d.push(vec![], true).is_err());
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = Dataset::new(
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+            vec![true, false, true],
+        )
+        .unwrap();
+        let s = d.subset(&[2, 0]).unwrap();
+        assert_eq!(s.features()[0][0], 3.0);
+        assert_eq!(s.labels(), &[true, true]);
+        assert!(d.subset(&[]).is_err());
+        assert!(d.subset(&[9]).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the machine-learning substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the machine-learning substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// The dataset is empty or its rows/labels are inconsistent.
+    InvalidDataset {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// A hyper-parameter was out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The model has not been fitted or received incompatible input at
+    /// prediction time.
+    DimensionMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::InvalidDataset { detail } => write!(f, "invalid dataset: {detail}"),
+            MlError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            MlError::DimensionMismatch { detail } => write!(f, "dimension mismatch: {detail}"),
+        }
+    }
+}
+
+impl Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MlError::InvalidDataset {
+            detail: "empty".into()
+        }
+        .to_string()
+        .contains("empty"));
+        assert!(MlError::InvalidParameter {
+            name: "n_trees",
+            reason: "must be positive".into()
+        }
+        .to_string()
+        .contains("n_trees"));
+        assert!(MlError::DimensionMismatch {
+            detail: "3 vs 4".into()
+        }
+        .to_string()
+        .contains("3 vs 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MlError>();
+    }
+}

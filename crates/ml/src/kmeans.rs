@@ -1,0 +1,289 @@
+//! k-means clustering.
+//!
+//! k-means (with k-means++ initialization) is one of the two unsupervised
+//! baselines the paper's related work identifies as the best-performing
+//! clustering approach for seizure detection (Smart & Chen, CIBCB 2015); the
+//! baseline experiment compares it against the supervised random forest.
+
+use crate::error::MlError;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Hyper-parameters of [`KMeans::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the total centroid movement.
+    pub tolerance: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            max_iterations: 100,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// A fitted k-means model.
+///
+/// # Example
+///
+/// ```
+/// use seizure_ml::kmeans::{KMeans, KMeansConfig};
+///
+/// # fn main() -> Result<(), seizure_ml::MlError> {
+/// let points = vec![
+///     vec![0.0, 0.0], vec![0.1, -0.1], vec![-0.2, 0.1],
+///     vec![5.0, 5.0], vec![5.1, 4.9], vec![4.8, 5.2],
+/// ];
+/// let model = KMeans::fit(&points, &KMeansConfig::default(), 1)?;
+/// let a = model.predict(&[0.0, 0.1]);
+/// let b = model.predict(&[5.0, 5.0]);
+/// assert_ne!(a, b);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    inertia: f64,
+    iterations: usize,
+}
+
+/// Squared Euclidean distance between two equally long vectors.
+pub(crate) fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KMeans {
+    /// Fits k-means to `points` with k-means++ initialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidDataset`] if `points` is empty or rows have
+    /// inconsistent lengths, and [`MlError::InvalidParameter`] if `k` is zero
+    /// or exceeds the number of points.
+    pub fn fit(points: &[Vec<f64>], config: &KMeansConfig, seed: u64) -> Result<Self, MlError> {
+        validate_points(points)?;
+        if config.k == 0 || config.k > points.len() {
+            return Err(MlError::InvalidParameter {
+                name: "k",
+                reason: format!("k must lie in [1, {}], got {}", points.len(), config.k),
+            });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut centroids = plus_plus_init(points, config.k, &mut rng);
+        let mut assignments = vec![0usize; points.len()];
+        let mut iterations = 0;
+
+        for iter in 0..config.max_iterations {
+            iterations = iter + 1;
+            // Assignment step.
+            for (i, p) in points.iter().enumerate() {
+                assignments[i] = nearest_centroid(p, &centroids).0;
+            }
+            // Update step.
+            let mut new_centroids = vec![vec![0.0; points[0].len()]; config.k];
+            let mut counts = vec![0usize; config.k];
+            for (p, &a) in points.iter().zip(assignments.iter()) {
+                counts[a] += 1;
+                for (acc, v) in new_centroids[a].iter_mut().zip(p.iter()) {
+                    *acc += v;
+                }
+            }
+            for (c, (centroid, count)) in new_centroids.iter_mut().zip(counts.iter()).enumerate() {
+                if *count == 0 {
+                    // Re-seed an empty cluster at a random point.
+                    let idx = rng.gen_range(0..points.len());
+                    *centroid = points[idx].clone();
+                } else {
+                    for v in centroid.iter_mut() {
+                        *v /= *count as f64;
+                    }
+                    let _ = c;
+                }
+            }
+            let movement: f64 = centroids
+                .iter()
+                .zip(new_centroids.iter())
+                .map(|(a, b)| squared_distance(a, b))
+                .sum();
+            centroids = new_centroids;
+            if movement < config.tolerance {
+                break;
+            }
+        }
+
+        let inertia = points
+            .iter()
+            .map(|p| nearest_centroid(p, &centroids).1)
+            .sum();
+        Ok(Self {
+            centroids,
+            inertia,
+            iterations,
+        })
+    }
+
+    /// Cluster centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Sum of squared distances of every training point to its centroid.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Number of Lloyd iterations performed during fitting.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Index of the centroid closest to `point`.
+    pub fn predict(&self, point: &[f64]) -> usize {
+        nearest_centroid(point, &self.centroids).0
+    }
+
+    /// Cluster assignment for a batch of points.
+    pub fn predict_batch(&self, points: &[Vec<f64>]) -> Vec<usize> {
+        points.iter().map(|p| self.predict(p)).collect()
+    }
+}
+
+pub(crate) fn validate_points(points: &[Vec<f64>]) -> Result<(), MlError> {
+    if points.is_empty() {
+        return Err(MlError::InvalidDataset {
+            detail: "clustering needs at least one point".to_string(),
+        });
+    }
+    let width = points[0].len();
+    if width == 0 || points.iter().any(|p| p.len() != width) {
+        return Err(MlError::InvalidDataset {
+            detail: "points must be non-empty and of equal dimension".to_string(),
+        });
+    }
+    Ok(())
+}
+
+fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = squared_distance(point, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+fn plus_plus_init<R: Rng>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let distances: Vec<f64> = points
+            .iter()
+            .map(|p| nearest_centroid(p, &centroids).1)
+            .collect();
+        let total: f64 = distances.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (i, d) in distances.iter().enumerate() {
+            if target <= *d {
+                chosen = i;
+                break;
+            }
+            target -= d;
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut points = Vec::new();
+        for i in 0..30 {
+            let j = (i * 17 % 7) as f64 / 7.0 - 0.5;
+            points.push(vec![j * 0.5, -j * 0.3]);
+            points.push(vec![10.0 + j * 0.5, 10.0 - j * 0.4]);
+        }
+        points
+    }
+
+    #[test]
+    fn separates_two_well_separated_blobs() {
+        let points = two_blobs();
+        let model = KMeans::fit(&points, &KMeansConfig::default(), 3).unwrap();
+        let near_origin = model.predict(&[0.0, 0.0]);
+        let far = model.predict(&[10.0, 10.0]);
+        assert_ne!(near_origin, far);
+        // All points in each blob share their blob's cluster.
+        for (i, p) in points.iter().enumerate() {
+            let expected = if i % 2 == 0 { near_origin } else { far };
+            assert_eq!(model.predict(p), expected);
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let points = two_blobs();
+        let k1 = KMeans::fit(&points, &KMeansConfig { k: 1, ..Default::default() }, 1).unwrap();
+        let k2 = KMeans::fit(&points, &KMeansConfig { k: 2, ..Default::default() }, 1).unwrap();
+        let k4 = KMeans::fit(&points, &KMeansConfig { k: 4, ..Default::default() }, 1).unwrap();
+        assert!(k2.inertia() < k1.inertia());
+        assert!(k4.inertia() <= k2.inertia() + 1e-9);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(KMeans::fit(&[], &KMeansConfig::default(), 0).is_err());
+        let points = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(KMeans::fit(&points, &KMeansConfig::default(), 0).is_err());
+        let points = vec![vec![1.0], vec![2.0]];
+        assert!(KMeans::fit(&points, &KMeansConfig { k: 0, ..Default::default() }, 0).is_err());
+        assert!(KMeans::fit(&points, &KMeansConfig { k: 5, ..Default::default() }, 0).is_err());
+    }
+
+    #[test]
+    fn fit_is_deterministic_in_seed() {
+        let points = two_blobs();
+        let a = KMeans::fit(&points, &KMeansConfig::default(), 7).unwrap();
+        let b = KMeans::fit(&points, &KMeansConfig::default(), 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_points_do_not_panic() {
+        let points = vec![vec![3.0, 3.0]; 10];
+        let model = KMeans::fit(&points, &KMeansConfig { k: 3, ..Default::default() }, 0).unwrap();
+        assert_eq!(model.centroids().len(), 3);
+        assert!(model.inertia() < 1e-9);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let points = two_blobs();
+        let model = KMeans::fit(&points, &KMeansConfig::default(), 2).unwrap();
+        let batch = model.predict_batch(&points);
+        for (p, &b) in points.iter().zip(batch.iter()) {
+            assert_eq!(model.predict(p), b);
+        }
+        assert!(model.iterations() >= 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! k-medoids clustering (PAM-style alternating optimization).
+//!
+//! Together with k-means, k-medoids is the unsupervised baseline the paper's
+//! related work reports as the best-performing clustering approach for seizure
+//! detection; unlike k-means its cluster centres are actual data points, which
+//! makes it more robust to the heavy-tailed artifacts present in EEG features.
+
+use crate::error::MlError;
+use crate::kmeans::{squared_distance, validate_points};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Hyper-parameters of [`KMedoids::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMedoidsConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum number of alternating assignment/update sweeps.
+    pub max_iterations: usize,
+}
+
+impl Default for KMedoidsConfig {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            max_iterations: 50,
+        }
+    }
+}
+
+/// A fitted k-medoids model.
+///
+/// # Example
+///
+/// ```
+/// use seizure_ml::kmedoids::{KMedoids, KMedoidsConfig};
+///
+/// # fn main() -> Result<(), seizure_ml::MlError> {
+/// let points = vec![
+///     vec![0.0], vec![0.2], vec![-0.1],
+///     vec![8.0], vec![8.2], vec![7.9],
+/// ];
+/// let model = KMedoids::fit(&points, &KMedoidsConfig::default(), 0)?;
+/// assert_ne!(model.predict(&[0.0]), model.predict(&[8.0]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMedoids {
+    medoids: Vec<Vec<f64>>,
+    medoid_indices: Vec<usize>,
+    total_cost: f64,
+}
+
+impl KMedoids {
+    /// Fits k-medoids to `points`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidDataset`] for empty/inconsistent points and
+    /// [`MlError::InvalidParameter`] if `k` is zero or exceeds the number of
+    /// points.
+    pub fn fit(points: &[Vec<f64>], config: &KMedoidsConfig, seed: u64) -> Result<Self, MlError> {
+        validate_points(points)?;
+        if config.k == 0 || config.k > points.len() {
+            return Err(MlError::InvalidParameter {
+                name: "k",
+                reason: format!("k must lie in [1, {}], got {}", points.len(), config.k),
+            });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut all_indices: Vec<usize> = (0..points.len()).collect();
+        all_indices.shuffle(&mut rng);
+        let mut medoid_indices: Vec<usize> = all_indices[..config.k].to_vec();
+
+        let mut assignments = vec![0usize; points.len()];
+        for _ in 0..config.max_iterations {
+            // Assignment step.
+            for (i, p) in points.iter().enumerate() {
+                assignments[i] = nearest_medoid(p, points, &medoid_indices).0;
+            }
+            // Update step: for each cluster pick the member minimizing the
+            // total distance to the other members.
+            let mut changed = false;
+            for cluster in 0..config.k {
+                let members: Vec<usize> = assignments
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &a)| (a == cluster).then_some(i))
+                    .collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let mut best = (medoid_indices[cluster], f64::INFINITY);
+                for &candidate in &members {
+                    let cost: f64 = members
+                        .iter()
+                        .map(|&m| squared_distance(&points[candidate], &points[m]))
+                        .sum();
+                    if cost < best.1 {
+                        best = (candidate, cost);
+                    }
+                }
+                if best.0 != medoid_indices[cluster] {
+                    medoid_indices[cluster] = best.0;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let total_cost = points
+            .iter()
+            .map(|p| nearest_medoid(p, points, &medoid_indices).1)
+            .sum();
+        Ok(Self {
+            medoids: medoid_indices.iter().map(|&i| points[i].clone()).collect(),
+            medoid_indices,
+            total_cost,
+        })
+    }
+
+    /// The medoid points (actual members of the training data).
+    pub fn medoids(&self) -> &[Vec<f64>] {
+        &self.medoids
+    }
+
+    /// Indices of the medoids within the training data.
+    pub fn medoid_indices(&self) -> &[usize] {
+        &self.medoid_indices
+    }
+
+    /// Total squared distance of every training point to its medoid.
+    pub fn total_cost(&self) -> f64 {
+        self.total_cost
+    }
+
+    /// Index of the medoid closest to `point`.
+    pub fn predict(&self, point: &[f64]) -> usize {
+        let mut best = (0usize, f64::INFINITY);
+        for (i, m) in self.medoids.iter().enumerate() {
+            let d = squared_distance(point, m);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best.0
+    }
+
+    /// Cluster assignment for a batch of points.
+    pub fn predict_batch(&self, points: &[Vec<f64>]) -> Vec<usize> {
+        points.iter().map(|p| self.predict(p)).collect()
+    }
+}
+
+fn nearest_medoid(point: &[f64], points: &[Vec<f64>], medoids: &[usize]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (cluster, &m) in medoids.iter().enumerate() {
+        let d = squared_distance(point, &points[m]);
+        if d < best.1 {
+            best = (cluster, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut points = Vec::new();
+        for i in 0..25 {
+            let j = (i * 13 % 11) as f64 / 11.0 - 0.5;
+            points.push(vec![j, j * 0.5]);
+            points.push(vec![6.0 + j, 6.0 - j]);
+        }
+        points
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let points = two_blobs();
+        let model = KMedoids::fit(&points, &KMedoidsConfig::default(), 1).unwrap();
+        let a = model.predict(&[0.0, 0.0]);
+        let b = model.predict(&[6.0, 6.0]);
+        assert_ne!(a, b);
+        for (i, p) in points.iter().enumerate() {
+            let expected = if i % 2 == 0 { a } else { b };
+            assert_eq!(model.predict(p), expected);
+        }
+    }
+
+    #[test]
+    fn medoids_are_actual_data_points() {
+        let points = two_blobs();
+        let model = KMedoids::fit(&points, &KMedoidsConfig::default(), 2).unwrap();
+        for (medoid, &idx) in model.medoids().iter().zip(model.medoid_indices()) {
+            assert_eq!(medoid, &points[idx]);
+        }
+    }
+
+    #[test]
+    fn robust_to_a_far_outlier() {
+        // k-medoids keeps its centre at a data point, so one extreme outlier
+        // cannot drag the medoid off the blob.
+        let mut points = two_blobs();
+        points.push(vec![1e6, 1e6]);
+        let model = KMedoids::fit(&points, &KMedoidsConfig::default(), 1).unwrap();
+        let medoid_norms: Vec<f64> = model
+            .medoids()
+            .iter()
+            .map(|m| m.iter().map(|v| v * v).sum::<f64>().sqrt())
+            .collect();
+        // At least one medoid stays near a blob (norm well below the outlier).
+        assert!(medoid_norms.iter().any(|&n| n < 100.0));
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(KMedoids::fit(&[], &KMedoidsConfig::default(), 0).is_err());
+        let points = vec![vec![1.0], vec![2.0]];
+        assert!(KMedoids::fit(&points, &KMedoidsConfig { k: 0, ..Default::default() }, 0).is_err());
+        assert!(KMedoids::fit(&points, &KMedoidsConfig { k: 3, ..Default::default() }, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_batch_consistency() {
+        let points = two_blobs();
+        let a = KMedoids::fit(&points, &KMedoidsConfig::default(), 5).unwrap();
+        let b = KMedoids::fit(&points, &KMedoidsConfig::default(), 5).unwrap();
+        assert_eq!(a, b);
+        let batch = a.predict_batch(&points);
+        for (p, &c) in points.iter().zip(batch.iter()) {
+            assert_eq!(a.predict(p), c);
+        }
+        assert!(a.total_cost() >= 0.0);
+    }
+}

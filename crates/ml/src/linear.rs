@@ -1,0 +1,223 @@
+//! Logistic-regression baseline.
+//!
+//! A simple gradient-descent logistic regression used as an additional
+//! supervised baseline next to the random forest; it also doubles as a sanity
+//! check that the feature space is (close to) linearly separable between ictal
+//! and interictal windows.
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+
+/// Hyper-parameters of [`LogisticRegression::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogisticRegressionConfig {
+    /// Gradient-descent learning rate.
+    pub learning_rate: f64,
+    /// Number of full-batch gradient-descent epochs.
+    pub epochs: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogisticRegressionConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.1,
+            epochs: 300,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// A fitted logistic-regression model.
+///
+/// # Example
+///
+/// ```
+/// use seizure_ml::Dataset;
+/// use seizure_ml::linear::{LogisticRegression, LogisticRegressionConfig};
+///
+/// # fn main() -> Result<(), seizure_ml::MlError> {
+/// let data = Dataset::new(
+///     (0..20).map(|i| vec![i as f64 / 10.0]).collect(),
+///     (0..20).map(|i| i >= 10).collect(),
+/// )?;
+/// let model = LogisticRegression::fit(&data, &LogisticRegressionConfig::default())?;
+/// assert!(model.predict(&[1.9]));
+/// assert!(!model.predict(&[0.0]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Fits the model with full-batch gradient descent. Features are
+    /// internally standardized per epoch computation using the raw values, so
+    /// callers should pre-scale features for best results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidParameter`] if the learning rate or epoch
+    /// count is not positive.
+    pub fn fit(data: &Dataset, config: &LogisticRegressionConfig) -> Result<Self, MlError> {
+        if config.learning_rate <= 0.0 || config.learning_rate.is_nan() {
+            return Err(MlError::InvalidParameter {
+                name: "learning_rate",
+                reason: format!("must be positive, got {}", config.learning_rate),
+            });
+        }
+        if config.epochs == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "epochs",
+                reason: "at least one epoch is required".to_string(),
+            });
+        }
+        let n = data.len() as f64;
+        let f = data.num_features();
+        let mut weights = vec![0.0; f];
+        let mut bias = 0.0;
+        for _ in 0..config.epochs {
+            let mut grad_w = vec![0.0; f];
+            let mut grad_b = 0.0;
+            for (row, &label) in data.features().iter().zip(data.labels()) {
+                let z = bias
+                    + row
+                        .iter()
+                        .zip(weights.iter())
+                        .map(|(x, w)| x * w)
+                        .sum::<f64>();
+                let error = sigmoid(z) - if label { 1.0 } else { 0.0 };
+                for (g, x) in grad_w.iter_mut().zip(row.iter()) {
+                    *g += error * x;
+                }
+                grad_b += error;
+            }
+            for (w, g) in weights.iter_mut().zip(grad_w.iter()) {
+                *w -= config.learning_rate * (g / n + config.l2 * *w);
+            }
+            bias -= config.learning_rate * grad_b / n;
+        }
+        Ok(Self { weights, bias })
+    }
+
+    /// Model weights (one per feature).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Model bias (intercept).
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Probability that `sample` belongs to the positive class.
+    pub fn predict_proba(&self, sample: &[f64]) -> f64 {
+        let z = self.bias
+            + sample
+                .iter()
+                .zip(self.weights.iter())
+                .map(|(x, w)| x * w)
+                .sum::<f64>();
+        sigmoid(z)
+    }
+
+    /// Class prediction with a 0.5 threshold.
+    pub fn predict(&self, sample: &[f64]) -> bool {
+        self.predict_proba(sample) >= 0.5
+    }
+
+    /// Predicts a batch of samples.
+    pub fn predict_batch(&self, samples: &[Vec<f64>]) -> Vec<bool> {
+        samples.iter().map(|s| self.predict(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> Dataset {
+        Dataset::new(
+            (0..40)
+                .map(|i| vec![i as f64 / 10.0 - 2.0, ((i * 7) % 5) as f64 / 5.0])
+                .collect(),
+            (0..40).map(|i| i >= 20).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let data = separable();
+        let model = LogisticRegression::fit(&data, &LogisticRegressionConfig::default()).unwrap();
+        let correct = data
+            .features()
+            .iter()
+            .zip(data.labels())
+            .filter(|(row, &label)| model.predict(row) == label)
+            .count();
+        assert!(correct as f64 / data.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn probabilities_are_monotone_along_the_discriminative_axis() {
+        let data = separable();
+        let model = LogisticRegression::fit(&data, &LogisticRegressionConfig::default()).unwrap();
+        let p_low = model.predict_proba(&[-2.0, 0.5]);
+        let p_mid = model.predict_proba(&[0.0, 0.5]);
+        let p_high = model.predict_proba(&[2.0, 0.5]);
+        assert!(p_low < p_mid && p_mid < p_high);
+    }
+
+    #[test]
+    fn invalid_hyper_parameters_rejected() {
+        let data = separable();
+        let bad_lr = LogisticRegressionConfig {
+            learning_rate: 0.0,
+            ..Default::default()
+        };
+        assert!(LogisticRegression::fit(&data, &bad_lr).is_err());
+        let bad_epochs = LogisticRegressionConfig {
+            epochs: 0,
+            ..Default::default()
+        };
+        assert!(LogisticRegression::fit(&data, &bad_epochs).is_err());
+    }
+
+    #[test]
+    fn accessors_and_batch_prediction() {
+        let data = separable();
+        let model = LogisticRegression::fit(&data, &LogisticRegressionConfig::default()).unwrap();
+        assert_eq!(model.weights().len(), 2);
+        assert!(model.bias().is_finite());
+        let batch = model.predict_batch(data.features());
+        assert_eq!(batch.len(), data.len());
+    }
+
+    #[test]
+    fn l2_regularization_shrinks_weights() {
+        let data = separable();
+        let strong = LogisticRegressionConfig {
+            l2: 1.0,
+            ..Default::default()
+        };
+        let weak = LogisticRegressionConfig {
+            l2: 0.0,
+            ..Default::default()
+        };
+        let w_strong = LogisticRegression::fit(&data, &strong).unwrap();
+        let w_weak = LogisticRegression::fit(&data, &weak).unwrap();
+        let norm = |w: &LogisticRegression| {
+            w.weights().iter().map(|v| v * v).sum::<f64>().sqrt()
+        };
+        assert!(norm(&w_strong) < norm(&w_weak));
+    }
+}

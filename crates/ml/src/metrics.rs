@@ -1,0 +1,261 @@
+//! Classification metrics.
+//!
+//! The paper evaluates the real-time detector with sensitivity, specificity and
+//! their geometric mean (Fig. 4); those quantities are derived here from a
+//! binary confusion matrix.
+
+use crate::error::MlError;
+
+/// A binary confusion matrix (positive class = seizure window).
+///
+/// # Example
+///
+/// ```
+/// use seizure_ml::ConfusionMatrix;
+///
+/// # fn main() -> Result<(), seizure_ml::MlError> {
+/// let predictions = vec![true, true, false, false, true];
+/// let truth = vec![true, false, false, true, true];
+/// let cm = ConfusionMatrix::from_predictions(&predictions, &truth)?;
+/// assert_eq!(cm.true_positives(), 2);
+/// assert_eq!(cm.false_negatives(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    tp: usize,
+    tn: usize,
+    fp: usize,
+    fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from raw counts.
+    pub fn from_counts(tp: usize, tn: usize, fp: usize, fn_: usize) -> Self {
+        Self { tp, tn, fp, fn_ }
+    }
+
+    /// Builds a confusion matrix by comparing predictions against ground truth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if the slices have different
+    /// lengths or are empty.
+    pub fn from_predictions(predictions: &[bool], truth: &[bool]) -> Result<Self, MlError> {
+        if predictions.len() != truth.len() || predictions.is_empty() {
+            return Err(MlError::DimensionMismatch {
+                detail: format!(
+                    "predictions ({}) and ground truth ({}) must be non-empty and equally long",
+                    predictions.len(),
+                    truth.len()
+                ),
+            });
+        }
+        let mut cm = ConfusionMatrix::default();
+        for (&p, &t) in predictions.iter().zip(truth.iter()) {
+            cm.record(p, t);
+        }
+        Ok(cm)
+    }
+
+    /// Records one (prediction, truth) pair.
+    pub fn record(&mut self, prediction: bool, truth: bool) {
+        match (prediction, truth) {
+            (true, true) => self.tp += 1,
+            (false, false) => self.tn += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Merges another confusion matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.tn += other.tn;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    /// Number of true positives.
+    pub fn true_positives(&self) -> usize {
+        self.tp
+    }
+
+    /// Number of true negatives.
+    pub fn true_negatives(&self) -> usize {
+        self.tn
+    }
+
+    /// Number of false positives.
+    pub fn false_positives(&self) -> usize {
+        self.fp
+    }
+
+    /// Number of false negatives.
+    pub fn false_negatives(&self) -> usize {
+        self.fn_
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// Sensitivity (recall of the seizure class): `TP / (TP + FN)`.
+    /// Returns 0 when no positive samples were seen.
+    pub fn sensitivity(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Specificity (recall of the seizure-free class): `TN / (TN + FP)`.
+    /// Returns 0 when no negative samples were seen.
+    pub fn specificity(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// Precision: `TP / (TP + FP)`; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Accuracy: fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// F1 score (harmonic mean of precision and sensitivity).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.sensitivity();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Geometric mean of sensitivity and specificity — the summary metric the
+    /// paper reports in Fig. 4.
+    pub fn geometric_mean(&self) -> f64 {
+        (self.sensitivity() * self.specificity()).sqrt()
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Geometric mean of a slice of non-negative values (used to aggregate
+/// per-subject geometric means across the cohort, following Fleming & Wallace).
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] if the slice is empty or contains a
+/// negative/NaN value.
+pub fn geometric_mean(values: &[f64]) -> Result<f64, MlError> {
+    if values.is_empty() {
+        return Err(MlError::InvalidParameter {
+            name: "values",
+            reason: "geometric mean of an empty slice is undefined".to_string(),
+        });
+    }
+    let mut log_sum = 0.0;
+    for &v in values {
+        if v < 0.0 || v.is_nan() {
+            return Err(MlError::InvalidParameter {
+                name: "values",
+                reason: format!("geometric mean requires non-negative values, got {v}"),
+            });
+        }
+        log_sum += v.max(1e-12).ln();
+    }
+    Ok((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_predictions_counts_correctly() {
+        let cm = ConfusionMatrix::from_predictions(
+            &[true, false, true, false, true, true],
+            &[true, false, false, true, true, false],
+        )
+        .unwrap();
+        assert_eq!(cm.true_positives(), 2);
+        assert_eq!(cm.true_negatives(), 1);
+        assert_eq!(cm.false_positives(), 2);
+        assert_eq!(cm.false_negatives(), 1);
+        assert_eq!(cm.total(), 6);
+    }
+
+    #[test]
+    fn from_predictions_validates_inputs() {
+        assert!(ConfusionMatrix::from_predictions(&[true], &[]).is_err());
+        assert!(ConfusionMatrix::from_predictions(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn perfect_classifier_metrics() {
+        let cm = ConfusionMatrix::from_counts(10, 20, 0, 0);
+        assert_eq!(cm.sensitivity(), 1.0);
+        assert_eq!(cm.specificity(), 1.0);
+        assert_eq!(cm.geometric_mean(), 1.0);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.precision(), 1.0);
+        assert_eq!(cm.f1(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_classifier_metrics() {
+        // Always predicting negative: zero sensitivity, full specificity.
+        let cm = ConfusionMatrix::from_counts(0, 30, 0, 10);
+        assert_eq!(cm.sensitivity(), 0.0);
+        assert_eq!(cm.specificity(), 1.0);
+        assert_eq!(cm.geometric_mean(), 0.0);
+        assert_eq!(cm.f1(), 0.0);
+        assert_eq!(cm.precision(), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_yields_zero_ratios() {
+        let cm = ConfusionMatrix::default();
+        assert_eq!(cm.sensitivity(), 0.0);
+        assert_eq!(cm.specificity(), 0.0);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_counts() {
+        let mut a = ConfusionMatrix::from_counts(1, 2, 3, 4);
+        let b = ConfusionMatrix::from_counts(10, 20, 30, 40);
+        a.merge(&b);
+        assert_eq!(a.true_positives(), 11);
+        assert_eq!(a.false_negatives(), 44);
+        assert_eq!(a.total(), 110);
+    }
+
+    #[test]
+    fn known_sensitivity_specificity_values() {
+        let cm = ConfusionMatrix::from_counts(80, 90, 10, 20);
+        assert!((cm.sensitivity() - 0.8).abs() < 1e-12);
+        assert!((cm.specificity() - 0.9).abs() < 1e-12);
+        assert!((cm.geometric_mean() - (0.72f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_helper() {
+        assert!((geometric_mean(&[0.25, 1.0]).unwrap() - 0.5).abs() < 1e-12);
+        assert!((geometric_mean(&[0.9; 5]).unwrap() - 0.9).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_err());
+        assert!(geometric_mean(&[-0.1]).is_err());
+        assert!(geometric_mean(&[f64::NAN]).is_err());
+        assert!(geometric_mean(&[0.0, 1.0]).unwrap() < 1e-3);
+    }
+}

@@ -1,0 +1,251 @@
+//! Dataset splitting utilities.
+//!
+//! The paper trains the real-time detector on personalized, balanced training
+//! sets of 2–5 seizures from the tested subject and evaluates on the remaining
+//! data; the leave-one-group-out iterator implements that protocol when groups
+//! are seizure identities.
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Splits a dataset into a training and a test subset with the given training
+/// fraction, shuffling deterministically with `seed`.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] if the fraction does not lie strictly
+/// between 0 and 1, or either side of the split would be empty.
+pub fn train_test_split(
+    data: &Dataset,
+    train_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset), MlError> {
+    if !(train_fraction > 0.0 && train_fraction < 1.0) {
+        return Err(MlError::InvalidParameter {
+            name: "train_fraction",
+            reason: format!("must lie in (0, 1), got {train_fraction}"),
+        });
+    }
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let cut = ((data.len() as f64) * train_fraction).round() as usize;
+    if cut == 0 || cut >= data.len() {
+        return Err(MlError::InvalidParameter {
+            name: "train_fraction",
+            reason: format!(
+                "fraction {train_fraction} leaves an empty split for {} samples",
+                data.len()
+            ),
+        });
+    }
+    Ok((data.subset(&indices[..cut])?, data.subset(&indices[cut..])?))
+}
+
+/// Stratified variant of [`train_test_split`]: the positive/negative class
+/// ratio is preserved in both splits.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] if the fraction is out of range or a
+/// class would end up empty on either side.
+pub fn stratified_split(
+    data: &Dataset,
+    train_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset), MlError> {
+    if !(train_fraction > 0.0 && train_fraction < 1.0) {
+        return Err(MlError::InvalidParameter {
+            name: "train_fraction",
+            reason: format!("must lie in (0, 1), got {train_fraction}"),
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for class in [true, false] {
+        let mut class_idx: Vec<usize> = data
+            .labels()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == class).then_some(i))
+            .collect();
+        if class_idx.is_empty() {
+            continue;
+        }
+        class_idx.shuffle(&mut rng);
+        let cut = ((class_idx.len() as f64) * train_fraction).round() as usize;
+        if cut == 0 || cut >= class_idx.len() {
+            return Err(MlError::InvalidParameter {
+                name: "train_fraction",
+                reason: format!(
+                    "fraction {train_fraction} leaves an empty split for a class with {} samples",
+                    class_idx.len()
+                ),
+            });
+        }
+        train_idx.extend_from_slice(&class_idx[..cut]);
+        test_idx.extend_from_slice(&class_idx[cut..]);
+    }
+    Ok((data.subset(&train_idx)?, data.subset(&test_idx)?))
+}
+
+/// One fold of a leave-one-group-out split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupFold {
+    /// The group that is held out for testing.
+    pub held_out_group: usize,
+    /// Training subset (all other groups).
+    pub train: Dataset,
+    /// Test subset (the held-out group).
+    pub test: Dataset,
+}
+
+/// Leave-one-group-out cross-validation folds. `groups[i]` assigns sample `i`
+/// to a group (for the paper's protocol, the seizure the window came from);
+/// each fold holds out one group entirely.
+///
+/// # Errors
+///
+/// Returns [`MlError::DimensionMismatch`] if the group vector length differs
+/// from the dataset size and [`MlError::InvalidDataset`] if there are fewer
+/// than two distinct groups.
+pub fn leave_one_group_out(data: &Dataset, groups: &[usize]) -> Result<Vec<GroupFold>, MlError> {
+    if groups.len() != data.len() {
+        return Err(MlError::DimensionMismatch {
+            detail: format!(
+                "expected one group per sample ({} samples, {} groups)",
+                data.len(),
+                groups.len()
+            ),
+        });
+    }
+    let mut unique: Vec<usize> = groups.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    if unique.len() < 2 {
+        return Err(MlError::InvalidDataset {
+            detail: "leave-one-group-out needs at least two distinct groups".to_string(),
+        });
+    }
+    let mut folds = Vec::with_capacity(unique.len());
+    for &g in &unique {
+        let test_idx: Vec<usize> = groups
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &gi)| (gi == g).then_some(i))
+            .collect();
+        let train_idx: Vec<usize> = groups
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &gi)| (gi != g).then_some(i))
+            .collect();
+        folds.push(GroupFold {
+            held_out_group: g,
+            train: data.subset(&train_idx)?,
+            test: data.subset(&test_idx)?,
+        });
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(n: usize) -> Dataset {
+        Dataset::new(
+            (0..n).map(|i| vec![i as f64]).collect(),
+            (0..n).map(|i| i % 3 == 0).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn train_test_split_sizes_and_coverage() {
+        let data = sample_data(100);
+        let (train, test) = train_test_split(&data, 0.7, 1).unwrap();
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        // No sample appears in both splits (feature values are unique here).
+        let train_vals: std::collections::HashSet<u64> = train
+            .features()
+            .iter()
+            .map(|r| r[0].to_bits())
+            .collect();
+        assert!(test
+            .features()
+            .iter()
+            .all(|r| !train_vals.contains(&r[0].to_bits())));
+    }
+
+    #[test]
+    fn train_test_split_validation() {
+        let data = sample_data(10);
+        assert!(train_test_split(&data, 0.0, 0).is_err());
+        assert!(train_test_split(&data, 1.0, 0).is_err());
+        assert!(train_test_split(&data, 0.01, 0).is_err());
+    }
+
+    #[test]
+    fn split_is_deterministic_in_seed() {
+        let data = sample_data(50);
+        let a = train_test_split(&data, 0.6, 9).unwrap();
+        let b = train_test_split(&data, 0.6, 9).unwrap();
+        assert_eq!(a, b);
+        let c = train_test_split(&data, 0.6, 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_balance() {
+        let data = Dataset::new(
+            (0..100).map(|i| vec![i as f64]).collect(),
+            (0..100).map(|i| i < 20).collect(), // 20 % positive
+        )
+        .unwrap();
+        let (train, test) = stratified_split(&data, 0.5, 3).unwrap();
+        let frac = |d: &Dataset| d.num_positive() as f64 / d.len() as f64;
+        assert!((frac(&train) - 0.2).abs() < 0.05);
+        assert!((frac(&test) - 0.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn stratified_split_validation() {
+        let data = sample_data(10);
+        assert!(stratified_split(&data, 1.5, 0).is_err());
+        // Only one positive sample: cannot stratify into two non-empty halves.
+        let data = Dataset::new(
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+            vec![true, false, false],
+        )
+        .unwrap();
+        assert!(stratified_split(&data, 0.5, 0).is_err());
+    }
+
+    #[test]
+    fn leave_one_group_out_folds() {
+        let data = sample_data(12);
+        let groups: Vec<usize> = (0..12).map(|i| i / 4).collect(); // 3 groups of 4
+        let folds = leave_one_group_out(&data, &groups).unwrap();
+        assert_eq!(folds.len(), 3);
+        for fold in &folds {
+            assert_eq!(fold.test.len(), 4);
+            assert_eq!(fold.train.len(), 8);
+        }
+        // Held-out groups are distinct and cover all groups.
+        let held: std::collections::HashSet<usize> =
+            folds.iter().map(|f| f.held_out_group).collect();
+        assert_eq!(held.len(), 3);
+    }
+
+    #[test]
+    fn leave_one_group_out_validation() {
+        let data = sample_data(4);
+        assert!(leave_one_group_out(&data, &[0, 0, 0]).is_err());
+        assert!(leave_one_group_out(&data, &[0, 0, 0, 0]).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the machine-learning substrate.
+
+use proptest::prelude::*;
+use seizure_ml::dataset::Dataset;
+use seizure_ml::forest::{RandomForest, RandomForestConfig};
+use seizure_ml::kmeans::{KMeans, KMeansConfig};
+use seizure_ml::metrics::{geometric_mean, ConfusionMatrix};
+use seizure_ml::split::{leave_one_group_out, stratified_split, train_test_split};
+use seizure_ml::tree::{DecisionTree, DecisionTreeConfig};
+
+fn labeled_points(n: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<bool>)> {
+    prop::collection::vec((prop::collection::vec(-50.0f64..50.0, 3), any::<bool>()), n)
+        .prop_map(|rows| rows.into_iter().unzip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tree_probabilities_are_probabilities((rows, labels) in labeled_points(4..60)) {
+        let data = Dataset::new(rows.clone(), labels).unwrap();
+        let tree = DecisionTree::fit(&data, &DecisionTreeConfig::default(), 0).unwrap();
+        for row in &rows {
+            let p = tree.predict_proba(row);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert_eq!(tree.predict(row), p >= 0.5);
+        }
+    }
+
+    #[test]
+    fn forest_probability_is_mean_of_votes((rows, labels) in labeled_points(6..40)) {
+        let data = Dataset::new(rows.clone(), labels).unwrap();
+        let config = RandomForestConfig { n_trees: 7, max_depth: 5, ..Default::default() };
+        let forest = RandomForest::fit(&data, &config, 3).unwrap();
+        for row in rows.iter().take(10) {
+            let p = forest.predict_proba(row);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_counts_are_consistent(predictions in prop::collection::vec(any::<bool>(), 1..200), flip in any::<u64>()) {
+        let truth: Vec<bool> = predictions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| if (flip >> (i % 64)) & 1 == 1 { !p } else { p })
+            .collect();
+        let cm = ConfusionMatrix::from_predictions(&predictions, &truth).unwrap();
+        prop_assert_eq!(cm.total(), predictions.len());
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&cm.sensitivity()));
+        prop_assert!((0.0..=1.0).contains(&cm.specificity()));
+        prop_assert!(cm.geometric_mean() <= cm.sensitivity().max(cm.specificity()) + 1e-12);
+        prop_assert!(cm.geometric_mean() + 1e-12 >= 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_lies_between_min_and_max(values in prop::collection::vec(0.01f64..1.0, 1..30)) {
+        let g = geometric_mean(&values).unwrap();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+    }
+
+    #[test]
+    fn train_test_split_partitions_the_data(n in 10usize..200, fraction in 0.2f64..0.8, seed in 0u64..100) {
+        let data = Dataset::new(
+            (0..n).map(|i| vec![i as f64]).collect(),
+            (0..n).map(|i| i % 2 == 0).collect(),
+        ).unwrap();
+        let (train, test) = train_test_split(&data, fraction, seed).unwrap();
+        prop_assert_eq!(train.len() + test.len(), n);
+        // Every original sample appears exactly once across the two splits.
+        let mut seen: Vec<f64> = train.features().iter().chain(test.features()).map(|r| r[0]).collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, v) in seen.iter().enumerate() {
+            prop_assert_eq!(*v, i as f64);
+        }
+    }
+
+    #[test]
+    fn stratified_split_keeps_both_classes(n in 20usize..200, seed in 0u64..100) {
+        let data = Dataset::new(
+            (0..n).map(|i| vec![i as f64]).collect(),
+            (0..n).map(|i| i % 4 == 0).collect(),
+        ).unwrap();
+        let (train, test) = stratified_split(&data, 0.5, seed).unwrap();
+        prop_assert!(train.num_positive() > 0 && train.num_negative() > 0);
+        prop_assert!(test.num_positive() > 0 && test.num_negative() > 0);
+    }
+
+    #[test]
+    fn leave_one_group_out_covers_every_sample_once(n_groups in 2usize..8, per_group in 1usize..6) {
+        let n = n_groups * per_group;
+        let data = Dataset::new(
+            (0..n).map(|i| vec![i as f64]).collect(),
+            (0..n).map(|i| i % 2 == 0).collect(),
+        ).unwrap();
+        let groups: Vec<usize> = (0..n).map(|i| i / per_group).collect();
+        let folds = leave_one_group_out(&data, &groups).unwrap();
+        prop_assert_eq!(folds.len(), n_groups);
+        let total_test: usize = folds.iter().map(|f| f.test.len()).sum();
+        prop_assert_eq!(total_test, n);
+        for fold in &folds {
+            prop_assert_eq!(fold.train.len() + fold.test.len(), n);
+        }
+    }
+
+    #[test]
+    fn kmeans_assigns_every_point_to_an_existing_cluster(seed in 0u64..200, k in 1usize..4) {
+        let points: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i as f64 * 0.7 + seed as f64).sin() * 10.0, (i as f64 * 1.3).cos() * 10.0])
+            .collect();
+        let model = KMeans::fit(&points, &KMeansConfig { k, ..Default::default() }, seed).unwrap();
+        prop_assert_eq!(model.centroids().len(), k);
+        for p in &points {
+            prop_assert!(model.predict(p) < k);
+        }
+        prop_assert!(model.inertia() >= 0.0);
+    }
+}

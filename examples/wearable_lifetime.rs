@@ -1,0 +1,81 @@
+//! Battery-lifetime analysis of the wearable platform (paper §VI-C,
+//! Table III and Fig. 5).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example wearable_lifetime
+//! ```
+
+use selflearn_seizure::edge::energy::{EnergyModel, OperatingMode};
+use selflearn_seizure::edge::memory::MemoryModel;
+use selflearn_seizure::edge::platform::PlatformSpec;
+use selflearn_seizure::edge::timing::TimingModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = PlatformSpec::stm32l151_default();
+    println!(
+        "platform: Cortex-M3 @ {:.0} MHz, {} KB RAM, {} KB Flash, {:.0} mAh battery",
+        spec.cpu_frequency_hz / 1e6,
+        spec.ram_bytes / 1024,
+        spec.flash_bytes / 1024,
+        spec.battery_mah
+    );
+
+    // Table III: worst case, one seizure per day, detection + labeling.
+    let energy = EnergyModel::new(spec);
+    let report = energy.lifetime(OperatingMode::Combined, 1.0)?;
+    println!("\nTable III (worst case, one seizure per day)");
+    println!("task                  | current (mA) | duty (%) | avg (mA) | energy (%)");
+    println!("----------------------|--------------|----------|----------|-----------");
+    let percentages = report.energy_percentages();
+    for (task, pct) in report.tasks().tasks().iter().zip(percentages.iter()) {
+        println!(
+            "{:<22}| {:>12.3} | {:>8.2} | {:>8.3} | {:>9.2}",
+            task.name,
+            task.current_ma,
+            task.duty_cycle * 100.0,
+            task.average_current_ma(),
+            pct
+        );
+    }
+    println!(
+        "battery lifetime: {:.2} days ({:.1} hours)",
+        report.lifetime_days(),
+        report.lifetime_hours()
+    );
+
+    // Lifetime sweep over the seizure frequency (one per month to one per day).
+    println!("\nlifetime vs. seizure frequency");
+    println!("seizures/day | labeling-only (days) | combined (days)");
+    for report in energy.lifetime_sweep(OperatingMode::Combined, 1.0 / 30.0, 1.0, 6)? {
+        let labeling =
+            energy.lifetime(OperatingMode::LabelingOnly, report.seizures_per_day())?;
+        println!(
+            "   {:8.3} | {:>20.2} | {:>15.2}",
+            report.seizures_per_day(),
+            labeling.lifetime_days(),
+            report.lifetime_days()
+        );
+    }
+
+    // Memory budget of the one-hour history buffer.
+    let memory = MemoryModel::new(spec);
+    let budget = memory.budget(3600.0)?;
+    println!(
+        "\nmemory: one-hour history buffer {} KB (fits flash: {}), working set {} B (fits RAM: {})",
+        budget.history_bytes / 1024,
+        budget.fits_flash,
+        budget.working_bytes,
+        budget.fits_ram
+    );
+
+    // Real-time check of the labeling algorithm.
+    let timing = TimingModel::new(spec);
+    let cost = timing.labeling_cost(3600.0, 60.0, 10)?;
+    println!(
+        "labeling one hour of signal: {:.2e} operations, {:.0} s of CPU time ({:.2} s per signal second)",
+        cost.operations, cost.seconds, cost.seconds_per_signal_second
+    );
+    Ok(())
+}

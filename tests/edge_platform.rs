@@ -1,0 +1,91 @@
+//! Integration test: the edge-platform model reproduces the paper's §VI-C
+//! numbers (Table III, Fig. 5 and the lifetime ranges) end to end.
+
+use selflearn_seizure::edge::energy::{EnergyModel, OperatingMode};
+use selflearn_seizure::edge::memory::MemoryModel;
+use selflearn_seizure::edge::platform::PlatformSpec;
+use selflearn_seizure::edge::timing::TimingModel;
+
+#[test]
+fn table_iii_is_reproduced() {
+    let model = EnergyModel::new(PlatformSpec::stm32l151_default());
+    let report = model.lifetime(OperatingMode::Combined, 1.0).unwrap();
+    let tasks = report.tasks().tasks();
+
+    // Row order and values of Table III (worst case, one seizure per day).
+    assert_eq!(tasks[0].name, "EEG Acquisition (x2)");
+    assert!((tasks[0].current_ma - 0.870).abs() < 1e-9);
+    assert!((tasks[0].duty_cycle - 1.0).abs() < 1e-9);
+
+    assert_eq!(tasks[1].name, "EEG Sup. Detection");
+    assert!((tasks[1].current_ma - 10.5).abs() < 1e-9);
+    assert!((tasks[1].duty_cycle - 0.75).abs() < 1e-9);
+    assert!((tasks[1].average_current_ma() - 7.875).abs() < 1e-9);
+
+    assert_eq!(tasks[2].name, "EEG Labeling");
+    assert!((tasks[2].duty_cycle - 0.0417).abs() < 5e-4);
+    assert!((tasks[2].average_current_ma() - 0.438).abs() < 5e-3);
+
+    assert_eq!(tasks[3].name, "Idle");
+    assert!((tasks[3].duty_cycle - 0.2083).abs() < 5e-4);
+
+    // Bottom line: 2.59 days.
+    assert!((report.lifetime_days() - 2.59).abs() < 0.02);
+}
+
+#[test]
+fn figure_five_energy_shares_are_reproduced() {
+    let model = EnergyModel::new(PlatformSpec::stm32l151_default());
+    let report = model.lifetime(OperatingMode::Combined, 1.0).unwrap();
+    let pct = report.energy_percentages();
+    // Supervised detection dominates, labeling is a small extra cost.
+    assert!((pct[0] - 9.47).abs() < 0.3);
+    assert!((pct[1] - 85.72).abs() < 0.3);
+    assert!((pct[2] - 4.77).abs() < 0.3);
+    assert!(pct[3] < 0.1);
+    assert!(pct[1] > 10.0 * pct[2]);
+}
+
+#[test]
+fn lifetime_ranges_match_section_vi_c() {
+    let model = EnergyModel::new(PlatformSpec::stm32l151_default());
+
+    // Labeling only: 631.46 h .. 430.16 h for one seizure per month .. per day.
+    let monthly = model
+        .lifetime(OperatingMode::LabelingOnly, 1.0 / 30.0)
+        .unwrap();
+    let daily = model.lifetime(OperatingMode::LabelingOnly, 1.0).unwrap();
+    assert!((monthly.lifetime_hours() - 631.46).abs() / 631.46 < 0.02);
+    assert!((daily.lifetime_hours() - 430.16).abs() / 430.16 < 0.02);
+
+    // Detection only: 65.15 h (2.71 days).
+    let detection = model.lifetime(OperatingMode::DetectionOnly, 0.0).unwrap();
+    assert!((detection.lifetime_hours() - 65.15).abs() / 65.15 < 0.02);
+
+    // Combined: 2.71 .. 2.59 days.
+    let combined_monthly = model
+        .lifetime(OperatingMode::Combined, 1.0 / 30.0)
+        .unwrap();
+    let combined_daily = model.lifetime(OperatingMode::Combined, 1.0).unwrap();
+    assert!((combined_monthly.lifetime_days() - 2.71).abs() < 0.02);
+    assert!((combined_daily.lifetime_days() - 2.59).abs() < 0.02);
+}
+
+#[test]
+fn memory_and_timing_claims_hold_on_the_platform() {
+    let spec = PlatformSpec::stm32l151_default();
+
+    // One hour of buffered data needs 240 KB and fits the 384 KB Flash.
+    let budget = MemoryModel::new(spec).budget(3600.0).unwrap();
+    assert_eq!(budget.history_bytes, 240 * 1024);
+    assert!(budget.fits_flash);
+    assert!(budget.fits_ram);
+
+    // The labeling pass over one hour stays within the same order of magnitude
+    // as real time (the paper: one second of signal per second of processing).
+    let timing = TimingModel::new(spec);
+    let cost = timing.labeling_cost(3600.0, 60.0, 10).unwrap();
+    assert!(cost.seconds_per_signal_second < 2.0);
+    // And the real-time detector's duty cycle is the 75 % used in Table III.
+    assert!((timing.detection_duty_cycle() - 0.75).abs() < 1e-12);
+}

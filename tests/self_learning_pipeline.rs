@@ -1,0 +1,82 @@
+//! Integration test of the full self-learning loop: a-posteriori labels train
+//! the real-time detector and the result is compared against expert labels
+//! (the experiment behind the paper's Fig. 4, at reduced scale).
+
+use selflearn_seizure::core::labeler::LabelerConfig;
+use selflearn_seizure::core::pipeline::{LabelSource, SelfLearningPipeline};
+use selflearn_seizure::core::realtime::RealTimeDetectorConfig;
+use selflearn_seizure::data::cohort::Cohort;
+use selflearn_seizure::data::sampler::SampleConfig;
+use selflearn_seizure::ml::forest::RandomForestConfig;
+
+fn fast_detector() -> RealTimeDetectorConfig {
+    RealTimeDetectorConfig {
+        forest: RandomForestConfig {
+            n_trees: 10,
+            max_depth: 6,
+            ..RandomForestConfig::default()
+        },
+        ..RealTimeDetectorConfig::default()
+    }
+}
+
+fn sample_config() -> SampleConfig {
+    SampleConfig::new(200.0, 280.0, 64.0).unwrap()
+}
+
+/// Trains a pipeline on the first `n_train` seizures of a patient with the
+/// given label source and returns the geometric mean on the remaining ones.
+fn run_pipeline(patient: usize, n_train: usize, source: LabelSource) -> f64 {
+    let cohort = Cohort::chb_mit_like(17);
+    let config = sample_config();
+    let w = cohort.average_seizure_duration(patient).unwrap();
+    let mut pipeline = SelfLearningPipeline::new(LabelerConfig::default(), fast_detector());
+    for seizure in 0..n_train {
+        let record = cohort
+            .sample_record(patient, seizure, &config, seizure as u64)
+            .unwrap();
+        pipeline
+            .observe_missed_seizure(&record, w, source)
+            .unwrap();
+    }
+    let held_out: Vec<_> = (n_train..cohort.seizures_of(patient).unwrap().len())
+        .map(|s| cohort.sample_record(patient, s, &config, 50 + s as u64).unwrap())
+        .collect();
+    pipeline.evaluate_all(&held_out).unwrap().geometric_mean
+}
+
+#[test]
+fn algorithm_labels_train_a_usable_detector() {
+    // Clean patient (9): the detector trained on algorithm labels must reach a
+    // solid geometric mean on held-out seizures.
+    let gmean = run_pipeline(8, 3, LabelSource::Algorithm);
+    assert!(gmean > 0.7, "geometric mean = {gmean:.3}");
+}
+
+#[test]
+fn algorithm_labels_are_close_to_expert_labels() {
+    // The paper's headline validation: training on algorithm labels degrades
+    // the detector only slightly compared to expert labels. At this reduced
+    // scale we allow a generous margin but the ordering and proximity must
+    // hold.
+    let expert = run_pipeline(8, 3, LabelSource::Expert);
+    let algorithm = run_pipeline(8, 3, LabelSource::Algorithm);
+    assert!(expert > 0.7, "expert-label baseline too weak: {expert:.3}");
+    let degradation = expert - algorithm;
+    assert!(
+        degradation < 0.15,
+        "algorithm-label training degraded the detector by {degradation:.3} \
+         (expert {expert:.3}, algorithm {algorithm:.3})"
+    );
+}
+
+#[test]
+fn detector_improves_with_more_collected_seizures() {
+    let one = run_pipeline(8, 1, LabelSource::Algorithm);
+    let three = run_pipeline(8, 3, LabelSource::Algorithm);
+    // More personalized data should not make the detector substantially worse.
+    assert!(
+        three >= one - 0.1,
+        "3-seizure detector ({three:.3}) much worse than 1-seizure detector ({one:.3})"
+    );
+}
