@@ -15,7 +15,14 @@ fn synthetic_matrix(rows: usize, features: usize) -> FeatureMatrix {
     let data = (0..rows)
         .map(|r| {
             (0..features)
-                .map(|f| ((r * 31 + f * 17) as f64 * 0.37).sin() + if (rows / 3..rows / 3 + 60).contains(&r) { 3.0 } else { 0.0 })
+                .map(|f| {
+                    ((r * 31 + f * 17) as f64 * 0.37).sin()
+                        + if (rows / 3..rows / 3 + 60).contains(&r) {
+                            3.0
+                        } else {
+                            0.0
+                        }
+                })
                 .collect()
         })
         .collect();

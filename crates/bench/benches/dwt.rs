@@ -15,9 +15,11 @@ fn bench_dwt(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("wavedec_db4_1024");
     for &levels in &[1usize, 3, 5, 7] {
-        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &levels| {
-            b.iter(|| wavedec(&window, Wavelet::Daubechies4, levels).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(levels),
+            &levels,
+            |b, &levels| b.iter(|| wavedec(&window, Wavelet::Daubechies4, levels).unwrap()),
+        );
     }
     group.finish();
 }

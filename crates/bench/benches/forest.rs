@@ -10,7 +10,9 @@ fn synthetic_dataset(samples: usize, features: usize) -> Dataset {
     let rows: Vec<Vec<f64>> = (0..samples)
         .map(|i| {
             (0..features)
-                .map(|f| ((i * 13 + f * 7) as f64 * 0.29).sin() + if i % 2 == 0 { 0.0 } else { 1.5 })
+                .map(|f| {
+                    ((i * 13 + f * 7) as f64 * 0.29).sin() + if i % 2 == 0 { 0.0 } else { 1.5 }
+                })
                 .collect()
         })
         .collect();

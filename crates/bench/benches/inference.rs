@@ -1,0 +1,187 @@
+//! End-to-end inference benchmark: seed path vs batch engine.
+//!
+//! Measures windows/second for the full hot path of the real-time detector —
+//! sliding-window rich-feature extraction followed by random-forest
+//! classification — in two configurations:
+//!
+//! * **seed**: per-window `extract_window` (allocating) + per-row boxed
+//!   `RandomForest::predict_proba`, exactly the seed implementation's path;
+//! * **batch**: `extract_batch` (flat matrix, per-thread scratch, parallel
+//!   windows) + `FlatForest::predict_proba_batch` over the flat buffer.
+//!
+//! Also times the forest in isolation (boxed pointer-chasing vs flat
+//! struct-of-arrays). Results are printed and written to
+//! `BENCH_inference.json` at the workspace root.
+//!
+//! Run with: `cargo bench -p seizure-bench --bench inference`
+
+use std::time::Instant;
+
+use seizure_features::extractor::{FeatureExtractor, RichFeatureSet, SlidingWindowConfig};
+use seizure_ml::dataset::Dataset;
+use seizure_ml::flat::FlatForest;
+use seizure_ml::forest::{RandomForest, RandomForestConfig};
+
+/// Deterministic two-channel synthetic EEG: tones + pseudo-noise.
+fn synth_channels(secs: f64, fs: f64) -> (Vec<f64>, Vec<f64>) {
+    let n = (secs * fs) as usize;
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut noise = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    let mut channel = |phase: f64| {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (2.0 * std::f64::consts::PI * 3.0 * t + phase).sin()
+                    + 0.6 * (2.0 * std::f64::consts::PI * 7.0 * t).sin()
+                    + 0.3 * (2.0 * std::f64::consts::PI * 21.0 * t + phase).cos()
+                    + 0.4 * noise()
+            })
+            .collect::<Vec<f64>>()
+    };
+    let left = channel(0.0);
+    let right = channel(1.3);
+    (left, right)
+}
+
+/// Best-of-`reps` wall time of `f`, after one warmup run.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut result = f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        result = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, result)
+}
+
+fn main() {
+    let fs = 256.0;
+    let secs = 120.0;
+    let reps = 5;
+    let (a, b) = synth_channels(secs, fs);
+    let cfg = SlidingWindowConfig::paper_default(fs).expect("paper config");
+    let extractor = RichFeatureSet::new(fs).expect("extractor");
+    let windows = cfg.num_windows(a.len());
+
+    // Train a forest on the record's own features with a synthetic seizure
+    // band so both classes are present.
+    let matrix = extractor
+        .extract_batch(&a, &b, &cfg)
+        .expect("training features");
+    let labels: Vec<bool> = (0..windows).map(|i| (40..70).contains(&i)).collect();
+    let dataset = Dataset::new(matrix.to_rows(), labels).expect("dataset");
+    let forest_config = RandomForestConfig {
+        n_trees: 30,
+        max_depth: 8,
+        ..RandomForestConfig::default()
+    };
+    let forest = RandomForest::fit(&dataset, &forest_config, 7).expect("forest");
+    let flat = FlatForest::from_forest(&forest);
+
+    // --- End-to-end: seed path (per-window alloc + boxed forest). ---
+    let (seed_time, seed_probas) = best_of(reps, || {
+        let mut probas = Vec::with_capacity(windows);
+        for (w1, w2) in cfg.windows(&a).zip(cfg.windows(&b)) {
+            let row = extractor.extract_window(w1, w2).expect("window features");
+            probas.push(forest.predict_proba(&row));
+        }
+        probas
+    });
+
+    // --- End-to-end: batch engine (flat matrix + flat forest). ---
+    let (batch_time, batch_probas) = best_of(reps, || {
+        let m = extractor
+            .extract_batch(&a, &b, &cfg)
+            .expect("batch features");
+        flat.predict_proba_batch(m.data(), m.num_features())
+            .expect("batch probas")
+    });
+
+    assert_eq!(seed_probas.len(), batch_probas.len());
+    for (s, p) in seed_probas.iter().zip(batch_probas.iter()) {
+        assert!(
+            (s - p).abs() < 1e-9,
+            "batch path diverged from seed path: {s} vs {p}"
+        );
+    }
+
+    // --- Forest in isolation: boxed per-row vs flat batch. ---
+    let rows = matrix.to_rows();
+    let (boxed_forest_time, _) = best_of(reps, || {
+        rows.iter().map(|r| forest.predict_proba(r)).sum::<f64>()
+    });
+    let (flat_forest_time, _) = best_of(reps, || {
+        flat.predict_proba_batch(matrix.data(), matrix.num_features())
+            .expect("flat probas")
+            .iter()
+            .sum::<f64>()
+    });
+
+    let seed_wps = windows as f64 / seed_time;
+    let batch_wps = windows as f64 / batch_time;
+    let speedup = batch_wps / seed_wps;
+    let boxed_wps = windows as f64 / boxed_forest_time;
+    let flat_wps = windows as f64 / flat_forest_time;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("inference bench ({windows} windows, {secs} s at {fs} Hz, {threads} thread(s))");
+    println!(
+        "  end-to-end seed path:   {seed_wps:>10.1} windows/s ({:.3} ms/window)",
+        1e3 * seed_time / windows as f64
+    );
+    println!(
+        "  end-to-end batch path:  {batch_wps:>10.1} windows/s ({:.3} ms/window)",
+        1e3 * batch_time / windows as f64
+    );
+    println!("  end-to-end speedup:     {speedup:>10.2}x");
+    println!("  boxed forest:           {boxed_wps:>10.1} windows/s");
+    println!("  flat forest (batch):    {flat_wps:>10.1} windows/s");
+    println!("  forest speedup:         {:>10.2}x", flat_wps / boxed_wps);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"inference\",\n",
+            "  \"signal_seconds\": {:.1},\n",
+            "  \"sampling_hz\": {:.1},\n",
+            "  \"windows\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"end_to_end\": {{\n",
+            "    \"seed_windows_per_sec\": {:.1},\n",
+            "    \"batch_windows_per_sec\": {:.1},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"forest_only\": {{\n",
+            "    \"boxed_windows_per_sec\": {:.1},\n",
+            "    \"flat_windows_per_sec\": {:.1},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        secs,
+        fs,
+        windows,
+        threads,
+        seed_wps,
+        batch_wps,
+        speedup,
+        boxed_wps,
+        flat_wps,
+        flat_wps / boxed_wps,
+    );
+    // cargo runs benches with the package directory as cwd; anchor the
+    // result file at the workspace root.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_inference.json");
+    std::fs::write(&path, &json).expect("write BENCH_inference.json");
+    println!("wrote {}", path.display());
+}

@@ -51,11 +51,11 @@ pub fn run_feature_ablation(scale: ExperimentScale) -> Result<AblationResults, C
     let sample_config = scale.sample_config();
     let labeler = PosterioriLabeler::new(LabelerConfig::default());
     let patients = [0usize, 4, 7]; // mixed difficulty: 1, 5, 8
-    let samples_per_patient = scale.samples_per_seizure().min(3).max(1);
+    let samples_per_patient = scale.samples_per_seizure().clamp(1, 3);
 
     // 1. Rank the ten features with backward elimination on training records,
     //    using the ground-truth window labels.
-    let mut ranking_votes = vec![0.0f64; 10];
+    let mut ranking_votes = [0.0f64; 10];
     for &patient in &patients {
         let record = cohort.sample_record(patient, 0, &sample_config, 9999)?;
         let features = labeler.extract_features(record.signal())?;
@@ -64,10 +64,7 @@ pub fn run_feature_ablation(scale: ExperimentScale) -> Result<AblationResults, C
             labeler.config().window_secs,
             labeler.config().overlap,
         )?;
-        let truth = SeizureLabel::new(
-            record.annotation().onset(),
-            record.annotation().offset(),
-        )?;
+        let truth = SeizureLabel::new(record.annotation().onset(), record.annotation().offset())?;
         let labels = window_labels(
             &truth,
             features.num_windows(),
@@ -100,8 +97,7 @@ pub fn run_feature_ablation(scale: ExperimentScale) -> Result<AblationResults, C
                         labeler.config().window_secs,
                         labeler.config().overlap,
                     )?;
-                    let w_rows =
-                        ((w / window.step_seconds()).round() as usize).max(1);
+                    let w_rows = ((w / window.step_seconds()).round() as usize).max(1);
                     let detection =
                         posteriori_detect(&projected, w_rows, &DetectorConfig::default())?;
                     let onset = window.window_start_seconds(detection.window_index);
@@ -123,8 +119,7 @@ pub fn run_feature_ablation(scale: ExperimentScale) -> Result<AblationResults, C
     }
 
     // Feature names for reporting.
-    let names = seizure_features::extractor::PaperFeatureSet::new(256.0)?
-        .feature_names();
+    let names = seizure_features::extractor::PaperFeatureSet::new(256.0)?.feature_names();
     let ranked_names = ranking.iter().map(|&i| names[i].clone()).collect();
     Ok(AblationResults {
         ranking,

@@ -94,8 +94,12 @@ pub fn run_labeling_experiment_with(
         for seizure_idx in 0..cohort.seizures_of(patient_idx)?.len() {
             let mut summary = DeviationSummary::new();
             for sample in 0..samples {
-                let record =
-                    cohort.sample_record(patient_idx, seizure_idx, &sample_config, sample as u64)?;
+                let record = cohort.sample_record(
+                    patient_idx,
+                    seizure_idx,
+                    &sample_config,
+                    sample as u64,
+                )?;
                 let label = labeler.label_record(&record, w)?;
                 summary.record(
                     (record.annotation().onset(), record.annotation().offset()),
@@ -285,8 +289,7 @@ mod tests {
             .collect();
         let all: Vec<f64> = per_seizure.iter().map(|s| s.mean_delta).collect();
         let norms: Vec<f64> = per_seizure.iter().map(|s| s.gmean_norm).collect();
-        let within =
-            |t: f64| all.iter().filter(|&&d| d <= t).count() as f64 / all.len() as f64;
+        let within = |t: f64| all.iter().filter(|&&d| d <= t).count() as f64 / all.len() as f64;
         Ok(LabelingResults {
             scale: ExperimentScale::Quick,
             per_patient,

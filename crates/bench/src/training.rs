@@ -88,16 +88,21 @@ pub fn run_training_experiment(scale: ExperimentScale) -> Result<TrainingResults
             .map(|s| cohort.sample_record(patient_idx, s, &sample_config, 1000 + s as u64))
             .collect::<Result<_, _>>()?;
 
-        let run = |source: LabelSource| -> Result<seizure_core::pipeline::SelfLearningReport, CoreError> {
-            let mut pipeline =
-                SelfLearningPipeline::new(LabelerConfig::default(), detector_config);
-            for seizure in 0..training_seizures {
-                let record =
-                    cohort.sample_record(patient_idx, seizure, &sample_config, seizure as u64)?;
-                pipeline.observe_missed_seizure(&record, w, source)?;
-            }
-            pipeline.evaluate_all(&held_out)
-        };
+        let run =
+            |source: LabelSource| -> Result<seizure_core::pipeline::SelfLearningReport, CoreError> {
+                let mut pipeline =
+                    SelfLearningPipeline::new(LabelerConfig::default(), detector_config);
+                for seizure in 0..training_seizures {
+                    let record = cohort.sample_record(
+                        patient_idx,
+                        seizure,
+                        &sample_config,
+                        seizure as u64,
+                    )?;
+                    pipeline.observe_missed_seizure(&record, w, source)?;
+                }
+                pipeline.evaluate_all(&held_out)
+            };
 
         let expert = run(LabelSource::Expert)?;
         let algorithm = run(LabelSource::Algorithm)?;
@@ -115,7 +120,7 @@ pub fn run_training_experiment(scale: ExperimentScale) -> Result<TrainingResults
     }
 
     let mean = |f: &dyn Fn(&PatientComparison) -> f64| {
-        per_patient.iter().map(|p| f(p)).sum::<f64>() / per_patient.len() as f64
+        per_patient.iter().map(f).sum::<f64>() / per_patient.len() as f64
     };
     let mean_expert_gmean = mean(&|p| p.expert_gmean);
     let mean_algorithm_gmean = mean(&|p| p.algorithm_gmean);

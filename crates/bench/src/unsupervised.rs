@@ -73,10 +73,8 @@ pub fn run_unsupervised_baseline(scale: ExperimentScale) -> Result<BaselineResul
         let mut training = seizure_ml::dataset::Dataset::empty();
         for seizure in 0..train_count {
             let record = cohort.sample_record(patient, seizure, &sample_config, seizure as u64)?;
-            let truth = SeizureLabel::new(
-                record.annotation().onset(),
-                record.annotation().offset(),
-            )?;
+            let truth =
+                SeizureLabel::new(record.annotation().onset(), record.annotation().offset())?;
             let windows = detector.build_training_windows(record.signal(), &truth)?;
             let balanced = detector.balance(&windows)?;
             if training.is_empty() {
@@ -98,10 +96,8 @@ pub fn run_unsupervised_baseline(scale: ExperimentScale) -> Result<BaselineResul
                 detector_config.overlap,
             )?;
             let rows = detector_template.extract_features(signal)?;
-            let truth_label = SeizureLabel::new(
-                record.annotation().onset(),
-                record.annotation().offset(),
-            )?;
+            let truth_label =
+                SeizureLabel::new(record.annotation().onset(), record.annotation().offset())?;
             let truth = window_labels(
                 &truth_label,
                 rows.len(),

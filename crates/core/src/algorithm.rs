@@ -136,8 +136,12 @@ pub fn posteriori_detect(
     };
 
     let distances = match config.implementation {
-        Implementation::Reference => reference_distances(&matrix, window_length, config.subsample_step),
-        Implementation::Optimized => optimized_distances(&matrix, window_length, config.subsample_step),
+        Implementation::Reference => {
+            reference_distances(&matrix, window_length, config.subsample_step)
+        }
+        Implementation::Optimized => {
+            optimized_distances(&matrix, window_length, config.subsample_step)
+        }
     };
 
     let window_index = distances
@@ -272,19 +276,23 @@ fn optimized_distances(matrix: &FeatureMatrix, w_len: usize, step: usize) -> Vec
 mod tests {
     use super::*;
 
-    fn matrix_with_anomaly(rows: usize, anomaly: std::ops::Range<usize>, strength: f64) -> FeatureMatrix {
+    fn matrix_with_anomaly(
+        rows: usize,
+        anomaly: std::ops::Range<usize>,
+        strength: f64,
+    ) -> FeatureMatrix {
         let data: Vec<Vec<f64>> = (0..rows)
             .map(|i| {
                 let base = (i as f64 * 0.7).sin() * 0.3;
                 let spike = if anomaly.contains(&i) { strength } else { 0.0 };
-                vec![base + spike, base * 0.5 - spike, (i as f64 * 0.31).cos() * 0.2]
+                vec![
+                    base + spike,
+                    base * 0.5 - spike,
+                    (i as f64 * 0.31).cos() * 0.2,
+                ]
             })
             .collect();
-        FeatureMatrix::from_rows(
-            vec!["a".into(), "b".into(), "c".into()],
-            data,
-        )
-        .unwrap()
+        FeatureMatrix::from_rows(vec!["a".into(), "b".into(), "c".into()], data).unwrap()
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl SeizureLabel {
     /// Returns [`CoreError::InvalidParameter`] if the interval is empty,
     /// negative or contains NaN.
     pub fn new(onset_secs: f64, offset_secs: f64) -> Result<Self, CoreError> {
-        if onset_secs.is_nan() || offset_secs.is_nan() || onset_secs < 0.0 || offset_secs <= onset_secs
+        if onset_secs.is_nan()
+            || offset_secs.is_nan()
+            || onset_secs < 0.0
+            || offset_secs <= onset_secs
         {
             return Err(CoreError::InvalidParameter {
                 name: "label",

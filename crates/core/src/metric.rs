@@ -46,10 +46,7 @@ fn validate_interval(name: &'static str, interval: (f64, f64)) -> Result<(), Cor
 /// # Ok(())
 /// # }
 /// ```
-pub fn deviation_seconds(
-    ground_truth: (f64, f64),
-    detected: (f64, f64),
-) -> Result<f64, CoreError> {
+pub fn deviation_seconds(ground_truth: (f64, f64), detected: (f64, f64)) -> Result<f64, CoreError> {
     validate_interval("ground_truth", ground_truth)?;
     validate_interval("detected", detected)?;
     Ok(((ground_truth.0 - detected.0).abs() + (ground_truth.1 - detected.1).abs()) / 2.0)
@@ -114,8 +111,7 @@ impl DeviationSummary {
         detected: (f64, f64),
         signal_length_secs: f64,
     ) -> Result<(), CoreError> {
-        self.deltas
-            .push(deviation_seconds(ground_truth, detected)?);
+        self.deltas.push(deviation_seconds(ground_truth, detected)?);
         self.normalized.push(normalized_deviation(
             ground_truth,
             detected,
@@ -259,9 +255,15 @@ mod tests {
         assert_eq!(summary.geometric_mean_normalized(), None);
         assert_eq!(summary.fraction_within(15.0), None);
 
-        summary.record((100.0, 160.0), (100.0, 160.0), 1800.0).unwrap();
-        summary.record((100.0, 160.0), (110.0, 150.0), 1800.0).unwrap();
-        summary.record((100.0, 160.0), (140.0, 200.0), 1800.0).unwrap();
+        summary
+            .record((100.0, 160.0), (100.0, 160.0), 1800.0)
+            .unwrap();
+        summary
+            .record((100.0, 160.0), (110.0, 150.0), 1800.0)
+            .unwrap();
+        summary
+            .record((100.0, 160.0), (140.0, 200.0), 1800.0)
+            .unwrap();
         assert_eq!(summary.len(), 3);
         assert!((summary.mean_delta().unwrap() - 50.0 / 3.0).abs() < 1e-9);
         assert_eq!(summary.median_delta().unwrap(), 10.0);

@@ -148,10 +148,9 @@ impl SelfLearningPipeline {
     ) -> Result<SeizureLabel, CoreError> {
         let label = match source {
             LabelSource::Algorithm => self.labeler.label_record(record, average_seizure_secs)?,
-            LabelSource::Expert => SeizureLabel::new(
-                record.annotation().onset(),
-                record.annotation().offset(),
-            )?,
+            LabelSource::Expert => {
+                SeizureLabel::new(record.annotation().onset(), record.annotation().offset())?
+            }
         };
         self.add_training_record(record, &label)?;
         Ok(label)
@@ -193,10 +192,7 @@ impl SelfLearningPipeline {
     /// Returns [`CoreError::InvalidState`] if the detector has not been trained
     /// yet and propagates evaluation failures otherwise.
     pub fn evaluate(&self, record: &EegRecord) -> Result<SelfLearningReport, CoreError> {
-        let truth = SeizureLabel::new(
-            record.annotation().onset(),
-            record.annotation().offset(),
-        )?;
+        let truth = SeizureLabel::new(record.annotation().onset(), record.annotation().offset())?;
         let cm = self.detector.evaluate(record.signal(), &truth)?;
         Ok(SelfLearningReport::from_confusion(&cm))
     }
@@ -217,10 +213,8 @@ impl SelfLearningPipeline {
         }
         let mut pooled = ConfusionMatrix::default();
         for record in records {
-            let truth = SeizureLabel::new(
-                record.annotation().onset(),
-                record.annotation().offset(),
-            )?;
+            let truth =
+                SeizureLabel::new(record.annotation().onset(), record.annotation().offset())?;
             let cm = self.detector.evaluate(record.signal(), &truth)?;
             pooled.merge(&cm);
         }
@@ -275,7 +269,11 @@ mod tests {
         let held_out = cohort.sample_record(patient, 2, &config, 8).unwrap();
         let report = pipeline.evaluate(&held_out).unwrap();
         assert!(report.windows > 0);
-        assert!(report.geometric_mean > 0.5, "gmean = {}", report.geometric_mean);
+        assert!(
+            report.geometric_mean > 0.5,
+            "gmean = {}",
+            report.geometric_mean
+        );
     }
 
     #[test]
@@ -300,8 +298,7 @@ mod tests {
         let cohort = Cohort::chb_mit_like(23);
         let config = small_sample_config();
         let record = cohort.sample_record(0, 0, &config, 1).unwrap();
-        let pipeline =
-            SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+        let pipeline = SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
         assert!(pipeline.evaluate(&record).is_err());
         assert!(pipeline.evaluate_all(&[record]).is_err());
     }

@@ -10,7 +10,9 @@ use crate::error::CoreError;
 use crate::label::{window_labels, SeizureLabel};
 use seizure_data::signal::EegSignal;
 use seizure_features::extractor::{FeatureExtractor, RichFeatureSet, SlidingWindowConfig};
+use seizure_features::matrix::FeatureMatrix;
 use seizure_ml::dataset::Dataset;
+use seizure_ml::flat::FlatForest;
 use seizure_ml::forest::{RandomForest, RandomForestConfig};
 use seizure_ml::metrics::ConfusionMatrix;
 
@@ -72,7 +74,10 @@ impl Default for RealTimeDetectorConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct RealTimeDetector {
     config: RealTimeDetectorConfig,
-    forest: Option<RandomForest>,
+    /// The fitted forest compiled into flat struct-of-arrays storage; the
+    /// boxed ensemble is dropped after compilation so only one copy of the
+    /// model stays resident.
+    flat: Option<FlatForest>,
     feature_means: Vec<f64>,
     feature_stds: Vec<f64>,
 }
@@ -82,7 +87,7 @@ impl RealTimeDetector {
     pub fn new(config: RealTimeDetectorConfig) -> Self {
         Self {
             config,
-            forest: None,
+            flat: None,
             feature_means: Vec::new(),
             feature_stds: Vec::new(),
         }
@@ -95,7 +100,7 @@ impl RealTimeDetector {
 
     /// Returns `true` once [`RealTimeDetector::train`] has succeeded.
     pub fn is_trained(&self) -> bool {
-        self.forest.is_some()
+        self.flat.is_some()
     }
 
     fn window_config(&self, fs: f64) -> Result<SlidingWindowConfig, CoreError> {
@@ -106,17 +111,28 @@ impl RealTimeDetector {
         )?)
     }
 
-    /// Extracts the rich (54-feature) matrix of a signal as plain rows.
+    /// Extracts the rich (54-feature) matrix of a signal through the batch
+    /// engine: parallel over windows, one flat row-major buffer, per-thread
+    /// scratch workspaces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-extraction failures.
+    pub fn extract_feature_matrix(&self, signal: &EegSignal) -> Result<FeatureMatrix, CoreError> {
+        let fs = signal.sampling_frequency();
+        let window = self.window_config(fs)?;
+        let extractor = RichFeatureSet::new(fs)?;
+        Ok(extractor.extract_batch(signal.f7t3(), signal.f8t4(), &window)?)
+    }
+
+    /// Extracts the rich (54-feature) matrix of a signal as plain rows
+    /// (allocating; kept for the training path, which needs row vectors).
     ///
     /// # Errors
     ///
     /// Propagates feature-extraction failures.
     pub fn extract_features(&self, signal: &EegSignal) -> Result<Vec<Vec<f64>>, CoreError> {
-        let fs = signal.sampling_frequency();
-        let window = self.window_config(fs)?;
-        let extractor = RichFeatureSet::new(fs)?;
-        let matrix = extractor.extract_matrix(signal.f7t3(), signal.f8t4(), &window)?;
-        Ok(matrix.to_rows())
+        Ok(self.extract_feature_matrix(signal)?.to_rows())
     }
 
     /// Builds a per-window labeled dataset from a signal and a seizure label
@@ -215,10 +231,31 @@ impl RealTimeDetector {
             .collect();
         let scaled_dataset = Dataset::new(scaled, dataset.labels().to_vec())?;
         let forest = RandomForest::fit(&scaled_dataset, &self.config.forest, self.config.seed)?;
-        self.forest = Some(forest);
+        self.flat = Some(FlatForest::from_forest(&forest));
         self.feature_means = means;
         self.feature_stds = stds;
         Ok(())
+    }
+
+    /// The flat-compiled forest the inference paths run on, once trained.
+    pub fn flat_forest(&self) -> Option<&FlatForest> {
+        self.flat.as_ref()
+    }
+
+    /// Standardizes a flat row-major feature matrix in place with the
+    /// statistics captured at training time (same arithmetic as the per-row
+    /// scaling, fused over the whole batch).
+    fn scale_matrix_in_place(&self, data: &mut [f64]) {
+        let f = self.feature_means.len().max(1);
+        for row in data.chunks_mut(f) {
+            for ((x, m), s) in row
+                .iter_mut()
+                .zip(self.feature_means.iter())
+                .zip(self.feature_stds.iter())
+            {
+                *x = if *s > 0.0 { (*x - *m) / *s } else { *x - *m };
+            }
+        }
     }
 
     /// Classifies every analysis window of `signal` (true = seizure alarm).
@@ -228,23 +265,47 @@ impl RealTimeDetector {
     /// Returns [`CoreError::InvalidState`] if the detector has not been trained
     /// and propagates feature-extraction failures.
     pub fn detect(&self, signal: &EegSignal) -> Result<Vec<bool>, CoreError> {
-        let rows = self.extract_features(signal)?;
-        self.predict_rows(&rows)
+        let forest = self.require_flat()?;
+        let matrix = self.extract_feature_matrix(signal)?;
+        let num_features = matrix.num_features();
+        let mut data = matrix.into_data();
+        self.scale_matrix_in_place(&mut data);
+        Ok(forest.predict_batch(&data, num_features)?)
     }
 
-    /// Classifies pre-extracted rich-feature rows.
+    fn require_flat(&self) -> Result<&FlatForest, CoreError> {
+        self.flat.as_ref().ok_or_else(|| CoreError::InvalidState {
+            detail: "the real-time detector has not been trained yet".to_string(),
+        })
+    }
+
+    /// Classifies pre-extracted rich-feature rows through the flat batch
+    /// path. Predictions are identical to the boxed per-row path (the flat
+    /// forest is a bit-exact compilation of the fitted ensemble).
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidState`] if the detector has not been trained.
+    /// Returns [`CoreError::InvalidState`] if the detector has not been
+    /// trained and [`CoreError::InvalidParameter`] if the rows disagree with
+    /// the training feature count.
     pub fn predict_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<bool>, CoreError> {
-        let forest = self.forest.as_ref().ok_or_else(|| CoreError::InvalidState {
-            detail: "the real-time detector has not been trained yet".to_string(),
-        })?;
-        Ok(rows
-            .iter()
-            .map(|row| forest.predict(&scale_row(row, &self.feature_means, &self.feature_stds)))
-            .collect())
+        let forest = self.require_flat()?;
+        let num_features = forest.num_features();
+        if let Some(bad) = rows.iter().find(|r| r.len() != num_features) {
+            return Err(CoreError::InvalidParameter {
+                name: "rows",
+                reason: format!(
+                    "row has {} features but the detector was trained on {num_features}",
+                    bad.len()
+                ),
+            });
+        }
+        let mut data: Vec<f64> = Vec::with_capacity(rows.len() * num_features);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        self.scale_matrix_in_place(&mut data);
+        Ok(forest.predict_batch(&data, num_features)?)
     }
 
     /// Evaluates the detector on a signal whose true seizure position is known,
@@ -267,7 +328,10 @@ impl RealTimeDetector {
             window.window_seconds(),
             window.step_seconds(),
         )?;
-        Ok(ConfusionMatrix::from_predictions(&predictions, &truth_labels)?)
+        Ok(ConfusionMatrix::from_predictions(
+            &predictions,
+            &truth_labels,
+        )?)
     }
 }
 
@@ -288,11 +352,8 @@ mod tests {
         let cohort = Cohort::chb_mit_like(3);
         let config = SampleConfig::new(180.0, 220.0, 64.0).unwrap();
         let record = cohort.sample_record(8, 0, &config, seed).unwrap(); // patient 9: clean
-        let truth = SeizureLabel::new(
-            record.annotation().onset(),
-            record.annotation().offset(),
-        )
-        .unwrap();
+        let truth =
+            SeizureLabel::new(record.annotation().onset(), record.annotation().offset()).unwrap();
         (record, truth)
     }
 
@@ -345,7 +406,9 @@ mod tests {
             .unwrap();
         let balanced = detector.balance(&training).unwrap();
         detector.train(&balanced).unwrap();
-        let cm = detector.evaluate(test_record.signal(), &test_truth).unwrap();
+        let cm = detector
+            .evaluate(test_record.signal(), &test_truth)
+            .unwrap();
         assert!(cm.geometric_mean() > 0.6, "gmean = {}", cm.geometric_mean());
     }
 
@@ -368,6 +431,30 @@ mod tests {
         assert!(detector.balance(&all_negative).is_err());
         let all_positive = Dataset::new(vec![vec![1.0]; 5], vec![true; 5]).unwrap();
         assert!(detector.balance(&all_positive).is_err());
+    }
+
+    #[test]
+    fn batch_detection_is_consistent_across_entry_points() {
+        let (record, truth) = record_and_truth(5);
+        let mut detector = RealTimeDetector::new(fast_config());
+        let training = detector
+            .build_training_windows(record.signal(), &truth)
+            .unwrap();
+        detector
+            .train(&detector.balance(&training).unwrap())
+            .unwrap();
+        assert!(detector.flat_forest().is_some());
+
+        let batch = detector.detect(record.signal()).unwrap();
+        let rows = detector
+            .extract_feature_matrix(record.signal())
+            .unwrap()
+            .to_rows();
+        let via_rows = detector.predict_rows(&rows).unwrap();
+        assert_eq!(batch, via_rows);
+
+        // Mismatched row widths are rejected instead of panicking.
+        assert!(detector.predict_rows(&[vec![1.0, 2.0]]).is_err());
     }
 
     #[test]

@@ -116,7 +116,11 @@ impl Cohort {
     /// # Errors
     ///
     /// Returns [`DataError::IndexOutOfRange`] if either index is out of range.
-    pub fn seizure(&self, patient_idx: usize, seizure_idx: usize) -> Result<SeizureSpec, DataError> {
+    pub fn seizure(
+        &self,
+        patient_idx: usize,
+        seizure_idx: usize,
+    ) -> Result<SeizureSpec, DataError> {
         let list = self.seizures_of(patient_idx)?;
         list.get(seizure_idx)
             .copied()
@@ -175,22 +179,29 @@ impl Cohort {
         let profile = self.patient(patient_idx)?;
         let mut rng = self.record_rng(patient_idx, seizure_idx, sample_seed);
 
-        let total_secs = if config.max_duration_secs() > config.min_duration_secs() {
-            rng.gen_range(config.min_duration_secs()..config.max_duration_secs())
-        } else {
-            config.min_duration_secs()
-        };
         let margin = config.edge_margin_secs();
-        let latest_onset = total_secs - spec.duration_secs - margin;
-        if latest_onset <= margin {
+        // Only draw record lengths that can actually contain the seizure plus
+        // both margins; otherwise the sampled duration would depend on the RNG
+        // stream deciding whether the record is feasible at all.
+        let min_feasible = spec.duration_secs + 2.0 * margin + 1.0;
+        if config.max_duration_secs() < min_feasible {
             return Err(DataError::InvalidParameter {
                 name: "config",
                 reason: format!(
                     "a {:.0}-second record cannot contain a {:.0}-second seizure with {:.0}-second margins",
-                    total_secs, spec.duration_secs, margin
+                    config.max_duration_secs(),
+                    spec.duration_secs,
+                    margin
                 ),
             });
         }
+        let shortest = config.min_duration_secs().max(min_feasible);
+        let total_secs = if config.max_duration_secs() > shortest {
+            rng.gen_range(shortest..config.max_duration_secs())
+        } else {
+            shortest
+        };
+        let latest_onset = total_secs - spec.duration_secs - margin;
         let onset = rng.gen_range(margin..latest_onset);
         let generated = generate_record(
             profile,
@@ -230,7 +241,11 @@ impl Cohort {
     fn record_rng(&self, patient_idx: usize, seizure_idx: usize, sample_seed: u64) -> ChaCha8Rng {
         // Mix the cohort seed and the record identity into one 64-bit seed.
         let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
-        for v in [patient_idx as u64 + 1, seizure_idx as u64 ^ 0xABCD, sample_seed] {
+        for v in [
+            patient_idx as u64 + 1,
+            seizure_idx as u64 ^ 0xABCD,
+            sample_seed,
+        ] {
             h ^= v.wrapping_mul(0xBF58_476D_1CE4_E5B9);
             h = h.rotate_left(27).wrapping_mul(0x94D0_49BB_1331_11EB);
         }
@@ -247,7 +262,9 @@ mod tests {
         let cohort = Cohort::chb_mit_like(7);
         assert_eq!(cohort.patients().len(), 9);
         assert_eq!(cohort.total_seizures(), 45);
-        let counts: Vec<usize> = (0..9).map(|p| cohort.seizures_of(p).unwrap().len()).collect();
+        let counts: Vec<usize> = (0..9)
+            .map(|p| cohort.seizures_of(p).unwrap().len())
+            .collect();
         assert_eq!(counts, vec![7, 3, 7, 4, 5, 3, 5, 4, 7]);
         assert_eq!(cohort.seizure_indices().count(), 45);
         assert_eq!(cohort.seed(), 7);
@@ -268,7 +285,9 @@ mod tests {
         for (p_idx, patient) in cohort.patients().iter().enumerate() {
             let avg = cohort.average_seizure_duration(p_idx).unwrap();
             assert!(avg > 15.0);
-            assert!((avg - patient.mean_seizure_duration).abs() < 3.5 * patient.seizure_duration_jitter);
+            assert!(
+                (avg - patient.mean_seizure_duration).abs() < 3.5 * patient.seizure_duration_jitter
+            );
             for s in cohort.seizures_of(p_idx).unwrap() {
                 assert!(s.duration_secs >= 15.0);
                 assert_eq!(s.patient_id, p_idx + 1);

@@ -79,9 +79,7 @@ pub fn read_record<R: Read>(reader: R) -> Result<EegRecord, DataError> {
             match parts.next() {
                 Some("fs") => fs = parts.next().and_then(|v| v.parse().ok()),
                 Some("patient") => patient = parts.next().and_then(|v| v.parse().ok()),
-                Some("seizure_index") => {
-                    seizure_index = parts.next().and_then(|v| v.parse().ok())
-                }
+                Some("seizure_index") => seizure_index = parts.next().and_then(|v| v.parse().ok()),
                 Some("annotation") => {
                     let onset = parts.next().and_then(|v| v.parse().ok());
                     let offset = parts.next().and_then(|v| v.parse().ok());
@@ -158,9 +156,7 @@ mod tests {
         assert_eq!(restored.patient_id(), record.patient_id());
         assert_eq!(restored.seizure_index(), record.seizure_index());
         assert_eq!(restored.signal().len(), record.signal().len());
-        assert!(
-            (restored.annotation().onset() - record.annotation().onset()).abs() < 1e-9
-        );
+        assert!((restored.annotation().onset() - record.annotation().onset()).abs() < 1e-9);
         // Sample values survive the text round-trip with full precision.
         for (a, b) in restored
             .signal()

@@ -204,9 +204,7 @@ pub fn generate_record<R: Rng + ?Sized>(
             reason: "durations must be positive".to_string(),
         });
     }
-    if seizure_onset_secs < 0.0
-        || seizure_onset_secs + seizure_duration_secs > total_secs
-    {
+    if seizure_onset_secs < 0.0 || seizure_onset_secs + seizure_duration_secs > total_secs {
         return Err(DataError::InvalidParameter {
             name: "seizure_onset_secs",
             reason: format!(
@@ -282,7 +280,8 @@ pub fn generate_record<R: Rng + ?Sized>(
         for i in 0..burst_len {
             let t = i as f64 / fs;
             let envelope = (std::f64::consts::PI * i as f64 / burst_len as f64).sin();
-            let rhythm = rhythm_amp * envelope * (std::f64::consts::TAU * rhythm_freq * t + phase).sin();
+            let rhythm =
+                rhythm_amp * envelope * (std::f64::consts::TAU * rhythm_freq * t + phase).sin();
             f7t3[start + i] += rhythm;
             f8t4[start + i] += 0.8 * rhythm;
         }
@@ -290,8 +289,10 @@ pub fn generate_record<R: Rng + ?Sized>(
     }
 
     let signal = EegSignal::new(f7t3, f8t4, fs)?;
-    let annotation =
-        SeizureAnnotation::new(seizure_onset_secs, seizure_onset_secs + seizure_duration_secs)?;
+    let annotation = SeizureAnnotation::new(
+        seizure_onset_secs,
+        seizure_onset_secs + seizure_duration_secs,
+    )?;
     Ok(GeneratedRecord {
         signal,
         annotation,
@@ -367,8 +368,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let rec = generate_record(&profile(), 180.0, 60.0, 40.0, 64.0, &mut rng).unwrap();
         let fs = 64.0;
-        let ictal = &rec.signal.f7t3()
-            [(62.0 * fs) as usize..(98.0 * fs) as usize];
+        let ictal = &rec.signal.f7t3()[(62.0 * fs) as usize..(98.0 * fs) as usize];
         let background = &rec.signal.f7t3()[0..(50.0 * fs) as usize];
         assert!(rms(ictal) > 1.5 * rms(background));
     }
@@ -439,7 +439,10 @@ mod tests {
                 with_burst += 1;
             }
         }
-        assert!(with_burst > 0 && with_burst < 40, "with_burst = {with_burst}");
+        assert!(
+            with_burst > 0 && with_burst < 40,
+            "with_burst = {with_burst}"
+        );
     }
 
     #[test]
@@ -447,8 +450,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let samples: Vec<f64> = (0..20000).map(|_| randn(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.05);
         assert!((var - 1.0).abs() < 0.1);
     }

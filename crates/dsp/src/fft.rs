@@ -288,6 +288,439 @@ fn dft(input: &[Complex], direction: Direction) -> Vec<Complex> {
     out
 }
 
+/// A precomputed FFT execution plan for signals of one fixed length.
+///
+/// The plan front-loads everything `fft` recomputes per call — the
+/// bit-reversal permutation and the per-stage twiddle factors for
+/// power-of-two lengths, or the table of roots of unity for the direct-DFT
+/// fallback — and executes into a caller-provided output buffer, so the hot
+/// path performs **no heap allocations**. This is the building block of the
+/// batch inference engine: one plan is built per analysis-window length and
+/// reused across every window of a recording.
+///
+/// # Example
+///
+/// ```
+/// use seizure_dsp::fft::{fft, Complex, FftPlan};
+///
+/// # fn main() -> Result<(), seizure_dsp::DspError> {
+/// let signal: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin()).collect();
+/// let plan = FftPlan::new(signal.len())?;
+/// let mut spectrum = vec![Complex::zero(); signal.len()];
+/// plan.forward_real_into(&signal, &mut spectrum)?;
+///
+/// let reference = fft(&signal.iter().map(|&x| Complex::from(x)).collect::<Vec<_>>())?;
+/// for (a, b) in spectrum.iter().zip(reference.iter()) {
+///     assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FftPlan {
+    n: usize,
+    kind: PlanKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum PlanKind {
+    /// Radix-2 Cooley–Tukey: bit-reversal table plus per-stage twiddles
+    /// `e^{-2πik/len}` flattened stage after stage (`n - 1` values total).
+    Radix2 {
+        rev: Vec<u32>,
+        twiddles: Vec<Complex>,
+    },
+    /// Direct DFT fallback: the `n` roots of unity `e^{-2πij/n}`.
+    Dft { roots: Vec<Complex> },
+}
+
+/// Bit-reversal permutation table for a power-of-two length.
+fn bit_reversal_table(n: usize) -> Vec<u32> {
+    let bits = n.trailing_zeros();
+    (0..n)
+        .map(|i| {
+            if n == 1 {
+                0
+            } else {
+                ((i.reverse_bits() >> (usize::BITS - bits)) & (n - 1)) as u32
+            }
+        })
+        .collect()
+}
+
+/// Flattened per-stage forward twiddle factors (`n - 1` values) for an
+/// iterative radix-2 FFT of a power-of-two length.
+fn stage_twiddles(n: usize) -> Vec<Complex> {
+    let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        for k in 0..len / 2 {
+            twiddles.push(Complex::from_polar_unit(ang * k as f64));
+        }
+        len <<= 1;
+    }
+    twiddles
+}
+
+/// In-place radix-2 butterfly passes over bit-reversal-ordered data.
+fn butterfly_passes(data: &mut [Complex], twiddles: &[Complex]) {
+    let n = data.len();
+    let mut len = 2;
+    let mut stage_offset = 0;
+    while len <= n {
+        let half = len / 2;
+        let stage = &twiddles[stage_offset..stage_offset + half];
+        for start in (0..n).step_by(len) {
+            for (k, &w) in stage.iter().enumerate() {
+                let even = data[start + k];
+                let odd = data[start + k + half] * w;
+                data[start + k] = even + odd;
+                data[start + k + half] = even - odd;
+            }
+        }
+        stage_offset += half;
+        len <<= 1;
+    }
+}
+
+impl FftPlan {
+    /// Builds a forward-transform plan for signals of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if `n` is zero.
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if n == 0 {
+            return Err(DspError::EmptyInput {
+                operation: "FftPlan::new",
+            });
+        }
+        let kind = if is_power_of_two(n) {
+            PlanKind::Radix2 {
+                rev: bit_reversal_table(n),
+                twiddles: stage_twiddles(n),
+            }
+        } else {
+            let roots = (0..n)
+                .map(|j| {
+                    Complex::from_polar_unit(-2.0 * std::f64::consts::PI * j as f64 / n as f64)
+                })
+                .collect();
+            PlanKind::Dft { roots }
+        };
+        Ok(Self { n, kind })
+    }
+
+    /// The signal length the plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `false`; plans always cover at least one sample.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Computes the forward FFT of a real signal into `out` without
+    /// allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] if `signal` or `out` does not match
+    /// the planned length.
+    pub fn forward_real_into(&self, signal: &[f64], out: &mut [Complex]) -> Result<(), DspError> {
+        self.forward_real_windowed_into(signal, None, out)
+    }
+
+    /// Computes the forward FFT of `signal` tapered element-wise by `window`
+    /// into `out`, fusing the windowing into the bit-reversal load so no
+    /// intermediate windowed copy is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] if `signal`, `window` (when given)
+    /// or `out` does not match the planned length.
+    pub fn forward_real_windowed_into(
+        &self,
+        signal: &[f64],
+        window: Option<&[f64]>,
+        out: &mut [Complex],
+    ) -> Result<(), DspError> {
+        if signal.len() != self.n {
+            return Err(DspError::InvalidLength {
+                operation: "FftPlan::forward_real_into",
+                actual: signal.len(),
+                requirement: "signal length must match the planned length",
+            });
+        }
+        if out.len() != self.n {
+            return Err(DspError::InvalidLength {
+                operation: "FftPlan::forward_real_into",
+                actual: out.len(),
+                requirement: "output length must match the planned length",
+            });
+        }
+        if let Some(w) = window {
+            if w.len() != self.n {
+                return Err(DspError::InvalidLength {
+                    operation: "FftPlan::forward_real_into",
+                    actual: w.len(),
+                    requirement: "window length must match the planned length",
+                });
+            }
+        }
+        match &self.kind {
+            PlanKind::Radix2 { rev, twiddles } => {
+                match window {
+                    Some(w) => {
+                        for (slot, &src) in out.iter_mut().zip(rev.iter()) {
+                            let i = src as usize;
+                            *slot = Complex::from(signal[i] * w[i]);
+                        }
+                    }
+                    None => {
+                        for (slot, &src) in out.iter_mut().zip(rev.iter()) {
+                            *slot = Complex::from(signal[src as usize]);
+                        }
+                    }
+                }
+                butterfly_passes(out, twiddles);
+            }
+            PlanKind::Dft { roots } => {
+                let n = self.n;
+                for (k, slot) in out.iter_mut().enumerate() {
+                    let mut acc = Complex::zero();
+                    let mut idx = 0;
+                    for (t, &x) in signal.iter().enumerate() {
+                        let tapered = match window {
+                            Some(w) => x * w[t],
+                            None => x,
+                        };
+                        acc = acc + roots[idx].scale(tapered);
+                        idx += k;
+                        if idx >= n {
+                            idx -= n;
+                        }
+                    }
+                    *slot = acc;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A real-input FFT plan computing the one-sided power spectrum with the
+/// classic "two-for-one" trick.
+///
+/// For even power-of-two lengths the real signal is packed into a half-length
+/// complex buffer (`z[j] = x[2j] + i·x[2j+1]`), transformed with an `n/2`
+/// point FFT and untangled into `|X[k]|²` for `k = 0..=n/2` — half the
+/// butterfly work of a full complex transform and no materialized spectrum.
+/// Other lengths fall back to a full [`FftPlan`]. Like the complex plan,
+/// execution is allocation-free into caller-provided buffers.
+///
+/// # Example
+///
+/// ```
+/// use seizure_dsp::fft::{real_fft, Complex, RealFftPlan};
+///
+/// # fn main() -> Result<(), seizure_dsp::DspError> {
+/// let signal: Vec<f64> = (0..128).map(|i| (i as f64 * 0.2).sin()).collect();
+/// let plan = RealFftPlan::new(signal.len())?;
+/// let mut power = vec![0.0; plan.num_bins()];
+/// let mut scratch = vec![Complex::zero(); plan.scratch_len()];
+/// plan.magnitudes_squared_into(&signal, None, &mut power, &mut scratch)?;
+///
+/// let reference = real_fft(&signal)?;
+/// for (p, bin) in power.iter().zip(reference.iter()) {
+///     assert!((p - bin.magnitude_squared()).abs() < 1e-6);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealFftPlan {
+    n: usize,
+    kind: RealPlanKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum RealPlanKind {
+    /// Packed two-for-one path: tables for the half-length complex FFT plus
+    /// the untangling twiddles `e^{-2πik/n}` for `k = 0..=n/4`.
+    Packed {
+        rev: Vec<u32>,
+        twiddles: Vec<Complex>,
+        untangle: Vec<Complex>,
+    },
+    /// Full complex transform for lengths the packed path cannot handle.
+    Fallback(FftPlan),
+}
+
+impl RealFftPlan {
+    /// Builds a plan for real signals of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if `n` is zero.
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if n == 0 {
+            return Err(DspError::EmptyInput {
+                operation: "RealFftPlan::new",
+            });
+        }
+        let kind = if n >= 2 && is_power_of_two(n) {
+            let m = n / 2;
+            let untangle = (0..=m / 2)
+                .map(|k| {
+                    Complex::from_polar_unit(-2.0 * std::f64::consts::PI * k as f64 / n as f64)
+                })
+                .collect();
+            RealPlanKind::Packed {
+                rev: bit_reversal_table(m),
+                twiddles: stage_twiddles(m),
+                untangle,
+            }
+        } else {
+            RealPlanKind::Fallback(FftPlan::new(n)?)
+        };
+        Ok(Self { n, kind })
+    }
+
+    /// The signal length the plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `false`; plans always cover at least one sample.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of one-sided output bins (`n/2 + 1`).
+    pub fn num_bins(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Required scratch length: `n/2` on the packed path, `n` on the
+    /// fallback path.
+    pub fn scratch_len(&self) -> usize {
+        match &self.kind {
+            RealPlanKind::Packed { .. } => self.n / 2,
+            RealPlanKind::Fallback(_) => self.n,
+        }
+    }
+
+    /// Computes `|X[k]|²` of the (optionally tapered) real signal for
+    /// `k = 0..=n/2` into `out`, without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] if `signal`, `window` (when
+    /// given), `out` or `scratch` has the wrong length.
+    pub fn magnitudes_squared_into(
+        &self,
+        signal: &[f64],
+        window: Option<&[f64]>,
+        out: &mut [f64],
+        scratch: &mut [Complex],
+    ) -> Result<(), DspError> {
+        if signal.len() != self.n {
+            return Err(DspError::InvalidLength {
+                operation: "RealFftPlan::magnitudes_squared_into",
+                actual: signal.len(),
+                requirement: "signal length must match the planned length",
+            });
+        }
+        if let Some(w) = window {
+            if w.len() != self.n {
+                return Err(DspError::InvalidLength {
+                    operation: "RealFftPlan::magnitudes_squared_into",
+                    actual: w.len(),
+                    requirement: "window length must match the planned length",
+                });
+            }
+        }
+        if out.len() != self.num_bins() {
+            return Err(DspError::InvalidLength {
+                operation: "RealFftPlan::magnitudes_squared_into",
+                actual: out.len(),
+                requirement: "output must have n/2 + 1 bins",
+            });
+        }
+        if scratch.len() < self.scratch_len() {
+            return Err(DspError::InvalidLength {
+                operation: "RealFftPlan::magnitudes_squared_into",
+                actual: scratch.len(),
+                requirement: "scratch must cover the plan's scratch length",
+            });
+        }
+        match &self.kind {
+            RealPlanKind::Fallback(plan) => {
+                plan.forward_real_windowed_into(signal, window, &mut scratch[..self.n])?;
+                for (slot, bin) in out.iter_mut().zip(scratch.iter()) {
+                    *slot = bin.magnitude_squared();
+                }
+                Ok(())
+            }
+            RealPlanKind::Packed {
+                rev,
+                twiddles,
+                untangle,
+            } => {
+                let m = self.n / 2;
+                let z = &mut scratch[..m];
+                // Load sample pairs straight into bit-reversed order, fusing
+                // the taper into the load.
+                match window {
+                    Some(w) => {
+                        for (j, &dst) in rev.iter().enumerate() {
+                            z[dst as usize] = Complex::new(
+                                signal[2 * j] * w[2 * j],
+                                signal[2 * j + 1] * w[2 * j + 1],
+                            );
+                        }
+                    }
+                    None => {
+                        for (j, &dst) in rev.iter().enumerate() {
+                            z[dst as usize] = Complex::new(signal[2 * j], signal[2 * j + 1]);
+                        }
+                    }
+                }
+                butterfly_passes(z, twiddles);
+
+                // Untangle: with E/O the transforms of the even/odd samples,
+                // Z[k] = E[k] + i·O[k] and conj(Z[m-k]) = E[k] - i·O[k], so
+                // X[k]   = E[k] + W_k·O[k]      (W_k = e^{-2πik/n})
+                // X[m-k] = conj(E[k] - W_k·O[k])
+                // and only the squared magnitudes are kept.
+                out[0] = {
+                    let s = z[0].re + z[0].im;
+                    s * s
+                };
+                out[m] = {
+                    let d = z[0].re - z[0].im;
+                    d * d
+                };
+                for k in 1..=m / 2 {
+                    let a = z[k];
+                    let b = z[m - k].conj();
+                    let e = (a + b).scale(0.5);
+                    let o = (a - b).scale(0.5);
+                    // W_k · O[k], with O[k] = -i·o.
+                    let w = untangle[k];
+                    let t = Complex::new(w.re * o.im + w.im * o.re, w.im * o.im - w.re * o.re);
+                    out[k] = (e + t).magnitude_squared();
+                    out[m - k] = (e - t).magnitude_squared();
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Next power of two greater than or equal to `n`.
 ///
 /// Useful for zero-padding signals before calling [`fft`].
@@ -434,6 +867,81 @@ mod tests {
         assert!(close(p.im, -5.5, 1e-12));
         assert_eq!(a.conj(), Complex::new(1.0, -2.0));
         assert_eq!(a.scale(2.0), Complex::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn plan_matches_fft_on_power_of_two() {
+        let signal: Vec<f64> = (0..256).map(|i| (i as f64 * 0.13).sin()).collect();
+        let plan = FftPlan::new(signal.len()).unwrap();
+        let mut out = vec![Complex::zero(); signal.len()];
+        plan.forward_real_into(&signal, &mut out).unwrap();
+        let reference = real_fft(&signal).unwrap();
+        for (a, b) in out.iter().zip(reference.iter()) {
+            assert!(close(a.re, b.re, 1e-8));
+            assert!(close(a.im, b.im, 1e-8));
+        }
+    }
+
+    #[test]
+    fn plan_matches_fft_on_arbitrary_length() {
+        let signal: Vec<f64> = (0..77).map(|i| (i as f64 * 0.31).cos()).collect();
+        let plan = FftPlan::new(signal.len()).unwrap();
+        let mut out = vec![Complex::zero(); signal.len()];
+        plan.forward_real_into(&signal, &mut out).unwrap();
+        let reference = real_fft(&signal).unwrap();
+        for (a, b) in out.iter().zip(reference.iter()) {
+            assert!(close(a.re, b.re, 1e-7));
+            assert!(close(a.im, b.im, 1e-7));
+        }
+    }
+
+    #[test]
+    fn plan_windowed_load_matches_pre_windowed_signal() {
+        let signal: Vec<f64> = (0..128).map(|i| (i as f64 * 0.21).sin()).collect();
+        let taper: Vec<f64> = (0..128)
+            .map(|i| 0.5 + 0.4 * (i as f64 * 0.05).cos())
+            .collect();
+        let plan = FftPlan::new(signal.len()).unwrap();
+        let mut fused = vec![Complex::zero(); signal.len()];
+        plan.forward_real_windowed_into(&signal, Some(&taper), &mut fused)
+            .unwrap();
+        let pre: Vec<f64> = signal
+            .iter()
+            .zip(taper.iter())
+            .map(|(s, w)| s * w)
+            .collect();
+        let mut separate = vec![Complex::zero(); signal.len()];
+        plan.forward_real_into(&pre, &mut separate).unwrap();
+        for (a, b) in fused.iter().zip(separate.iter()) {
+            assert!(close(a.re, b.re, 1e-12));
+            assert!(close(a.im, b.im, 1e-12));
+        }
+    }
+
+    #[test]
+    fn plan_rejects_mismatched_buffers() {
+        assert!(FftPlan::new(0).is_err());
+        let plan = FftPlan::new(16).unwrap();
+        assert_eq!(plan.len(), 16);
+        assert!(!plan.is_empty());
+        let signal = vec![0.0; 16];
+        let mut short_out = vec![Complex::zero(); 8];
+        assert!(plan.forward_real_into(&signal, &mut short_out).is_err());
+        let mut out = vec![Complex::zero(); 16];
+        assert!(plan.forward_real_into(&signal[..8], &mut out).is_err());
+        let bad_window = vec![1.0; 4];
+        assert!(plan
+            .forward_real_windowed_into(&signal, Some(&bad_window), &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn plan_single_sample_is_identity() {
+        let plan = FftPlan::new(1).unwrap();
+        let mut out = vec![Complex::zero(); 1];
+        plan.forward_real_into(&[2.5], &mut out).unwrap();
+        assert!(close(out[0].re, 2.5, 1e-15));
+        assert!(close(out[0].im, 0.0, 1e-15));
     }
 
     #[test]

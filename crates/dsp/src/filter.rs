@@ -97,7 +97,12 @@ impl FirFilter {
     ///
     /// Returns [`DspError::InvalidParameter`] if `low_hz >= high_hz` or either
     /// edge fails the single-edge validation.
-    pub fn band_pass(low_hz: f64, high_hz: f64, fs: f64, num_taps: usize) -> Result<Self, DspError> {
+    pub fn band_pass(
+        low_hz: f64,
+        high_hz: f64,
+        fs: f64,
+        num_taps: usize,
+    ) -> Result<Self, DspError> {
         if low_hz >= high_hz {
             return Err(DspError::InvalidParameter {
                 name: "band",
@@ -167,10 +172,13 @@ fn validate_design(cutoff_hz: f64, fs: f64, num_taps: usize) -> Result<(), DspEr
     if !(cutoff_hz > 0.0 && cutoff_hz < fs / 2.0) {
         return Err(DspError::InvalidParameter {
             name: "cutoff_hz",
-            reason: format!("cutoff must lie in (0, fs/2) = (0, {}), got {cutoff_hz}", fs / 2.0),
+            reason: format!(
+                "cutoff must lie in (0, fs/2) = (0, {}), got {cutoff_hz}",
+                fs / 2.0
+            ),
         });
     }
-    if num_taps == 0 || num_taps % 2 == 0 {
+    if num_taps == 0 || num_taps.is_multiple_of(2) {
         return Err(DspError::InvalidParameter {
             name: "num_taps",
             reason: format!("tap count must be odd and non-zero, got {num_taps}"),
@@ -375,7 +383,9 @@ mod tests {
 
     #[test]
     fn moving_average_smooths_and_preserves_mean() {
-        let x: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let smoothed = moving_average(&x, 4).unwrap();
         assert!(rms(&smoothed) < rms(&x));
         assert!(moving_average(&[], 3).is_err());

@@ -50,6 +50,9 @@ pub mod wavelet;
 pub mod window;
 
 pub use error::DspError;
-pub use fft::{fft, ifft, real_fft_magnitude, Complex};
-pub use spectrum::{band_power, periodogram, welch, PowerSpectrum};
-pub use wavelet::{dwt_single, idwt_single, wavedec, waverec, Wavelet, WaveletDecomposition};
+pub use fft::{fft, ifft, real_fft_magnitude, Complex, FftPlan};
+pub use spectrum::{band_power, periodogram, welch, PowerSpectrum, PsdPlan};
+pub use wavelet::{
+    dwt_single, idwt_single, wavedec, wavedec_into, waverec, Wavelet, WaveletDecomposition,
+    WaveletWorkspace,
+};

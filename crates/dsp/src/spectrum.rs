@@ -5,7 +5,7 @@
 //! windows; this module provides the PSD estimators those features are built on.
 
 use crate::error::DspError;
-use crate::fft::{real_fft, Complex};
+use crate::fft::{real_fft, Complex, RealFftPlan};
 use crate::window::{self, WindowKind};
 
 /// A one-sided power spectral density estimate.
@@ -151,7 +151,7 @@ pub fn periodogram_windowed(
         // One-sided scaling: interior bins carry the energy of their negative-
         // frequency mirror as well.
         let two_sided = bin.magnitude_squared() / (fs * correction);
-        let one_sided = if k == 0 || (n % 2 == 0 && k == half - 1) {
+        let one_sided = if k == 0 || (n.is_multiple_of(2) && k == half - 1) {
             two_sided
         } else {
             2.0 * two_sided
@@ -160,6 +160,172 @@ pub fn periodogram_windowed(
         freqs.push(k as f64 * fs / n as f64);
     }
     PowerSpectrum::new(freqs, power, fs)
+}
+
+/// A precomputed periodogram plan for windows of one fixed length.
+///
+/// Bundles a [`RealFftPlan`] with the taper coefficients and the window power
+/// correction so the one-sided PSD of each analysis window can be computed
+/// into caller-provided buffers with **zero heap allocations** on the hot
+/// path. Build one per window length, reuse it for every window.
+///
+/// # Example
+///
+/// ```
+/// use seizure_dsp::fft::Complex;
+/// use seizure_dsp::spectrum::{periodogram, PsdPlan};
+/// use seizure_dsp::window::WindowKind;
+///
+/// # fn main() -> Result<(), seizure_dsp::DspError> {
+/// let fs = 256.0;
+/// let x: Vec<f64> = (0..1024)
+///     .map(|n| (2.0 * std::f64::consts::PI * 10.0 * n as f64 / fs).sin())
+///     .collect();
+///
+/// let plan = PsdPlan::new(x.len(), WindowKind::Rectangular)?;
+/// let mut power = vec![0.0; plan.num_bins()];
+/// let mut scratch = vec![Complex::zero(); plan.scratch_len()];
+/// plan.power_into(&x, fs, &mut power, &mut scratch)?;
+///
+/// let reference = periodogram(&x, fs)?;
+/// for (a, b) in power.iter().zip(reference.power()) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsdPlan {
+    fft: RealFftPlan,
+    kind: WindowKind,
+    /// Taper coefficients; `None` for the rectangular window, whose taper is
+    /// the identity.
+    taper: Option<Vec<f64>>,
+    correction: f64,
+}
+
+impl PsdPlan {
+    /// Builds a plan for analysis windows of `n` samples tapered with `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if `n` is zero.
+    pub fn new(n: usize, kind: WindowKind) -> Result<Self, DspError> {
+        if n == 0 {
+            return Err(DspError::EmptyInput {
+                operation: "PsdPlan::new",
+            });
+        }
+        let fft = RealFftPlan::new(n)?;
+        let taper = match kind {
+            WindowKind::Rectangular => None,
+            _ => Some(window::coefficients(kind, n)?),
+        };
+        let correction = window::power_correction(kind, n)?;
+        Ok(Self {
+            fft,
+            kind,
+            taper,
+            correction,
+        })
+    }
+
+    /// The window length the plan was built for.
+    pub fn window_len(&self) -> usize {
+        self.fft.len()
+    }
+
+    /// Number of one-sided PSD bins (`n/2 + 1`).
+    pub fn num_bins(&self) -> usize {
+        self.fft.len() / 2 + 1
+    }
+
+    /// Minimum scratch length required by [`PsdPlan::power_into`] (`n/2` on
+    /// the packed real-FFT path, `n` on the fallback path).
+    pub fn scratch_len(&self) -> usize {
+        self.fft.scratch_len()
+    }
+
+    /// The taper kind of the plan.
+    pub fn window_kind(&self) -> WindowKind {
+        self.kind
+    }
+
+    /// Frequency spacing between consecutive bins for a signal sampled at
+    /// `fs` Hz.
+    pub fn resolution(&self, fs: f64) -> f64 {
+        fs / self.fft.len() as f64
+    }
+
+    /// Computes the one-sided PSD of `signal` into `power`, using `scratch`
+    /// for the intermediate spectrum. Produces the same estimate as
+    /// [`periodogram_windowed`] without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] if `signal` does not match the
+    /// planned window length, `power` does not have [`PsdPlan::num_bins`]
+    /// slots, or `scratch` is shorter than [`PsdPlan::scratch_len`], and
+    /// [`DspError::InvalidParameter`] if `fs` is not strictly positive.
+    pub fn power_into(
+        &self,
+        signal: &[f64],
+        fs: f64,
+        power: &mut [f64],
+        scratch: &mut [Complex],
+    ) -> Result<(), DspError> {
+        if fs <= 0.0 || fs.is_nan() {
+            return Err(DspError::InvalidParameter {
+                name: "fs",
+                reason: format!("sampling frequency must be positive, got {fs}"),
+            });
+        }
+        let n = self.fft.len();
+        if power.len() != self.num_bins() {
+            return Err(DspError::InvalidLength {
+                operation: "PsdPlan::power_into",
+                actual: power.len(),
+                requirement: "power buffer must have n/2 + 1 bins",
+            });
+        }
+        if scratch.len() < self.fft.scratch_len() {
+            return Err(DspError::InvalidLength {
+                operation: "PsdPlan::power_into",
+                actual: scratch.len(),
+                requirement: "scratch buffer must cover PsdPlan::scratch_len()",
+            });
+        }
+        self.fft
+            .magnitudes_squared_into(signal, self.taper.as_deref(), power, scratch)?;
+        let half = self.num_bins();
+        let denom = fs * self.correction;
+        for (k, slot) in power.iter_mut().enumerate() {
+            let two_sided = *slot / denom;
+            *slot = if k == 0 || (n.is_multiple_of(2) && k == half - 1) {
+                two_sided
+            } else {
+                2.0 * two_sided
+            };
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper turning one window into an owned [`PowerSpectrum`]
+    /// (allocates; the batch paths use [`PsdPlan::power_into`] instead).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`PsdPlan::power_into`].
+    pub fn power_spectrum(&self, signal: &[f64], fs: f64) -> Result<PowerSpectrum, DspError> {
+        let mut power = vec![0.0; self.num_bins()];
+        let mut scratch = vec![Complex::zero(); self.scratch_len()];
+        self.power_into(signal, fs, &mut power, &mut scratch)?;
+        let n = self.window_len();
+        let freqs = (0..self.num_bins())
+            .map(|k| k as f64 * fs / n as f64)
+            .collect();
+        PowerSpectrum::new(freqs, power, fs)
+    }
 }
 
 /// Welch's averaged-periodogram PSD estimate.
@@ -188,30 +354,38 @@ pub fn welch(signal: &[f64], fs: f64, segment_len: usize) -> Result<PowerSpectru
         return periodogram_windowed(signal, fs, WindowKind::Hann);
     }
     let hop = (segment_len / 2).max(1);
-    let mut averaged: Option<Vec<f64>> = None;
-    let mut freqs: Vec<f64> = Vec::new();
+    // One plan for all segments: the per-segment taper, FFT twiddles and
+    // scratch are computed once and the periodograms accumulate in place
+    // instead of allocating fresh frequency/power vectors per segment.
+    let plan = PsdPlan::new(segment_len, WindowKind::Hann)?;
+    let mut power = vec![0.0; plan.num_bins()];
+    let mut segment_power = vec![0.0; plan.num_bins()];
+    let mut scratch = vec![Complex::zero(); segment_len];
     let mut count = 0usize;
     let mut start = 0usize;
     while start + segment_len <= signal.len() {
-        let psd = periodogram_windowed(&signal[start..start + segment_len], fs, WindowKind::Hann)?;
-        match &mut averaged {
-            None => {
-                freqs = psd.freqs().to_vec();
-                averaged = Some(psd.power().to_vec());
-            }
-            Some(acc) => {
-                for (a, p) in acc.iter_mut().zip(psd.power()) {
-                    *a += p;
-                }
-            }
+        plan.power_into(
+            &signal[start..start + segment_len],
+            fs,
+            &mut segment_power,
+            &mut scratch,
+        )?;
+        for (acc, p) in power.iter_mut().zip(segment_power.iter()) {
+            *acc += p;
         }
         count += 1;
         start += hop;
     }
-    let mut power = averaged.expect("at least one segment fits because signal.len() >= segment_len");
+    debug_assert!(
+        count > 0,
+        "signal.len() >= segment_len guarantees one segment"
+    );
     for p in &mut power {
         *p /= count as f64;
     }
+    let freqs = (0..plan.num_bins())
+        .map(|k| k as f64 * fs / segment_len as f64)
+        .collect();
     PowerSpectrum::new(freqs, power, fs)
 }
 
@@ -259,6 +433,55 @@ pub fn relative_band_power(
         return Ok(0.0);
     }
     Ok(band / total)
+}
+
+/// Integrates a raw one-sided PSD bin slice (as produced by
+/// [`PsdPlan::power_into`]) over `[low_hz, high_hz]`, without materializing a
+/// [`PowerSpectrum`]. `window_len` is the analysis-window length the bins
+/// came from; bin `k` sits at `k * fs / window_len` Hz, exactly as in
+/// [`periodogram`].
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] for a malformed band (as
+/// [`band_power`]) or a non-positive `fs`/`window_len`.
+pub fn band_power_bins(
+    power: &[f64],
+    fs: f64,
+    window_len: usize,
+    low_hz: f64,
+    high_hz: f64,
+) -> Result<f64, DspError> {
+    if low_hz.is_nan() || high_hz.is_nan() || low_hz < 0.0 || low_hz >= high_hz {
+        return Err(DspError::InvalidParameter {
+            name: "band",
+            reason: format!("invalid frequency band [{low_hz}, {high_hz}]"),
+        });
+    }
+    if fs <= 0.0 || fs.is_nan() || window_len == 0 {
+        return Err(DspError::InvalidParameter {
+            name: "fs",
+            reason: "band_power_bins requires a positive fs and window length".to_string(),
+        });
+    }
+    let resolution = fs / window_len as f64;
+    let mut acc = 0.0;
+    for (k, p) in power.iter().enumerate() {
+        let f = k as f64 * fs / window_len as f64;
+        if f >= low_hz && f <= high_hz {
+            acc += p * resolution;
+        }
+    }
+    Ok(acc)
+}
+
+/// Total power of a raw one-sided PSD bin slice: the bin sum times the
+/// frequency resolution, matching [`PowerSpectrum::total_power`].
+pub fn total_power_bins(power: &[f64], fs: f64, window_len: usize) -> f64 {
+    if window_len == 0 {
+        return 0.0;
+    }
+    power.iter().sum::<f64>() * (fs / window_len as f64)
 }
 
 /// Convenience helper returning the magnitude spectrum of a real signal; kept
@@ -405,6 +628,80 @@ mod tests {
         assert!(PowerSpectrum::new(vec![0.0, 1.0], vec![1.0], 2.0).is_err());
         assert!(PowerSpectrum::new(vec![], vec![], 2.0).is_err());
         assert!(PowerSpectrum::new(vec![0.0], vec![1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn psd_plan_matches_periodogram_for_all_tapers() {
+        let fs = 256.0;
+        let x = sine(12.0, fs, 600, 1.3);
+        for kind in [
+            WindowKind::Rectangular,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+        ] {
+            let plan = PsdPlan::new(x.len(), kind).unwrap();
+            assert_eq!(plan.window_kind(), kind);
+            let mut power = vec![0.0; plan.num_bins()];
+            let mut scratch = vec![Complex::zero(); plan.window_len()];
+            plan.power_into(&x, fs, &mut power, &mut scratch).unwrap();
+            let reference = periodogram_windowed(&x, fs, kind).unwrap();
+            for (a, b) in power.iter().zip(reference.power()) {
+                assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn psd_plan_power_spectrum_equals_periodogram() {
+        let fs = 128.0;
+        let x = sine(9.0, fs, 256, 0.7);
+        let plan = PsdPlan::new(x.len(), WindowKind::Rectangular).unwrap();
+        let a = plan.power_spectrum(&x, fs).unwrap();
+        let b = periodogram(&x, fs).unwrap();
+        assert_eq!(a.freqs(), b.freqs());
+        for (pa, pb) in a.power().iter().zip(b.power()) {
+            assert!((pa - pb).abs() < 1e-10 * (1.0 + pb.abs()));
+        }
+    }
+
+    #[test]
+    fn psd_plan_rejects_bad_buffers() {
+        assert!(PsdPlan::new(0, WindowKind::Hann).is_err());
+        let plan = PsdPlan::new(64, WindowKind::Hann).unwrap();
+        assert_eq!(plan.num_bins(), 33);
+        assert!((plan.resolution(64.0) - 1.0).abs() < 1e-12);
+        let x = vec![0.0; 64];
+        let mut power = vec![0.0; 33];
+        let mut scratch = vec![Complex::zero(); 64];
+        assert!(plan.power_into(&x, 0.0, &mut power, &mut scratch).is_err());
+        assert!(plan
+            .power_into(&x[..10], 64.0, &mut power, &mut scratch)
+            .is_err());
+        let mut bad_power = vec![0.0; 10];
+        assert!(plan
+            .power_into(&x, 64.0, &mut bad_power, &mut scratch)
+            .is_err());
+        let mut bad_scratch = vec![Complex::zero(); 10];
+        assert!(plan
+            .power_into(&x, 64.0, &mut power, &mut bad_scratch)
+            .is_err());
+    }
+
+    #[test]
+    fn band_power_bins_matches_band_power() {
+        let fs = 256.0;
+        let x = sine(6.0, fs, 1024, 1.0);
+        let psd = periodogram(&x, fs).unwrap();
+        let from_psd = band_power(&psd, 4.0, 8.0).unwrap();
+        let from_bins = band_power_bins(psd.power(), fs, x.len(), 4.0, 8.0).unwrap();
+        assert!((from_psd - from_bins).abs() < 1e-12);
+        let total_psd = psd.total_power();
+        let total_bins = total_power_bins(psd.power(), fs, x.len());
+        assert!((total_psd - total_bins).abs() < 1e-12);
+        assert!(band_power_bins(psd.power(), fs, x.len(), 8.0, 4.0).is_err());
+        assert!(band_power_bins(psd.power(), 0.0, x.len(), 4.0, 8.0).is_err());
+        assert_eq!(total_power_bins(&[], fs, 0), 0.0);
     }
 
     #[test]

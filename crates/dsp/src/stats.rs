@@ -317,7 +317,9 @@ mod tests {
 
     #[test]
     fn zscore_has_zero_mean_unit_std() {
-        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 5.0 + 3.0).collect();
+        let data: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() * 5.0 + 3.0)
+            .collect();
         let z = zscore(&data).unwrap();
         assert!(mean(&z).unwrap().abs() < 1e-10);
         assert!((std_dev(&z).unwrap() - 1.0).abs() < 1e-10);
@@ -366,6 +368,6 @@ mod tests {
     #[test]
     fn geometric_mean_handles_zero_via_floor() {
         let g = geometric_mean(&[0.0, 1.0]).unwrap();
-        assert!(g >= 0.0 && g < 1.0);
+        assert!((0.0..1.0).contains(&g));
     }
 }

@@ -123,7 +123,7 @@ proptest! {
     fn windows_are_bounded_by_one(len in 1usize..512) {
         for kind in [WindowKind::Rectangular, WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
             let w = coefficients(kind, len).unwrap();
-            prop_assert!(w.iter().all(|&c| c <= 1.0 + 1e-12 && c >= -1e-9));
+            prop_assert!(w.iter().all(|&c| (-1e-9..=1.0 + 1e-12).contains(&c)));
         }
     }
 

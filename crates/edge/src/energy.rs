@@ -161,7 +161,11 @@ mod tests {
     #[test]
     fn table_iii_worst_case_lifetime() {
         let report = model().lifetime(OperatingMode::Combined, 1.0).unwrap();
-        assert!((report.lifetime_days() - 2.59).abs() < 0.02, "{}", report.lifetime_days());
+        assert!(
+            (report.lifetime_days() - 2.59).abs() < 0.02,
+            "{}",
+            report.lifetime_days()
+        );
         assert!((report.average_current_ma() - 9.19).abs() < 0.02);
         assert_eq!(report.tasks().tasks().len(), 4);
         assert_eq!(report.mode(), OperatingMode::Combined);
@@ -188,8 +192,16 @@ mod tests {
             .lifetime(OperatingMode::LabelingOnly, 1.0 / 30.0)
             .unwrap();
         let daily = model().lifetime(OperatingMode::LabelingOnly, 1.0).unwrap();
-        assert!((monthly.lifetime_hours() - 631.0).abs() < 10.0, "{}", monthly.lifetime_hours());
-        assert!((daily.lifetime_hours() - 430.0).abs() < 5.0, "{}", daily.lifetime_hours());
+        assert!(
+            (monthly.lifetime_hours() - 631.0).abs() < 10.0,
+            "{}",
+            monthly.lifetime_hours()
+        );
+        assert!(
+            (daily.lifetime_hours() - 430.0).abs() < 5.0,
+            "{}",
+            daily.lifetime_hours()
+        );
         assert!((monthly.lifetime_days() - 26.3).abs() < 0.5);
         assert!((daily.lifetime_days() - 17.9).abs() < 0.3);
     }

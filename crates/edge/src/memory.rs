@@ -121,7 +121,7 @@ mod tests {
     }
 
     #[test]
-    fn budget_scales_linearly_with_duration()  {
+    fn budget_scales_linearly_with_duration() {
         let half = model().budget(1800.0).unwrap();
         let full = model().budget(3600.0).unwrap();
         assert_eq!(half.history_bytes * 2, full.history_bytes);

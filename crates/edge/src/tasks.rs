@@ -29,7 +29,11 @@ impl Task {
     ///
     /// Returns [`EdgeError::InvalidParameter`] if the current is negative or
     /// the duty cycle lies outside `[0, 1]`.
-    pub fn new(name: impl Into<String>, current_ma: f64, duty_cycle: f64) -> Result<Self, EdgeError> {
+    pub fn new(
+        name: impl Into<String>,
+        current_ma: f64,
+        duty_cycle: f64,
+    ) -> Result<Self, EdgeError> {
         if current_ma < 0.0 || current_ma.is_nan() {
             return Err(EdgeError::InvalidParameter {
                 name: "current_ma",

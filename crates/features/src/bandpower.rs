@@ -33,7 +33,13 @@ pub enum Band {
 
 impl Band {
     /// All bands in ascending frequency order.
-    pub const ALL: [Band; 5] = [Band::Delta, Band::Theta, Band::Alpha, Band::Beta, Band::Gamma];
+    pub const ALL: [Band; 5] = [
+        Band::Delta,
+        Band::Theta,
+        Band::Alpha,
+        Band::Beta,
+        Band::Gamma,
+    ];
 
     /// Frequency range `(low, high)` of the band in Hz.
     pub fn range(&self) -> (f64, f64) {
@@ -78,12 +84,18 @@ pub struct BandPowers {
 impl BandPowers {
     /// Absolute power of a specific band.
     pub fn absolute(&self, band: Band) -> f64 {
-        self.absolute[Band::ALL.iter().position(|b| *b == band).expect("band in ALL")]
+        self.absolute[Band::ALL
+            .iter()
+            .position(|b| *b == band)
+            .expect("band in ALL")]
     }
 
     /// Relative power of a specific band.
     pub fn relative(&self, band: Band) -> f64 {
-        self.relative[Band::ALL.iter().position(|b| *b == band).expect("band in ALL")]
+        self.relative[Band::ALL
+            .iter()
+            .position(|b| *b == band)
+            .expect("band in ALL")]
     }
 }
 
@@ -134,7 +146,65 @@ pub fn band_powers_from_psd(psd: &PowerSpectrum) -> Result<BandPowers, seizure_d
     for (i, band) in Band::ALL.iter().enumerate() {
         let (lo, hi) = band.range();
         absolute[i] = band_power(psd, lo, hi)?;
-        relative[i] = if total > 0.0 { absolute[i] / total } else { 0.0 };
+        relative[i] = if total > 0.0 {
+            absolute[i] / total
+        } else {
+            0.0
+        };
+    }
+    Ok(BandPowers {
+        absolute,
+        relative,
+        total,
+    })
+}
+
+/// Computes absolute and relative band powers straight from raw one-sided PSD
+/// bins (as filled by [`seizure_dsp::spectrum::PsdPlan::power_into`]) without
+/// materializing a [`PowerSpectrum`]. `window_len` is the analysis-window
+/// length the bins came from. This is the allocation-free twin of
+/// [`band_powers_from_psd`] used by the batch inference engine.
+///
+/// # Errors
+///
+/// Propagates [`seizure_dsp::DspError`] for a non-positive `fs` or zero
+/// `window_len`.
+pub fn band_powers_from_bins(
+    power: &[f64],
+    fs: f64,
+    window_len: usize,
+) -> Result<BandPowers, seizure_dsp::DspError> {
+    if fs <= 0.0 || fs.is_nan() || window_len == 0 {
+        return Err(seizure_dsp::DspError::InvalidParameter {
+            name: "fs",
+            reason: "band_powers_from_bins requires a positive fs and window length".to_string(),
+        });
+    }
+    // One pass over the bins accumulating all five bands and the total at
+    // once (the separate per-band helpers each rescan the full spectrum).
+    let resolution = fs / window_len as f64;
+    let ranges = Band::ALL.map(|band| band.range());
+    let mut sums = [0.0; 5];
+    let mut total_sum = 0.0;
+    for (k, p) in power.iter().enumerate() {
+        let f = k as f64 * fs / window_len as f64;
+        total_sum += p;
+        for (sum, (lo, hi)) in sums.iter_mut().zip(ranges.iter()) {
+            if f >= *lo && f <= *hi {
+                *sum += p;
+            }
+        }
+    }
+    let total = total_sum * resolution;
+    let mut absolute = [0.0; 5];
+    let mut relative = [0.0; 5];
+    for i in 0..5 {
+        absolute[i] = sums[i] * resolution;
+        relative[i] = if total > 0.0 {
+            absolute[i] / total
+        } else {
+            0.0
+        };
     }
     Ok(BandPowers {
         absolute,

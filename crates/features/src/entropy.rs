@@ -79,6 +79,109 @@ fn ln_factorial(n: usize) -> f64 {
     (2..=n).map(|k| (k as f64).ln()).sum()
 }
 
+/// Largest ordinal-pattern order supported by
+/// [`permutation_entropy_scratch`]'s dense counting table (`8! = 40320`
+/// buckets).
+pub const MAX_SCRATCH_ORDER: usize = 8;
+
+/// Allocation-free permutation entropy over a reusable counting buffer.
+///
+/// Computes the same quantity as [`permutation_entropy`], but instead of
+/// hashing one heap-allocated key per ordinal pattern it ranks each pattern
+/// with its Lehmer code and counts occurrences in a dense `order!`-slot table
+/// (`counts`, resized once and reused across calls). This is the hot-path
+/// variant used by the batch feature-extraction engine: zero allocations per
+/// call once `counts` has warmed up, and no hashing.
+///
+/// Ordinal ranks are obtained with a stable insertion sort, so ties between
+/// equal samples break exactly as in [`permutation_entropy`]; the two
+/// variants count identical pattern multisets and differ at most by the
+/// floating-point summation order of the final entropy (≈ 1e-15).
+///
+/// # Errors
+///
+/// Returns [`FeatureError::InvalidConfig`] if `order < 2`,
+/// `order > MAX_SCRATCH_ORDER` or `delay == 0`.
+pub fn permutation_entropy_scratch(
+    data: &[f64],
+    order: usize,
+    delay: usize,
+    counts: &mut Vec<u32>,
+) -> Result<f64, FeatureError> {
+    if !(2..=MAX_SCRATCH_ORDER).contains(&order) {
+        return Err(FeatureError::InvalidConfig {
+            name: "order",
+            reason: format!("permutation order must lie in [2, {MAX_SCRATCH_ORDER}], got {order}"),
+        });
+    }
+    if delay == 0 {
+        return Err(FeatureError::InvalidConfig {
+            name: "delay",
+            reason: "delay must be at least 1".to_string(),
+        });
+    }
+    let span = (order - 1) * delay;
+    if data.len() <= span {
+        return Ok(0.0);
+    }
+    let num_patterns = data.len() - span;
+    let table_size: usize = (2..=order).product();
+    counts.clear();
+    counts.resize(table_size, 0);
+
+    let mut values = [0.0f64; MAX_SCRATCH_ORDER];
+    let mut perm = [0u8; MAX_SCRATCH_ORDER];
+    for start in 0..num_patterns {
+        for (slot, value) in values[..order]
+            .iter_mut()
+            .zip(data[start..].iter().step_by(delay))
+        {
+            *slot = *value;
+        }
+        // Stable insertion sort of (value, position) pairs on the stack;
+        // shifting only on strictly-greater keeps tie order identical to the
+        // stable sort in `permutation_entropy`.
+        for (slot, position) in perm[..order].iter_mut().zip(0..order as u8) {
+            *slot = position;
+        }
+        for i in 1..order {
+            let key_value = values[i];
+            let key_position = perm[i];
+            let mut j = i;
+            while j > 0 && values[j - 1] > key_value {
+                values[j] = values[j - 1];
+                perm[j] = perm[j - 1];
+                j -= 1;
+            }
+            values[j] = key_value;
+            perm[j] = key_position;
+        }
+        // Lehmer-code rank of the permutation in mixed-radix form.
+        let mut rank = 0usize;
+        for i in 0..order {
+            let mut smaller_later = 0usize;
+            for j in i + 1..order {
+                smaller_later += usize::from(perm[j] < perm[i]);
+            }
+            rank = rank * (order - i) + smaller_later;
+        }
+        counts[rank] += 1;
+    }
+
+    let mut entropy = 0.0;
+    for &count in counts.iter() {
+        if count > 0 {
+            let p = count as f64 / num_patterns as f64;
+            entropy -= p * p.ln();
+        }
+    }
+    let max_entropy = ln_factorial(order);
+    if max_entropy <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok((entropy / max_entropy).clamp(0.0, 1.0))
+}
+
 /// Shannon entropy (in nats) of the energy distribution of `data`.
 ///
 /// Each sample contributes `p_i = x_i^2 / sum(x^2)`; this is the standard
@@ -265,10 +368,14 @@ mod tests {
     use super::*;
 
     fn pseudo_random(n: usize, seed: u64) -> Vec<f64> {
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
             })
             .collect()
@@ -334,7 +441,7 @@ mod tests {
 
     #[test]
     fn shannon_entropy_zero_signal_is_zero() {
-        assert_eq!(shannon_entropy(&vec![0.0; 8]), 0.0);
+        assert_eq!(shannon_entropy(&[0.0; 8]), 0.0);
         assert_eq!(shannon_entropy(&[]), 0.0);
     }
 
@@ -371,7 +478,7 @@ mod tests {
 
     #[test]
     fn renyi_entropy_zero_signal_is_zero() {
-        assert_eq!(renyi_entropy(&vec![0.0; 8], 2.0).unwrap(), 0.0);
+        assert_eq!(renyi_entropy(&[0.0; 8], 2.0).unwrap(), 0.0);
     }
 
     #[test]
@@ -426,5 +533,44 @@ mod tests {
     fn approximate_entropy_invalid_parameters() {
         assert!(approximate_entropy(&[1.0; 10], 0, 0.2).is_err());
         assert!(approximate_entropy(&[1.0; 10], 2, -0.5).is_err());
+    }
+
+    #[test]
+    fn scratch_permutation_entropy_matches_hashmap_variant() {
+        let signals = [
+            pseudo_random(300, 7),
+            (0..200)
+                .map(|i| (i as f64 * 0.21).sin())
+                .collect::<Vec<_>>(),
+            // Ties everywhere: a square-ish wave exercises stable ordering.
+            (0..150).map(|i| ((i / 3) % 2) as f64).collect::<Vec<_>>(),
+            vec![2.5; 64],
+        ];
+        let mut counts = Vec::new();
+        for signal in &signals {
+            for order in 2..=7 {
+                for delay in [1usize, 2] {
+                    let reference = permutation_entropy(signal, order, delay).unwrap();
+                    let fast =
+                        permutation_entropy_scratch(signal, order, delay, &mut counts).unwrap();
+                    assert!(
+                        (reference - fast).abs() < 1e-12,
+                        "order {order} delay {delay}: {reference} vs {fast}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_permutation_entropy_short_series_and_validation() {
+        let mut counts = Vec::new();
+        assert_eq!(
+            permutation_entropy_scratch(&[1.0, 2.0], 5, 1, &mut counts).unwrap(),
+            0.0
+        );
+        assert!(permutation_entropy_scratch(&[1.0; 10], 1, 1, &mut counts).is_err());
+        assert!(permutation_entropy_scratch(&[1.0; 10], 9, 1, &mut counts).is_err());
+        assert!(permutation_entropy_scratch(&[1.0; 10], 3, 0, &mut counts).is_err());
     }
 }

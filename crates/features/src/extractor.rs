@@ -9,14 +9,15 @@
 //! * [`RichFeatureSet`] — a 54-feature catalogue (27 per channel) mirroring the
 //!   real-time random-forest detector of Sopic et al. (e-Glass, ISCAS 2018).
 
-use crate::bandpower::{band_powers_from_psd, Band};
+use crate::bandpower::{band_powers_from_bins, band_powers_from_psd, Band};
 use crate::entropy::{
     permutation_entropy, renyi_entropy_quadratic, sample_entropy, shannon_entropy,
 };
 use crate::error::FeatureError;
-use crate::hjorth::hjorth_parameters;
+use crate::hjorth::{hjorth_parameters, hjorth_parameters_fused};
 use crate::matrix::FeatureMatrix;
-use crate::statistics::window_statistics;
+use crate::scratch::FeatureScratch;
+use crate::statistics::{window_statistics, window_statistics_fused};
 use crate::waveform::{line_length, nonlinear_energy, peak_to_peak, zero_crossings};
 use seizure_dsp::spectrum::periodogram;
 use seizure_dsp::wavelet::{wavedec, Wavelet, WaveletDecomposition};
@@ -211,6 +212,78 @@ pub trait FeatureExtractor {
         }
         Ok(matrix)
     }
+
+    /// Extracts the full feature matrix through the batch engine: one flat
+    /// row-major buffer, filled in parallel across windows with per-thread
+    /// scratch workspaces.
+    ///
+    /// The default implementation falls back to the sequential
+    /// [`FeatureExtractor::extract_matrix`]; [`PaperFeatureSet`] and
+    /// [`RichFeatureSet`] override it with the allocation-free parallel path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FeatureExtractor::extract_matrix`].
+    fn extract_batch(
+        &self,
+        f7t3: &[f64],
+        f8t4: &[f64],
+        config: &SlidingWindowConfig,
+    ) -> Result<FeatureMatrix, FeatureError> {
+        self.extract_matrix(f7t3, f8t4, config)
+    }
+}
+
+/// Shared driver of the parallel batch extraction path: validates the
+/// channels, allocates the flat output matrix once, and fans the windows out
+/// across scoped worker threads, each owning one [`FeatureScratch`].
+fn parallel_extract<MS, EX>(
+    names: Vec<String>,
+    f7t3: &[f64],
+    f8t4: &[f64],
+    config: &SlidingWindowConfig,
+    make_scratch: MS,
+    extract: EX,
+) -> Result<FeatureMatrix, FeatureError>
+where
+    MS: Fn() -> Result<FeatureScratch, FeatureError> + Sync,
+    EX: Fn(&[f64], &[f64], &mut [f64], &mut FeatureScratch) -> Result<(), FeatureError> + Sync,
+{
+    if f7t3.len() != f8t4.len() {
+        return Err(FeatureError::ChannelLengthMismatch {
+            left: f7t3.len(),
+            right: f8t4.len(),
+        });
+    }
+    let count = config.num_windows(f7t3.len());
+    if count == 0 {
+        return Err(FeatureError::SignalTooShort {
+            actual: f7t3.len(),
+            required: config.window_samples(),
+        });
+    }
+    let num_features = names.len();
+    let window = config.window_samples();
+    let step = config.step_samples();
+    let mut data = vec![0.0; count * num_features];
+    seizure_parallel::par_process_rows::<FeatureError, _>(
+        &mut data,
+        num_features,
+        |first_row, block| {
+            let mut scratch = make_scratch()?;
+            for (offset, row) in block.chunks_mut(num_features).enumerate() {
+                let start = (first_row + offset) * step;
+                extract(
+                    &f7t3[start..start + window],
+                    &f8t4[start..start + window],
+                    row,
+                    &mut scratch,
+                )?;
+            }
+            Ok(())
+        },
+    )?;
+    FeatureMatrix::from_flat(names, data)
 }
 
 /// Decomposition depth used for the wavelet-domain entropy features.
@@ -245,15 +318,89 @@ impl PaperFeatureSet {
 
     fn decompose(&self, window: &[f64]) -> Result<WaveletDecomposition, FeatureError> {
         let wavelet = Wavelet::Daubechies4;
-        let levels = PAPER_WAVELET_LEVELS.min(wavelet.max_level(window.len())).max(1);
+        let levels = PAPER_WAVELET_LEVELS
+            .min(wavelet.max_level(window.len()))
+            .max(1);
         Ok(wavedec(window, wavelet, levels)?)
     }
 
     /// Detail coefficients at the requested level, falling back to the deepest
     /// available level when the window is too short for the nominal depth.
-    fn detail_at<'a>(dec: &'a WaveletDecomposition, level: usize) -> &'a [f64] {
+    fn detail_at(dec: &WaveletDecomposition, level: usize) -> &[f64] {
         let level = level.min(dec.levels()).max(1);
         dec.detail(level).expect("level clamped into valid range")
+    }
+
+    /// Builds the reusable scratch workspace for windows of `window_len`
+    /// samples (db4 decomposition clamped at the paper's level 7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::Dsp`] if the window is too short to support
+    /// even one decomposition level.
+    pub fn scratch(&self, window_len: usize) -> Result<FeatureScratch, FeatureError> {
+        FeatureScratch::new(self.fs, window_len, PAPER_WAVELET_LEVELS)
+    }
+
+    /// Extracts the ten paper features into `out` using preallocated scratch
+    /// space — the allocation-free twin of
+    /// [`FeatureExtractor::extract_window`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::DimensionMismatch`] if `out` does not have ten
+    /// slots, [`FeatureError::ChannelLengthMismatch`] if the channels differ
+    /// from each other, [`FeatureError::DimensionMismatch`] if they differ
+    /// from the scratch's planned length, and propagates numeric failures.
+    pub fn extract_window_into(
+        &self,
+        f7t3: &[f64],
+        f8t4: &[f64],
+        out: &mut [f64],
+        scratch: &mut FeatureScratch,
+    ) -> Result<(), FeatureError> {
+        if out.len() != self.num_features() {
+            return Err(FeatureError::DimensionMismatch {
+                detail: format!(
+                    "output slice has {} slots but the paper set produces {} features",
+                    out.len(),
+                    self.num_features()
+                ),
+            });
+        }
+        if f7t3.len() != f8t4.len() {
+            return Err(FeatureError::ChannelLengthMismatch {
+                left: f7t3.len(),
+                right: f8t4.len(),
+            });
+        }
+        if f7t3.len() != scratch.window_len() {
+            return Err(FeatureError::DimensionMismatch {
+                detail: format!(
+                    "window has {} samples but the scratch was built for {}",
+                    f7t3.len(),
+                    scratch.window_len()
+                ),
+            });
+        }
+        // Spectral features, one reused periodogram plan per channel.
+        let n = scratch.window_len();
+        let left = band_powers_from_bins(scratch.power_bins(f7t3)?, self.fs, n)?;
+        let right = band_powers_from_bins(scratch.power_bins(f8t4)?, self.fs, n)?;
+
+        // Wavelet-domain nonlinear features of F8T4 from the reused workspace.
+        scratch.decompose(f8t4)?;
+        out[0] = left.absolute(Band::Theta);
+        out[1] = left.relative(Band::Theta);
+        out[2] = left.absolute(Band::Delta);
+        out[3] = right.relative(Band::Theta);
+        out[4] = scratch.detail_perm_entropy(7, 5, 1)?;
+        out[5] = scratch.detail_perm_entropy(7, 7, 1)?;
+        out[6] = scratch.detail_perm_entropy(6, 7, 1)?;
+        out[7] = renyi_entropy_quadratic(scratch.detail_clamped(3));
+        out[8] = sample_entropy(scratch.detail_clamped(6), 2, 0.2)?;
+        out[9] = sample_entropy(scratch.detail_clamped(6), 2, 0.35)?;
+        Ok(())
     }
 }
 
@@ -305,6 +452,22 @@ impl FeatureExtractor for PaperFeatureSet {
             sample_entropy(d6, 2, 0.35)?,
         ])
     }
+
+    fn extract_batch(
+        &self,
+        f7t3: &[f64],
+        f8t4: &[f64],
+        config: &SlidingWindowConfig,
+    ) -> Result<FeatureMatrix, FeatureError> {
+        parallel_extract(
+            self.feature_names(),
+            f7t3,
+            f8t4,
+            config,
+            || self.scratch(config.window_samples()),
+            |w1, w2, out, scratch| self.extract_window_into(w1, w2, out, scratch),
+        )
+    }
 }
 
 /// A 54-feature catalogue (27 per electrode pair) mirroring the feature
@@ -318,6 +481,9 @@ pub struct RichFeatureSet {
 
 /// Number of features [`RichFeatureSet`] produces per channel.
 const RICH_FEATURES_PER_CHANNEL: usize = 27;
+
+/// Decomposition depth used for the rich set's wavelet entropy features.
+const RICH_WAVELET_LEVELS: usize = 5;
 
 impl RichFeatureSet {
     /// Creates the extractor for signals sampled at `fs` Hz.
@@ -354,7 +520,12 @@ impl RichFeatureSet {
         }
         names.push(format!("{channel}_hjorth_mobility"));
         names.push(format!("{channel}_hjorth_complexity"));
-        for wf in ["line_length", "nonlinear_energy", "zero_crossings", "peak_to_peak"] {
+        for wf in [
+            "line_length",
+            "nonlinear_energy",
+            "zero_crossings",
+            "peak_to_peak",
+        ] {
             names.push(format!("{channel}_{wf}"));
         }
         names.push(format!("{channel}_permutation_entropy_n3"));
@@ -401,7 +572,9 @@ impl RichFeatureSet {
         out.push(permutation_entropy(window, 5, 1)?);
 
         let wavelet = Wavelet::Daubechies4;
-        let levels = 5usize.min(wavelet.max_level(window.len())).max(1);
+        let levels = RICH_WAVELET_LEVELS
+            .min(wavelet.max_level(window.len()))
+            .max(1);
         let dec = wavedec(window, wavelet, levels)?;
         for level in [3usize, 4, 5] {
             let level = level.min(dec.levels()).max(1);
@@ -410,6 +583,111 @@ impl RichFeatureSet {
         }
         debug_assert_eq!(out.len(), RICH_FEATURES_PER_CHANNEL);
         Ok(out)
+    }
+
+    /// Builds the reusable scratch workspace for windows of `window_len`
+    /// samples (db4 decomposition clamped at level 5, matching
+    /// [`RichFeatureSet::extract_window`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::Dsp`] if the window is too short to support
+    /// even one decomposition level.
+    pub fn scratch(&self, window_len: usize) -> Result<FeatureScratch, FeatureError> {
+        FeatureScratch::new(self.fs, window_len, RICH_WAVELET_LEVELS)
+    }
+
+    /// The 27 per-channel features written into `out` without allocating on
+    /// the FFT/wavelet path.
+    fn channel_features_into(
+        &self,
+        window: &[f64],
+        out: &mut [f64],
+        scratch: &mut FeatureScratch,
+    ) -> Result<(), FeatureError> {
+        debug_assert_eq!(out.len(), RICH_FEATURES_PER_CHANNEL);
+        if window.len() < 3 {
+            return Err(FeatureError::SignalTooShort {
+                actual: window.len(),
+                required: 3,
+            });
+        }
+        let n = scratch.window_len();
+        let bands = band_powers_from_bins(scratch.power_bins(window)?, self.fs, n)?;
+        out[..5].copy_from_slice(&bands.absolute);
+        out[5..10].copy_from_slice(&bands.relative);
+        out[10] = bands.total;
+
+        let stats = window_statistics_fused(window)?;
+        out[11] = stats.mean;
+        out[12] = stats.variance;
+        out[13] = stats.skewness;
+        out[14] = stats.kurtosis;
+        out[15] = stats.rms;
+
+        let hjorth = hjorth_parameters_fused(window)?;
+        out[16] = hjorth.mobility;
+        out[17] = hjorth.complexity;
+
+        out[18] = line_length(window)?;
+        out[19] = nonlinear_energy(window)?;
+        out[20] = zero_crossings(window)? as f64;
+        out[21] = peak_to_peak(window)?;
+
+        out[22] = scratch.perm_entropy(window, 3, 1)?;
+        out[23] = scratch.perm_entropy(window, 5, 1)?;
+
+        scratch.decompose(window)?;
+        for (slot, level) in out[24..27].iter_mut().zip([3usize, 4, 5]) {
+            *slot = shannon_entropy(scratch.detail_clamped(level));
+        }
+        Ok(())
+    }
+
+    /// Extracts all 54 features into `out` using preallocated scratch space —
+    /// the allocation-free twin of [`FeatureExtractor::extract_window`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::DimensionMismatch`] if `out` does not have 54
+    /// slots, [`FeatureError::ChannelLengthMismatch`] if the channels differ
+    /// from each other, [`FeatureError::DimensionMismatch`] if they differ
+    /// from the scratch's planned length, and propagates numeric failures.
+    pub fn extract_window_into(
+        &self,
+        f7t3: &[f64],
+        f8t4: &[f64],
+        out: &mut [f64],
+        scratch: &mut FeatureScratch,
+    ) -> Result<(), FeatureError> {
+        if out.len() != 2 * RICH_FEATURES_PER_CHANNEL {
+            return Err(FeatureError::DimensionMismatch {
+                detail: format!(
+                    "output slice has {} slots but the rich set produces {} features",
+                    out.len(),
+                    2 * RICH_FEATURES_PER_CHANNEL
+                ),
+            });
+        }
+        if f7t3.len() != f8t4.len() {
+            return Err(FeatureError::ChannelLengthMismatch {
+                left: f7t3.len(),
+                right: f8t4.len(),
+            });
+        }
+        if f7t3.len() != scratch.window_len() {
+            return Err(FeatureError::DimensionMismatch {
+                detail: format!(
+                    "window has {} samples but the scratch was built for {}",
+                    f7t3.len(),
+                    scratch.window_len()
+                ),
+            });
+        }
+        let (left, right) = out.split_at_mut(RICH_FEATURES_PER_CHANNEL);
+        self.channel_features_into(f7t3, left, scratch)?;
+        self.channel_features_into(f8t4, right, scratch)?;
+        Ok(())
     }
 }
 
@@ -424,6 +702,22 @@ impl FeatureExtractor for RichFeatureSet {
         let mut out = self.channel_features(f7t3)?;
         out.extend(self.channel_features(f8t4)?);
         Ok(out)
+    }
+
+    fn extract_batch(
+        &self,
+        f7t3: &[f64],
+        f8t4: &[f64],
+        config: &SlidingWindowConfig,
+    ) -> Result<FeatureMatrix, FeatureError> {
+        parallel_extract(
+            self.feature_names(),
+            f7t3,
+            f8t4,
+            config,
+            || self.scratch(config.window_samples()),
+            |w1, w2, out, scratch| self.extract_window_into(w1, w2, out, scratch),
+        )
     }
 }
 
@@ -594,6 +888,114 @@ mod tests {
         let names = ex.feature_names();
         let ll_idx = names.iter().position(|n| n == "f7t3_line_length").unwrap();
         assert!(f_loud[ll_idx] > 3.0 * f_quiet[ll_idx]);
+    }
+
+    fn assert_matrices_close(batch: &FeatureMatrix, reference: &FeatureMatrix, tol: f64) {
+        assert_eq!(batch.num_windows(), reference.num_windows());
+        assert_eq!(batch.num_features(), reference.num_features());
+        assert_eq!(batch.feature_names(), reference.feature_names());
+        for (r, (a, b)) in batch.rows().zip(reference.rows()).enumerate() {
+            for (c, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                assert!(
+                    (x - y).abs() <= tol * (1.0 + y.abs()),
+                    "row {r} col {c}: batch {x} vs reference {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_batch_extraction_matches_sequential() {
+        let fs = 256.0;
+        let (a, b) = two_channels(fs, 20.0);
+        let cfg = SlidingWindowConfig::paper_default(fs).unwrap();
+        let ex = PaperFeatureSet::new(fs).unwrap();
+        let batch = ex.extract_batch(&a, &b, &cfg).unwrap();
+        let reference = ex.extract_matrix(&a, &b, &cfg).unwrap();
+        assert_matrices_close(&batch, &reference, 1e-9);
+    }
+
+    #[test]
+    fn rich_batch_extraction_matches_sequential() {
+        let fs = 256.0;
+        let (a, b) = two_channels(fs, 16.0);
+        let cfg = SlidingWindowConfig::paper_default(fs).unwrap();
+        let ex = RichFeatureSet::new(fs).unwrap();
+        let batch = ex.extract_batch(&a, &b, &cfg).unwrap();
+        let reference = ex.extract_matrix(&a, &b, &cfg).unwrap();
+        assert_matrices_close(&batch, &reference, 1e-9);
+    }
+
+    #[test]
+    fn batch_extraction_validates_like_sequential() {
+        let fs = 256.0;
+        let (a, mut b) = two_channels(fs, 8.0);
+        let cfg = SlidingWindowConfig::paper_default(fs).unwrap();
+        let ex = RichFeatureSet::new(fs).unwrap();
+        b.pop();
+        assert!(matches!(
+            ex.extract_batch(&a, &b, &cfg),
+            Err(FeatureError::ChannelLengthMismatch { .. })
+        ));
+        let short = tone(5.0, fs, 512, 1.0);
+        assert!(matches!(
+            ex.extract_batch(&short, &short, &cfg),
+            Err(FeatureError::SignalTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn extract_window_into_matches_extract_window() {
+        let fs = 256.0;
+        let w1 = tone(6.0, fs, 1024, 2.0);
+        let w2 = tone(25.0, fs, 1024, 1.0);
+
+        let paper = PaperFeatureSet::new(fs).unwrap();
+        let mut scratch = paper.scratch(1024).unwrap();
+        assert_eq!(scratch.wavelet_levels(), 7);
+        assert_eq!(scratch.window_len(), 1024);
+        assert_eq!(scratch.sampling_frequency(), fs);
+        let mut out = vec![0.0; 10];
+        paper
+            .extract_window_into(&w1, &w2, &mut out, &mut scratch)
+            .unwrap();
+        let reference = paper.extract_window(&w1, &w2).unwrap();
+        for (a, b) in out.iter().zip(reference.iter()) {
+            assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+        }
+
+        let rich = RichFeatureSet::new(fs).unwrap();
+        let mut scratch = rich.scratch(1024).unwrap();
+        assert_eq!(scratch.wavelet_levels(), 5);
+        let mut out = vec![0.0; 54];
+        rich.extract_window_into(&w1, &w2, &mut out, &mut scratch)
+            .unwrap();
+        let reference = rich.extract_window(&w1, &w2).unwrap();
+        for (a, b) in out.iter().zip(reference.iter()) {
+            assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn extract_window_into_validates_buffers() {
+        let fs = 256.0;
+        let w = tone(6.0, fs, 1024, 1.0);
+        let paper = PaperFeatureSet::new(fs).unwrap();
+        let mut scratch = paper.scratch(1024).unwrap();
+        let mut short_out = vec![0.0; 3];
+        assert!(paper
+            .extract_window_into(&w, &w, &mut short_out, &mut scratch)
+            .is_err());
+        let mut out = vec![0.0; 10];
+        assert!(paper
+            .extract_window_into(&w[..512], &w[..512], &mut out, &mut scratch)
+            .is_err());
+        let rich = RichFeatureSet::new(fs).unwrap();
+        let mut scratch = rich.scratch(1024).unwrap();
+        let mut short_out = vec![0.0; 53];
+        assert!(rich
+            .extract_window_into(&w, &w, &mut short_out, &mut scratch)
+            .is_err());
     }
 
     #[test]

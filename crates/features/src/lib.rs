@@ -60,6 +60,7 @@ pub mod extractor;
 pub mod hjorth;
 pub mod matrix;
 pub mod normalize;
+pub mod scratch;
 pub mod selection;
 pub mod statistics;
 pub mod waveform;
@@ -67,3 +68,4 @@ pub mod waveform;
 pub use error::FeatureError;
 pub use extractor::{FeatureExtractor, PaperFeatureSet, RichFeatureSet, SlidingWindowConfig};
 pub use matrix::FeatureMatrix;
+pub use scratch::FeatureScratch;

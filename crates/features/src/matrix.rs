@@ -54,6 +54,46 @@ impl FeatureMatrix {
         Ok(m)
     }
 
+    /// Creates a matrix from a single flat row-major buffer, the layout the
+    /// batch extraction path fills in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::DimensionMismatch`] if there are no feature
+    /// names or `data.len()` is not a multiple of the feature count.
+    pub fn from_flat(names: Vec<String>, data: Vec<f64>) -> Result<Self, FeatureError> {
+        if names.is_empty() {
+            return Err(FeatureError::DimensionMismatch {
+                detail: "a feature matrix needs at least one named column".to_string(),
+            });
+        }
+        if !data.len().is_multiple_of(names.len()) {
+            return Err(FeatureError::DimensionMismatch {
+                detail: format!(
+                    "flat buffer of {} values is not a multiple of {} features",
+                    data.len(),
+                    names.len()
+                ),
+            });
+        }
+        let rows = data.len() / names.len();
+        Ok(Self { names, data, rows })
+    }
+
+    /// The underlying flat row-major buffer (`num_windows() * num_features()`
+    /// values). This is the zero-copy input of the flat-forest batch
+    /// prediction path.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the matrix and returns its flat row-major buffer, for
+    /// callers that want to transform the features in place (e.g. batch
+    /// standardization) without copying.
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Appends one window's feature vector.
     ///
     /// # Errors
@@ -163,7 +203,8 @@ impl FeatureMatrix {
         let mut out = FeatureMatrix::with_names(names);
         for r in 0..self.rows {
             let row = indices.iter().map(|&i| self.get(r, i)).collect();
-            out.push_row(row).expect("selected row length matches names");
+            out.push_row(row)
+                .expect("selected row length matches names");
         }
         Ok(out)
     }
@@ -174,7 +215,10 @@ impl FeatureMatrix {
     ///
     /// Returns [`FeatureError::DimensionMismatch`] if the range exceeds the
     /// number of windows.
-    pub fn select_rows(&self, range: std::ops::Range<usize>) -> Result<FeatureMatrix, FeatureError> {
+    pub fn select_rows(
+        &self,
+        range: std::ops::Range<usize>,
+    ) -> Result<FeatureMatrix, FeatureError> {
         if range.end > self.rows || range.start > range.end {
             return Err(FeatureError::DimensionMismatch {
                 detail: format!(
@@ -185,7 +229,8 @@ impl FeatureMatrix {
         }
         let mut out = FeatureMatrix::with_names(self.names.clone());
         for r in range {
-            out.push_row(self.row(r).to_vec()).expect("row length matches");
+            out.push_row(self.row(r).to_vec())
+                .expect("row length matches");
         }
         Ok(out)
     }

@@ -1,0 +1,163 @@
+//! Reusable per-thread scratch space for allocation-free feature extraction.
+//!
+//! Extracting features from a 4-second window runs one periodogram and one
+//! multi-level wavelet decomposition per channel; in the seed implementation
+//! each of those allocated fresh buffers for every window of every record.
+//! [`FeatureScratch`] bundles the precomputed [`PsdPlan`] and
+//! [`WaveletWorkspace`] plus their output buffers, so the batch extraction
+//! path performs the FFT and DWT of every sliding window without touching the
+//! heap. One scratch is created per worker thread and reused across all
+//! windows that worker processes.
+
+use crate::entropy::permutation_entropy_scratch;
+use crate::error::FeatureError;
+use seizure_dsp::fft::Complex;
+use seizure_dsp::spectrum::PsdPlan;
+use seizure_dsp::wavelet::{Wavelet, WaveletWorkspace};
+use seizure_dsp::window::WindowKind;
+
+/// Preallocated workspace for extracting the features of one analysis window.
+///
+/// Built by [`PaperFeatureSet::scratch`] / [`RichFeatureSet::scratch`] for a
+/// fixed window length; the depth of the wavelet decomposition is clamped to
+/// what the window supports, exactly mirroring the allocating extractors.
+///
+/// [`PaperFeatureSet::scratch`]: crate::extractor::PaperFeatureSet::scratch
+/// [`RichFeatureSet::scratch`]: crate::extractor::RichFeatureSet::scratch
+///
+/// # Example
+///
+/// ```
+/// use seizure_features::extractor::{FeatureExtractor, RichFeatureSet};
+///
+/// # fn main() -> Result<(), seizure_features::FeatureError> {
+/// let fs = 256.0;
+/// let extractor = RichFeatureSet::new(fs)?;
+/// let window: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.1).sin()).collect();
+///
+/// let mut scratch = extractor.scratch(window.len())?;
+/// let mut features = vec![0.0; extractor.num_features()];
+/// extractor.extract_window_into(&window, &window, &mut features, &mut scratch)?;
+///
+/// let reference = extractor.extract_window(&window, &window)?;
+/// for (a, b) in features.iter().zip(reference.iter()) {
+///     assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FeatureScratch {
+    fs: f64,
+    window_len: usize,
+    psd: PsdPlan,
+    spectrum: Vec<Complex>,
+    power: Vec<f64>,
+    wavelet: WaveletWorkspace,
+    /// Dense ordinal-pattern counting table reused by the allocation-free
+    /// permutation entropies.
+    perm_counts: Vec<u32>,
+}
+
+impl FeatureScratch {
+    /// Builds a scratch for windows of `window_len` samples at `fs` Hz, with
+    /// the wavelet decomposition depth clamped to
+    /// `max_wavelet_levels.min(max supported).max(1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::InvalidConfig`] if `fs` is not positive and
+    /// [`FeatureError::Dsp`] if the window is too short to support even one
+    /// db4 decomposition level.
+    pub fn new(
+        fs: f64,
+        window_len: usize,
+        max_wavelet_levels: usize,
+    ) -> Result<Self, FeatureError> {
+        if fs <= 0.0 || fs.is_nan() {
+            return Err(FeatureError::InvalidConfig {
+                name: "fs",
+                reason: format!("sampling frequency must be positive, got {fs}"),
+            });
+        }
+        let wavelet = Wavelet::Daubechies4;
+        let levels = max_wavelet_levels.min(wavelet.max_level(window_len)).max(1);
+        let psd = PsdPlan::new(window_len, WindowKind::Rectangular)?;
+        let workspace = WaveletWorkspace::new(wavelet, window_len, levels)?;
+        Ok(Self {
+            fs,
+            window_len,
+            spectrum: vec![Complex::zero(); psd.scratch_len()],
+            power: vec![0.0; psd.num_bins()],
+            psd,
+            wavelet: workspace,
+            perm_counts: Vec::new(),
+        })
+    }
+
+    /// Sampling frequency the scratch was built for.
+    pub fn sampling_frequency(&self) -> f64 {
+        self.fs
+    }
+
+    /// The window length the scratch was built for.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// The (clamped) wavelet decomposition depth.
+    pub fn wavelet_levels(&self) -> usize {
+        self.wavelet.levels()
+    }
+
+    /// Computes the one-sided PSD bins of `window` into the internal buffer
+    /// and returns them.
+    pub(crate) fn power_bins(&mut self, window: &[f64]) -> Result<&[f64], FeatureError> {
+        self.psd
+            .power_into(window, self.fs, &mut self.power, &mut self.spectrum)?;
+        Ok(&self.power)
+    }
+
+    /// Runs the db4 decomposition of `window` into the internal workspace.
+    pub(crate) fn decompose(&mut self, window: &[f64]) -> Result<&WaveletWorkspace, FeatureError> {
+        self.wavelet.decompose(window)?;
+        Ok(&self.wavelet)
+    }
+
+    /// Detail coefficients at `level`, clamped into the workspace's valid
+    /// range the same way the allocating extractors clamp (`1..=levels`).
+    /// Only valid after [`FeatureScratch::decompose`] has run.
+    pub(crate) fn detail_clamped(&self, level: usize) -> &[f64] {
+        let level = level.min(self.wavelet.levels()).max(1);
+        self.wavelet
+            .detail(level)
+            .expect("decompose ran and level is clamped into range")
+    }
+
+    /// Permutation entropy of an arbitrary series through the reusable
+    /// counting table.
+    pub(crate) fn perm_entropy(
+        &mut self,
+        data: &[f64],
+        order: usize,
+        delay: usize,
+    ) -> Result<f64, FeatureError> {
+        permutation_entropy_scratch(data, order, delay, &mut self.perm_counts)
+    }
+
+    /// Permutation entropy of the (clamped) detail band of the most recent
+    /// decomposition, without cloning the coefficients.
+    pub(crate) fn detail_perm_entropy(
+        &mut self,
+        level: usize,
+        order: usize,
+        delay: usize,
+    ) -> Result<f64, FeatureError> {
+        let level = level.min(self.wavelet.levels()).max(1);
+        let detail = self
+            .wavelet
+            .detail(level)
+            .expect("decompose ran and level is clamped into range");
+        permutation_entropy_scratch(detail, order, delay, &mut self.perm_counts)
+    }
+}

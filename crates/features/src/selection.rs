@@ -225,11 +225,8 @@ mod tests {
             }
         }
         (
-            FeatureMatrix::from_rows(
-                vec!["strong".into(), "weak".into(), "noise".into()],
-                rows,
-            )
-            .unwrap(),
+            FeatureMatrix::from_rows(vec!["strong".into(), "weak".into(), "noise".into()], rows)
+                .unwrap(),
             labels,
         )
     }

@@ -48,10 +48,7 @@ pub fn nonlinear_energy(window: &[f64]) -> Result<f64, FeatureError> {
             required: 3,
         });
     }
-    let sum: f64 = window
-        .windows(3)
-        .map(|w| w[1] * w[1] - w[0] * w[2])
-        .sum();
+    let sum: f64 = window.windows(3).map(|w| w[1] * w[1] - w[0] * w[2]).sum();
     Ok(sum / (window.len() - 2) as f64)
 }
 

@@ -196,7 +196,7 @@ mod tests {
         assert_eq!(d.num_positive(), 2);
         assert_eq!(d.num_negative(), 1);
         assert_eq!(d.features()[1][0], 2.0);
-        assert_eq!(d.labels()[2], true);
+        assert!(d.labels()[2]);
         assert!(!d.is_empty());
     }
 

@@ -123,6 +123,11 @@ impl RandomForest {
         self.trees.len()
     }
 
+    /// The fitted trees, used by the flat-forest compiler.
+    pub(crate) fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
     /// Number of features the forest was trained on.
     pub fn num_features(&self) -> usize {
         self.num_features

@@ -243,9 +243,33 @@ mod tests {
     #[test]
     fn inertia_decreases_with_more_clusters() {
         let points = two_blobs();
-        let k1 = KMeans::fit(&points, &KMeansConfig { k: 1, ..Default::default() }, 1).unwrap();
-        let k2 = KMeans::fit(&points, &KMeansConfig { k: 2, ..Default::default() }, 1).unwrap();
-        let k4 = KMeans::fit(&points, &KMeansConfig { k: 4, ..Default::default() }, 1).unwrap();
+        let k1 = KMeans::fit(
+            &points,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        let k2 = KMeans::fit(
+            &points,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        let k4 = KMeans::fit(
+            &points,
+            &KMeansConfig {
+                k: 4,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
         assert!(k2.inertia() < k1.inertia());
         assert!(k4.inertia() <= k2.inertia() + 1e-9);
     }
@@ -256,8 +280,24 @@ mod tests {
         let points = vec![vec![1.0], vec![1.0, 2.0]];
         assert!(KMeans::fit(&points, &KMeansConfig::default(), 0).is_err());
         let points = vec![vec![1.0], vec![2.0]];
-        assert!(KMeans::fit(&points, &KMeansConfig { k: 0, ..Default::default() }, 0).is_err());
-        assert!(KMeans::fit(&points, &KMeansConfig { k: 5, ..Default::default() }, 0).is_err());
+        assert!(KMeans::fit(
+            &points,
+            &KMeansConfig {
+                k: 0,
+                ..Default::default()
+            },
+            0
+        )
+        .is_err());
+        assert!(KMeans::fit(
+            &points,
+            &KMeansConfig {
+                k: 5,
+                ..Default::default()
+            },
+            0
+        )
+        .is_err());
     }
 
     #[test]
@@ -271,7 +311,15 @@ mod tests {
     #[test]
     fn identical_points_do_not_panic() {
         let points = vec![vec![3.0, 3.0]; 10];
-        let model = KMeans::fit(&points, &KMeansConfig { k: 3, ..Default::default() }, 0).unwrap();
+        let model = KMeans::fit(
+            &points,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            0,
+        )
+        .unwrap();
         assert_eq!(model.centroids().len(), 3);
         assert!(model.inertia() < 1e-9);
     }

@@ -83,7 +83,7 @@ impl KMedoids {
             // Update step: for each cluster pick the member minimizing the
             // total distance to the other members.
             let mut changed = false;
-            for cluster in 0..config.k {
+            for (cluster, medoid) in medoid_indices.iter_mut().enumerate() {
                 let members: Vec<usize> = assignments
                     .iter()
                     .enumerate()
@@ -92,7 +92,7 @@ impl KMedoids {
                 if members.is_empty() {
                     continue;
                 }
-                let mut best = (medoid_indices[cluster], f64::INFINITY);
+                let mut best = (*medoid, f64::INFINITY);
                 for &candidate in &members {
                     let cost: f64 = members
                         .iter()
@@ -102,8 +102,8 @@ impl KMedoids {
                         best = (candidate, cost);
                     }
                 }
-                if best.0 != medoid_indices[cluster] {
-                    medoid_indices[cluster] = best.0;
+                if best.0 != *medoid {
+                    *medoid = best.0;
                     changed = true;
                 }
             }
@@ -223,8 +223,24 @@ mod tests {
     fn invalid_inputs_are_rejected() {
         assert!(KMedoids::fit(&[], &KMedoidsConfig::default(), 0).is_err());
         let points = vec![vec![1.0], vec![2.0]];
-        assert!(KMedoids::fit(&points, &KMedoidsConfig { k: 0, ..Default::default() }, 0).is_err());
-        assert!(KMedoids::fit(&points, &KMedoidsConfig { k: 3, ..Default::default() }, 0).is_err());
+        assert!(KMedoids::fit(
+            &points,
+            &KMedoidsConfig {
+                k: 0,
+                ..Default::default()
+            },
+            0
+        )
+        .is_err());
+        assert!(KMedoids::fit(
+            &points,
+            &KMedoidsConfig {
+                k: 3,
+                ..Default::default()
+            },
+            0
+        )
+        .is_err());
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 pub mod dataset;
 pub mod error;
+pub mod flat;
 pub mod forest;
 pub mod kmeans;
 pub mod kmedoids;
@@ -57,6 +58,7 @@ pub mod tree;
 
 pub use dataset::Dataset;
 pub use error::MlError;
+pub use flat::FlatForest;
 pub use forest::{RandomForest, RandomForestConfig};
 pub use metrics::ConfusionMatrix;
 pub use tree::{DecisionTree, DecisionTreeConfig};

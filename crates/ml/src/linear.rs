@@ -215,9 +215,7 @@ mod tests {
         };
         let w_strong = LogisticRegression::fit(&data, &strong).unwrap();
         let w_weak = LogisticRegression::fit(&data, &weak).unwrap();
-        let norm = |w: &LogisticRegression| {
-            w.weights().iter().map(|v| v * v).sum::<f64>().sqrt()
-        };
+        let norm = |w: &LogisticRegression| w.weights().iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(norm(&w_strong) < norm(&w_weak));
     }
 }

@@ -171,11 +171,8 @@ mod tests {
         assert_eq!(train.len(), 70);
         assert_eq!(test.len(), 30);
         // No sample appears in both splits (feature values are unique here).
-        let train_vals: std::collections::HashSet<u64> = train
-            .features()
-            .iter()
-            .map(|r| r[0].to_bits())
-            .collect();
+        let train_vals: std::collections::HashSet<u64> =
+            train.features().iter().map(|r| r[0].to_bits()).collect();
         assert!(test
             .features()
             .iter()

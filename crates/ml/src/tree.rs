@@ -31,7 +31,7 @@ impl Default for DecisionTreeConfig {
 }
 
 #[derive(Debug, Clone, PartialEq)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         /// Fraction of positive samples that reached this leaf.
         probability: f64,
@@ -77,12 +77,7 @@ impl DecisionTree {
     /// Returns [`MlError::InvalidParameter`] for a zero `max_depth` or an
     /// out-of-range `max_features`.
     pub fn fit(data: &Dataset, config: &DecisionTreeConfig, seed: u64) -> Result<Self, MlError> {
-        Self::fit_with_indices(
-            data,
-            &(0..data.len()).collect::<Vec<_>>(),
-            config,
-            seed,
-        )
+        Self::fit_with_indices(data, &(0..data.len()).collect::<Vec<_>>(), config, seed)
     }
 
     /// Fits a tree on the samples selected by `indices` (repetitions allowed,
@@ -109,10 +104,7 @@ impl DecisionTree {
             if k == 0 || k > data.num_features() {
                 return Err(MlError::InvalidParameter {
                     name: "max_features",
-                    reason: format!(
-                        "must lie in [1, {}], got {k}",
-                        data.num_features()
-                    ),
+                    reason: format!("must lie in [1, {}], got {k}", data.num_features()),
                 });
             }
         }
@@ -137,6 +129,11 @@ impl DecisionTree {
     /// Number of features the tree was trained on.
     pub fn num_features(&self) -> usize {
         self.num_features
+    }
+
+    /// Root node, used by the flat-forest compiler.
+    pub(crate) fn root(&self) -> &Node {
+        &self.root
     }
 
     /// Probability that `sample` belongs to the positive (seizure) class.
@@ -212,10 +209,7 @@ fn build_node<R: Rng>(
     rng: &mut R,
 ) -> Node {
     let p = positive_fraction(data, indices);
-    if depth >= config.max_depth
-        || indices.len() < config.min_samples_split
-        || p == 0.0
-        || p == 1.0
+    if depth >= config.max_depth || indices.len() < config.min_samples_split || p == 0.0 || p == 1.0
     {
         return Node::Leaf { probability: p };
     }
@@ -254,8 +248,8 @@ fn build_node<R: Rng>(
             let right_n = n - split_at;
             let p_left = left_pos as f64 / left_n as f64;
             let p_right = (total_pos - left_pos) as f64 / right_n as f64;
-            let weighted = (left_n as f64 * gini(p_left) + right_n as f64 * gini(p_right))
-                / n as f64;
+            let weighted =
+                (left_n as f64 * gini(p_left) + right_n as f64 * gini(p_right)) / n as f64;
             let gain = parent_impurity - weighted;
             if gain > best.map_or(1e-12, |(_, _, g)| g) {
                 best = Some((feature, 0.5 * (prev + next), gain));

@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use seizure_ml::dataset::Dataset;
+use seizure_ml::flat::FlatForest;
 use seizure_ml::forest::{RandomForest, RandomForestConfig};
 use seizure_ml::kmeans::{KMeans, KMeansConfig};
 use seizure_ml::metrics::{geometric_mean, ConfusionMatrix};
@@ -35,6 +36,26 @@ proptest! {
         for row in rows.iter().take(10) {
             let p = forest.predict_proba(row);
             prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn flat_forest_is_bit_identical_to_boxed_forest((rows, labels) in labeled_points(6..50), seed in 0u64..50) {
+        let data = Dataset::new(rows.clone(), labels).unwrap();
+        let config = RandomForestConfig { n_trees: 9, max_depth: 6, ..Default::default() };
+        let forest = RandomForest::fit(&data, &config, seed).unwrap();
+        let flat = FlatForest::from_forest(&forest);
+        prop_assert_eq!(flat.num_trees(), forest.num_trees());
+
+        let matrix: Vec<f64> = rows.iter().flatten().copied().collect();
+        let probas = flat.predict_proba_batch(&matrix, 3).unwrap();
+        let classes = flat.predict_batch(&matrix, 3).unwrap();
+        for ((row, p), c) in rows.iter().zip(&probas).zip(&classes) {
+            // Bit-identical probabilities: same traversals, same accumulation
+            // order, compared through the raw IEEE-754 representation.
+            prop_assert_eq!(forest.predict_proba(row).to_bits(), p.to_bits());
+            prop_assert_eq!(flat.predict_proba(row).to_bits(), p.to_bits());
+            prop_assert_eq!(forest.predict(row), *c);
         }
     }
 

@@ -1,0 +1,170 @@
+//! # seizure-parallel
+//!
+//! Dependency-free data parallelism for the batch inference engine.
+//!
+//! The build environment has no crates.io access, so instead of `rayon` the
+//! batch paths fan out over [`std::thread::scope`]: a flat row-major output
+//! buffer is split into contiguous row blocks, one per worker, and each
+//! worker processes its block with a private scratch workspace. This is
+//! exactly the shape the feature extractor and the flat forest need — disjoint
+//! output rows, shared read-only input — so a full work-stealing pool would
+//! buy nothing on these regular workloads.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to fan out across: the machine's available
+/// parallelism, overridable (and capped to 1) with the
+/// `SEIZURE_NUM_THREADS` environment variable.
+pub fn num_threads() -> usize {
+    if let Ok(value) = std::env::var("SEIZURE_NUM_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Minimum number of rows per worker below which threading overhead is not
+/// worth paying and the work runs on the calling thread.
+const MIN_ROWS_PER_WORKER: usize = 8;
+
+/// Processes a flat row-major buffer in parallel.
+///
+/// `data` is interpreted as rows of `row_len` values. The buffer is split
+/// into contiguous blocks of rows, and `f` is invoked once per block with the
+/// index of the block's first row and the mutable block slice. Workers run on
+/// scoped threads; the first error (in row order) is returned.
+///
+/// `f` typically creates one scratch workspace per invocation, so per-window
+/// state is allocated once per worker rather than once per row.
+///
+/// # Panics
+///
+/// Panics if `row_len` is zero or does not divide `data.len()`.
+pub fn par_process_rows<E, F>(data: &mut [f64], row_len: usize, f: F) -> Result<(), E>
+where
+    F: Fn(usize, &mut [f64]) -> Result<(), E> + Sync,
+    E: Send,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "buffer length must be a multiple of row_len"
+    );
+    let rows = data.len() / row_len;
+    let workers = num_threads().min(rows / MIN_ROWS_PER_WORKER.max(1)).max(1);
+    if workers <= 1 {
+        return f(0, data);
+    }
+    let rows_per_block = rows.div_ceil(workers);
+    let block_len = rows_per_block * row_len;
+    let mut results: Vec<Option<Result<(), E>>> = Vec::new();
+    results.resize_with(workers, || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (block_idx, block) in data.chunks_mut(block_len).enumerate() {
+            let f = &f;
+            handles.push(scope.spawn(move || (block_idx, f(block_idx * rows_per_block, block))));
+        }
+        for handle in handles {
+            let (block_idx, result) = handle.join().expect("parallel worker panicked");
+            results[block_idx] = Some(result);
+        }
+    });
+    for result in results.into_iter().flatten() {
+        result?;
+    }
+    Ok(())
+}
+
+/// Fills `out` by evaluating `f` on every index in parallel.
+///
+/// Convenience wrapper over [`par_process_rows`] for one-value-per-row
+/// outputs (e.g. per-sample class probabilities).
+pub fn par_fill<F>(out: &mut [f64], f: F)
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let result: Result<(), std::convert::Infallible> = par_process_rows(out, 1, |start, block| {
+        for (offset, slot) in block.iter_mut().enumerate() {
+            *slot = f(start + offset);
+        }
+        Ok(())
+    });
+    match result {
+        Ok(()) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processes_every_row_exactly_once() {
+        let rows = 1000;
+        let row_len = 3;
+        let mut data = vec![0.0; rows * row_len];
+        par_process_rows::<std::convert::Infallible, _>(&mut data, row_len, |start, block| {
+            for (r, row) in block.chunks_mut(row_len).enumerate() {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = (start + r) as f64 * 10.0 + c as f64;
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+        for r in 0..rows {
+            for c in 0..row_len {
+                assert_eq!(data[r * row_len + c], r as f64 * 10.0 + c as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn small_batches_run_serially() {
+        let mut data = vec![0.0; 4];
+        par_process_rows::<std::convert::Infallible, _>(&mut data, 1, |start, block| {
+            assert_eq!(start, 0);
+            assert_eq!(block.len(), 4);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn first_error_in_row_order_wins() {
+        let mut data = vec![0.0; 64];
+        let err = par_process_rows(&mut data, 1, |start, _block| {
+            if start == 0 {
+                Err("first")
+            } else {
+                Err("later")
+            }
+        });
+        // Serial fallback or parallel: the reported error must be the one
+        // from the earliest failing block.
+        assert_eq!(err.unwrap_err(), "first");
+    }
+
+    #[test]
+    fn par_fill_matches_serial_map() {
+        let mut out = vec![0.0; 513];
+        par_fill(&mut out, |i| (i * i) as f64);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of row_len")]
+    fn rejects_misaligned_buffer() {
+        let mut data = vec![0.0; 5];
+        let _ = par_process_rows::<std::convert::Infallible, _>(&mut data, 2, |_, _| Ok(()));
+    }
+}

@@ -30,10 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Result<_, _>>()?;
 
     for source in [LabelSource::Algorithm, LabelSource::Expert] {
-        let mut pipeline = SelfLearningPipeline::new(
-            LabelerConfig::default(),
-            RealTimeDetectorConfig::default(),
-        );
+        let mut pipeline =
+            SelfLearningPipeline::new(LabelerConfig::default(), RealTimeDetectorConfig::default());
         println!("--- training with {source:?} labels ---");
         for seizure in 0..training_seizures {
             let record = cohort.sample_record(patient, seizure, &config, seizure as u64)?;

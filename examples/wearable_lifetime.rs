@@ -49,8 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nlifetime vs. seizure frequency");
     println!("seizures/day | labeling-only (days) | combined (days)");
     for report in energy.lifetime_sweep(OperatingMode::Combined, 1.0 / 30.0, 1.0, 6)? {
-        let labeling =
-            energy.lifetime(OperatingMode::LabelingOnly, report.seizures_per_day())?;
+        let labeling = energy.lifetime(OperatingMode::LabelingOnly, report.seizures_per_day())?;
         println!(
             "   {:8.3} | {:>20.2} | {:>15.2}",
             report.seizures_per_day(),

@@ -2,9 +2,7 @@
 //! methodology.
 
 use proptest::prelude::*;
-use selflearn_seizure::core::algorithm::{
-    posteriori_detect, DetectorConfig, Implementation,
-};
+use selflearn_seizure::core::algorithm::{posteriori_detect, DetectorConfig, Implementation};
 use selflearn_seizure::core::metric::{deviation_seconds, normalized_deviation};
 use selflearn_seizure::features::FeatureMatrix;
 
@@ -17,7 +15,9 @@ fn feature_matrix(rows: usize, features: usize, seed: u64) -> FeatureMatrix {
         ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
     };
     let names = (0..features).map(|i| format!("f{i}")).collect();
-    let data = (0..rows).map(|_| (0..features).map(|_| next()).collect()).collect();
+    let data = (0..rows)
+        .map(|_| (0..features).map(|_| next()).collect())
+        .collect();
     FeatureMatrix::from_rows(names, data).unwrap()
 }
 

@@ -63,9 +63,7 @@ fn lifetime_ranges_match_section_vi_c() {
     assert!((detection.lifetime_hours() - 65.15).abs() / 65.15 < 0.02);
 
     // Combined: 2.71 .. 2.59 days.
-    let combined_monthly = model
-        .lifetime(OperatingMode::Combined, 1.0 / 30.0)
-        .unwrap();
+    let combined_monthly = model.lifetime(OperatingMode::Combined, 1.0 / 30.0).unwrap();
     let combined_daily = model.lifetime(OperatingMode::Combined, 1.0).unwrap();
     assert!((combined_monthly.lifetime_days() - 2.71).abs() < 0.02);
     assert!((combined_daily.lifetime_days() - 2.59).abs() < 0.02);

@@ -94,7 +94,9 @@ fn the_hard_patient_is_harder_than_the_clean_one() {
         let mut summary = DeviationSummary::new();
         for seizure in 0..cohort.seizures_of(patient).unwrap().len() {
             for sample in 0..samples {
-                let record = cohort.sample_record(patient, seizure, &config, sample).unwrap();
+                let record = cohort
+                    .sample_record(patient, seizure, &config, sample)
+                    .unwrap();
                 let label = labeler.label_record(&record, w).unwrap();
                 summary
                     .record(

@@ -35,12 +35,14 @@ fn run_pipeline(patient: usize, n_train: usize, source: LabelSource) -> f64 {
         let record = cohort
             .sample_record(patient, seizure, &config, seizure as u64)
             .unwrap();
-        pipeline
-            .observe_missed_seizure(&record, w, source)
-            .unwrap();
+        pipeline.observe_missed_seizure(&record, w, source).unwrap();
     }
     let held_out: Vec<_> = (n_train..cohort.seizures_of(patient).unwrap().len())
-        .map(|s| cohort.sample_record(patient, s, &config, 50 + s as u64).unwrap())
+        .map(|s| {
+            cohort
+                .sample_record(patient, s, &config, 50 + s as u64)
+                .unwrap()
+        })
         .collect();
     pipeline.evaluate_all(&held_out).unwrap().geometric_mean
 }

@@ -1,0 +1,64 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Length specification accepted by [`vec`]: a fixed length or a half-open
+/// range of lengths.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        Self {
+            min: len,
+            max: len + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty vec length range");
+        Self {
+            min: range.start,
+            max: range.end,
+        }
+    }
+}
+
+/// Strategy generating `Vec`s whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min
+            + if span > 0 {
+                rng.below(span) as usize
+            } else {
+                0
+            };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,205 @@
+//! Minimal offline property-testing harness.
+//!
+//! Implements the subset of the `proptest` API this workspace uses — the
+//! [`proptest!`] macro, range / tuple / `any` / `prop::collection::vec`
+//! strategies, `prop_map` / `prop_filter` combinators and the
+//! `prop_assert*` / `prop_assume!` macros — on a deterministic SplitMix64
+//! generator seeded from the test name, so failures are reproducible.
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case panics with
+//! the generated inputs via the ordinary `assert!` machinery. That is a fair
+//! trade for an offline build; the properties themselves are unchanged.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod arbitrary;
+
+pub mod test_runner {
+    //! Test-run configuration and the deterministic RNG.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator used to produce test cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds a generator seeded deterministically from a test name.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name keeps runs reproducible without any
+            // global state.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+            Self { state: hash }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform integer in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "bound must be positive");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        //! Module-path re-exports (`prop::collection::vec`, ...).
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests over randomly generated inputs.
+///
+/// Supports the subset of the real macro grammar used in this repository:
+/// an optional leading `#![proptest_config(...)]`, then `#[test]` functions
+/// whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($config:expr); $( $(#[$meta:meta])* fn $name:ident ( $( $pat:pat_param in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __proptest_case in 0..config.cases {
+                    let _ = __proptest_case;
+                    $( let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property-test condition (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current generated case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0.0f64..10.0, 1usize..5), flag in any::<bool>(), bits in any::<u64>()) {
+            prop_assert!((0.0..10.0).contains(&a));
+            prop_assert!((1..5).contains(&b));
+            let _ = (flag, bits);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in prop::collection::vec(-1.0f64..1.0, 3..17)) {
+            prop_assert!((3..17).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn map_and_filter(n in (1usize..50).prop_map(|x| x * 2).prop_filter("nonzero", |&x| x > 0)) {
+            prop_assert_eq!(n % 2, 0);
+            prop_assert!(n > 0);
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_across_instances() {
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

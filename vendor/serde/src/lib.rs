@@ -1,0 +1,10 @@
+//! Offline facade for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive macros so the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compile in the
+//! network-less build environment. No serialization machinery is provided —
+//! nothing in the workspace serializes values yet.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` stub.
+//!
+//! The workspace only ever *derives* `Serialize` / `Deserialize` as forward
+//! compatibility for a future persistence layer; nothing serializes values
+//! yet. Expanding the derives to nothing keeps the annotations compiling
+//! without pulling the real serde stack into the offline build.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts the same position as serde's `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts the same position as serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
