@@ -11,6 +11,7 @@
 use crate::scale::ExperimentScale;
 use seizure_core::labeler::{LabelerConfig, PosterioriLabeler};
 use seizure_core::metric::{median, DeviationSummary};
+use seizure_core::workspace::FeatureWorkspace;
 use seizure_core::CoreError;
 use seizure_data::cohort::Cohort;
 
@@ -87,6 +88,10 @@ pub fn run_labeling_experiment_with(
     let sample_config = scale.sample_config();
     let samples = scale.samples_per_seizure();
     let labeler = PosterioriLabeler::new(*labeler_config);
+    // One extraction workspace serves every record of the experiment: the
+    // feature matrix buffer and the per-worker FFT/wavelet scratches are
+    // grown once and reused across the whole cohort.
+    let mut workspace = FeatureWorkspace::new();
 
     let mut per_seizure = Vec::with_capacity(cohort.total_seizures());
     for patient_idx in 0..cohort.patients().len() {
@@ -100,7 +105,7 @@ pub fn run_labeling_experiment_with(
                     &sample_config,
                     sample as u64,
                 )?;
-                let label = labeler.label_record(&record, w)?;
+                let label = labeler.label_record_with(&record, w, &mut workspace)?;
                 summary.record(
                     (record.annotation().onset(), record.annotation().offset()),
                     label.as_interval(),

@@ -9,6 +9,7 @@
 use crate::algorithm::{posteriori_detect, Detection, DetectorConfig};
 use crate::error::CoreError;
 use crate::label::SeizureLabel;
+use crate::workspace::FeatureWorkspace;
 use seizure_data::sampler::EegRecord;
 use seizure_data::signal::EegSignal;
 use seizure_features::extractor::{FeatureExtractor, PaperFeatureSet, SlidingWindowConfig};
@@ -54,17 +55,48 @@ impl PosterioriLabeler {
         &self.config
     }
 
-    /// Extracts the paper's ten-feature matrix from a two-channel signal.
+    /// Extracts the paper's ten-feature matrix from a two-channel signal
+    /// through the parallel batch engine.
+    ///
+    /// The batch engine's fused scratch kernels agree with the seed
+    /// `extract_matrix` path to ~1e-9 relative, not bitwise (same contract
+    /// as the real-time detector's batch path since the inference engine
+    /// landed), so labels on pathologically near-tie records may differ
+    /// from pre-batch-engine runs in the last ulps of the score.
     ///
     /// # Errors
     ///
     /// Propagates feature-extraction failures (mismatched channels, too-short
     /// signal, invalid configuration).
     pub fn extract_features(&self, signal: &EegSignal) -> Result<FeatureMatrix, CoreError> {
+        let mut ws = FeatureWorkspace::new();
+        self.extract_features_with(signal, &mut ws)?;
+        Ok(ws.matrix)
+    }
+
+    /// Multi-record twin of [`PosterioriLabeler::extract_features`]: refills
+    /// the workspace's matrix in place and reuses its pooled scratches across
+    /// records, per the labeling experiments' batch path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PosterioriLabeler::extract_features`].
+    pub fn extract_features_with(
+        &self,
+        signal: &EegSignal,
+        workspace: &mut FeatureWorkspace,
+    ) -> Result<(), CoreError> {
         let fs = signal.sampling_frequency();
         let config = SlidingWindowConfig::new(fs, self.config.window_secs, self.config.overlap)?;
         let extractor = PaperFeatureSet::new(fs)?;
-        Ok(extractor.extract_matrix(signal.f7t3(), signal.f8t4(), &config)?)
+        extractor.extract_batch_into(
+            signal.f7t3(),
+            signal.f8t4(),
+            &config,
+            &workspace.pool,
+            &mut workspace.matrix,
+        )?;
+        Ok(())
     }
 
     /// Labels the single seizure contained in `signal`, given the patient's
@@ -80,6 +112,24 @@ impl PosterioriLabeler {
         signal: &EegSignal,
         average_seizure_secs: f64,
     ) -> Result<(SeizureLabel, Detection), CoreError> {
+        let mut ws = FeatureWorkspace::new();
+        self.label_signal_with_detection_using(signal, average_seizure_secs, &mut ws)
+    }
+
+    /// Workspace-reusing twin of
+    /// [`PosterioriLabeler::label_signal_with_detection`], for callers that
+    /// label many records in a row (the labeling experiments).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`PosterioriLabeler::label_signal_with_detection`].
+    pub fn label_signal_with_detection_using(
+        &self,
+        signal: &EegSignal,
+        average_seizure_secs: f64,
+        workspace: &mut FeatureWorkspace,
+    ) -> Result<(SeizureLabel, Detection), CoreError> {
         if average_seizure_secs <= 0.0 || average_seizure_secs.is_nan() {
             return Err(CoreError::InvalidParameter {
                 name: "average_seizure_secs",
@@ -88,12 +138,12 @@ impl PosterioriLabeler {
         }
         let fs = signal.sampling_frequency();
         let window = SlidingWindowConfig::new(fs, self.config.window_secs, self.config.overlap)?;
-        let features = self.extract_features(signal)?;
+        self.extract_features_with(signal, workspace)?;
 
         // The seizure window length expressed in feature-matrix rows.
         let step_secs = window.step_seconds();
         let w_rows = ((average_seizure_secs / step_secs).round() as usize).max(1);
-        let detection = posteriori_detect(&features, w_rows, &self.config.detector)?;
+        let detection = posteriori_detect(workspace.matrix(), w_rows, &self.config.detector)?;
 
         let onset = window.window_start_seconds(detection.window_index);
         let offset = (onset + w_rows as f64 * step_secs).min(signal.duration_secs());
@@ -128,6 +178,23 @@ impl PosterioriLabeler {
         average_seizure_secs: f64,
     ) -> Result<SeizureLabel, CoreError> {
         self.label_signal(record.signal(), average_seizure_secs)
+    }
+
+    /// Workspace-reusing twin of [`PosterioriLabeler::label_record`] for
+    /// labeling whole cohorts of records with one extraction workspace.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PosterioriLabeler::label_signal`].
+    pub fn label_record_with(
+        &self,
+        record: &EegRecord,
+        average_seizure_secs: f64,
+        workspace: &mut FeatureWorkspace,
+    ) -> Result<SeizureLabel, CoreError> {
+        Ok(self
+            .label_signal_with_detection_using(record.signal(), average_seizure_secs, workspace)?
+            .0)
     }
 }
 

@@ -59,6 +59,7 @@ pub mod labeler;
 pub mod metric;
 pub mod pipeline;
 pub mod realtime;
+pub mod workspace;
 
 pub use alarm::{alarms_from_windows, evaluate_events, Alarm, AlarmConfig, EventReport};
 pub use algorithm::{posteriori_detect, Detection, DetectorConfig, Implementation};
@@ -68,3 +69,4 @@ pub use labeler::{LabelerConfig, PosterioriLabeler};
 pub use metric::{deviation_seconds, normalized_deviation};
 pub use pipeline::{SelfLearningPipeline, SelfLearningReport};
 pub use realtime::{RealTimeDetector, RealTimeDetectorConfig};
+pub use workspace::FeatureWorkspace;

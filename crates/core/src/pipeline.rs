@@ -9,9 +9,9 @@
 use crate::error::CoreError;
 use crate::label::SeizureLabel;
 use crate::labeler::{LabelerConfig, PosterioriLabeler};
-use crate::realtime::{RealTimeDetector, RealTimeDetectorConfig};
+use crate::realtime::{balanced_indices, RealTimeDetector, RealTimeDetectorConfig};
+use crate::workspace::FeatureWorkspace;
 use seizure_data::sampler::EegRecord;
-use seizure_ml::dataset::Dataset;
 use seizure_ml::metrics::ConfusionMatrix;
 
 /// Where the seizure labels used for training come from.
@@ -90,9 +90,14 @@ impl SelfLearningReport {
 pub struct SelfLearningPipeline {
     labeler: PosterioriLabeler,
     detector: RealTimeDetector,
-    training_set: Dataset,
+    /// Accumulated personalized training set, flat row-major — the layout
+    /// the training engine consumes directly.
+    train_rows: Vec<f64>,
+    train_labels: Vec<bool>,
     num_seizures: usize,
     produced_labels: Vec<SeizureLabel>,
+    /// Extraction state reused across every record the pipeline touches.
+    workspace: FeatureWorkspace,
 }
 
 impl SelfLearningPipeline {
@@ -101,9 +106,11 @@ impl SelfLearningPipeline {
         Self {
             labeler: PosterioriLabeler::new(labeler_config),
             detector: RealTimeDetector::new(detector_config),
-            training_set: Dataset::empty(),
+            train_rows: Vec::new(),
+            train_labels: Vec::new(),
             num_seizures: 0,
             produced_labels: Vec::new(),
+            workspace: FeatureWorkspace::new(),
         }
     }
 
@@ -124,7 +131,7 @@ impl SelfLearningPipeline {
 
     /// Size of the accumulated personalized training set, in windows.
     pub fn training_windows(&self) -> usize {
-        self.training_set.len()
+        self.train_labels.len()
     }
 
     /// The labels produced so far (one per observed missed seizure).
@@ -161,6 +168,11 @@ impl SelfLearningPipeline {
     /// [`SelfLearningPipeline::observe_missed_seizure`]; it can also be called
     /// directly with an externally produced label.
     ///
+    /// Runs entirely on the flat batch engine: the record's windows are
+    /// extracted into the pipeline's reusable workspace, a balanced selection
+    /// is appended to the flat training matrix, and the forest is refitted by
+    /// the parallel training engine — no per-row vectors anywhere.
+    ///
     /// # Errors
     ///
     /// Propagates feature-extraction and training failures.
@@ -169,18 +181,23 @@ impl SelfLearningPipeline {
         record: &EegRecord,
         label: &SeizureLabel,
     ) -> Result<(), CoreError> {
-        let windows = self
-            .detector
-            .build_training_windows(record.signal(), label)?;
-        let balanced = self.detector.balance(&windows)?;
-        if self.training_set.is_empty() {
-            self.training_set = balanced;
-        } else {
-            self.training_set.extend(&balanced)?;
+        let labels = self.detector.build_training_windows_with(
+            record.signal(),
+            label,
+            &mut self.workspace,
+        )?;
+        let selected = balanced_indices(&labels)?;
+        let matrix = self.workspace.matrix();
+        let num_features = matrix.num_features();
+        self.train_rows.reserve(selected.len() * num_features);
+        for &i in &selected {
+            self.train_rows.extend_from_slice(matrix.row(i));
+            self.train_labels.push(labels[i]);
         }
         self.num_seizures += 1;
         self.produced_labels.push(*label);
-        self.detector.train(&self.training_set)?;
+        self.detector
+            .train_flat(&self.train_rows, num_features, &self.train_labels)?;
         Ok(())
     }
 
@@ -212,10 +229,15 @@ impl SelfLearningPipeline {
             });
         }
         let mut pooled = ConfusionMatrix::default();
+        // One workspace serves the whole sweep: the feature buffer and the
+        // per-worker scratches are grown once and reused per record.
+        let mut workspace = FeatureWorkspace::new();
         for record in records {
             let truth =
                 SeizureLabel::new(record.annotation().onset(), record.annotation().offset())?;
-            let cm = self.detector.evaluate(record.signal(), &truth)?;
+            let cm = self
+                .detector
+                .evaluate_with(record.signal(), &truth, &mut workspace)?;
             pooled.merge(&cm);
         }
         Ok(SelfLearningReport::from_confusion(&pooled))

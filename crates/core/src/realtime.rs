@@ -8,13 +8,15 @@
 
 use crate::error::CoreError;
 use crate::label::{window_labels, SeizureLabel};
+use crate::workspace::FeatureWorkspace;
 use seizure_data::signal::EegSignal;
 use seizure_features::extractor::{FeatureExtractor, RichFeatureSet, SlidingWindowConfig};
 use seizure_features::matrix::FeatureMatrix;
 use seizure_ml::dataset::Dataset;
 use seizure_ml::flat::FlatForest;
-use seizure_ml::forest::{RandomForest, RandomForestConfig};
+use seizure_ml::forest::RandomForestConfig;
 use seizure_ml::metrics::ConfusionMatrix;
+use seizure_ml::training::{train_forest, TrainingSet};
 
 /// Configuration of the real-time detector.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -119,10 +121,35 @@ impl RealTimeDetector {
     ///
     /// Propagates feature-extraction failures.
     pub fn extract_feature_matrix(&self, signal: &EegSignal) -> Result<FeatureMatrix, CoreError> {
+        let mut ws = FeatureWorkspace::new();
+        self.extract_feature_matrix_with(signal, &mut ws)?;
+        Ok(ws.matrix)
+    }
+
+    /// Multi-record twin of [`RealTimeDetector::extract_feature_matrix`]:
+    /// refills the workspace's matrix in place and reuses its pooled
+    /// FFT/wavelet scratches, so consecutive records extract without
+    /// reallocating.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-extraction failures.
+    pub fn extract_feature_matrix_with(
+        &self,
+        signal: &EegSignal,
+        workspace: &mut FeatureWorkspace,
+    ) -> Result<(), CoreError> {
         let fs = signal.sampling_frequency();
         let window = self.window_config(fs)?;
         let extractor = RichFeatureSet::new(fs)?;
-        Ok(extractor.extract_batch(signal.f7t3(), signal.f8t4(), &window)?)
+        extractor.extract_batch_into(
+            signal.f7t3(),
+            signal.f8t4(),
+            &window,
+            &workspace.pool,
+            &mut workspace.matrix,
+        )?;
+        Ok(())
     }
 
     /// Extracts the rich (54-feature) matrix of a signal as plain rows
@@ -158,6 +185,31 @@ impl RealTimeDetector {
         Ok(Dataset::new(rows, labels)?)
     }
 
+    /// Flat-path twin of [`RealTimeDetector::build_training_windows`]:
+    /// extracts the record's features into the workspace matrix (reusing its
+    /// buffers) and returns the per-window labels, leaving the rows in
+    /// `workspace.matrix()` — no `Vec<Vec<f64>>` round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-extraction failures.
+    pub fn build_training_windows_with(
+        &self,
+        signal: &EegSignal,
+        label: &SeizureLabel,
+        workspace: &mut FeatureWorkspace,
+    ) -> Result<Vec<bool>, CoreError> {
+        let fs = signal.sampling_frequency();
+        let window = self.window_config(fs)?;
+        self.extract_feature_matrix_with(signal, workspace)?;
+        window_labels(
+            label,
+            workspace.matrix.num_windows(),
+            window.window_seconds(),
+            window.step_seconds(),
+        )
+    }
+
     /// Builds a balanced training dataset: all seizure windows of `dataset`
     /// plus an equal number of evenly spaced non-seizure windows (the paper
     /// trains on balanced sets of 2–5 seizures plus seizure-free samples).
@@ -167,31 +219,7 @@ impl RealTimeDetector {
     /// Returns [`CoreError::InvalidState`] if the dataset contains no seizure
     /// or no seizure-free windows.
     pub fn balance(&self, dataset: &Dataset) -> Result<Dataset, CoreError> {
-        let positive_idx: Vec<usize> = dataset
-            .labels()
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &l)| l.then_some(i))
-            .collect();
-        let negative_idx: Vec<usize> = dataset
-            .labels()
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &l)| (!l).then_some(i))
-            .collect();
-        if positive_idx.is_empty() || negative_idx.is_empty() {
-            return Err(CoreError::InvalidState {
-                detail: "balancing requires both seizure and seizure-free windows".to_string(),
-            });
-        }
-        let take = positive_idx.len().min(negative_idx.len());
-        // Evenly spaced negatives avoid clustering right at the label boundary.
-        let stride = (negative_idx.len() as f64 / take as f64).max(1.0);
-        let mut selected: Vec<usize> = positive_idx.clone();
-        for j in 0..take {
-            let idx = (j as f64 * stride) as usize;
-            selected.push(negative_idx[idx.min(negative_idx.len() - 1)]);
-        }
+        let selected = balanced_indices(dataset.labels())?;
         Ok(dataset.subset(&selected)?)
     }
 
@@ -205,9 +233,39 @@ impl RealTimeDetector {
     /// on an empty dataset).
     pub fn train(&mut self, dataset: &Dataset) -> Result<(), CoreError> {
         let f = dataset.num_features();
-        let n = dataset.len() as f64;
-        let mut means = vec![0.0; f];
+        let mut rows = Vec::with_capacity(dataset.len() * f);
         for row in dataset.features() {
+            rows.extend_from_slice(row);
+        }
+        self.train_flat(&rows, f, dataset.labels())
+    }
+
+    /// Trains the forest directly from a flat row-major matrix
+    /// (`labels.len() * num_features` values) through the parallel
+    /// scratch-backed training engine — no `Vec<Vec<f64>>` round-trips. The
+    /// fitted flat forest is bit-identical to the boxed
+    /// [`RandomForest::fit`](seizure_ml::RandomForest::fit) path with the
+    /// same data, configuration and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ml`] if the matrix is malformed or the forest
+    /// cannot be fitted.
+    pub fn train_flat(
+        &mut self,
+        rows: &[f64],
+        num_features: usize,
+        labels: &[bool],
+    ) -> Result<(), CoreError> {
+        if num_features == 0 {
+            return Err(seizure_ml::MlError::InvalidDataset {
+                detail: "training requires at least one feature".to_string(),
+            }
+            .into());
+        }
+        let n = labels.len() as f64;
+        let mut means = vec![0.0; num_features];
+        for row in rows.chunks_exact(num_features) {
             for (m, x) in means.iter_mut().zip(row.iter()) {
                 *m += x;
             }
@@ -215,8 +273,8 @@ impl RealTimeDetector {
         for m in &mut means {
             *m /= n;
         }
-        let mut stds = vec![0.0; f];
-        for row in dataset.features() {
+        let mut stds = vec![0.0; num_features];
+        for row in rows.chunks_exact(num_features) {
             for ((s, x), m) in stds.iter_mut().zip(row.iter()).zip(means.iter()) {
                 *s += (x - m) * (x - m);
             }
@@ -224,14 +282,10 @@ impl RealTimeDetector {
         for s in &mut stds {
             *s = (*s / n).sqrt();
         }
-        let scaled: Vec<Vec<f64>> = dataset
-            .features()
-            .iter()
-            .map(|row| scale_row(row, &means, &stds))
-            .collect();
-        let scaled_dataset = Dataset::new(scaled, dataset.labels().to_vec())?;
-        let forest = RandomForest::fit(&scaled_dataset, &self.config.forest, self.config.seed)?;
-        self.flat = Some(FlatForest::from_forest(&forest));
+        let mut scaled = rows.to_vec();
+        scale_flat(&mut scaled, &means, &stds);
+        let set = TrainingSet::from_rows(&scaled, num_features, labels)?;
+        self.flat = Some(train_forest(&set, &self.config.forest, self.config.seed)?);
         self.feature_means = means;
         self.feature_stds = stds;
         Ok(())
@@ -246,16 +300,7 @@ impl RealTimeDetector {
     /// statistics captured at training time (same arithmetic as the per-row
     /// scaling, fused over the whole batch).
     fn scale_matrix_in_place(&self, data: &mut [f64]) {
-        let f = self.feature_means.len().max(1);
-        for row in data.chunks_mut(f) {
-            for ((x, m), s) in row
-                .iter_mut()
-                .zip(self.feature_means.iter())
-                .zip(self.feature_stds.iter())
-            {
-                *x = if *s > 0.0 { (*x - *m) / *s } else { *x - *m };
-            }
-        }
+        scale_flat(data, &self.feature_means, &self.feature_stds);
     }
 
     /// Classifies every analysis window of `signal` (true = seizure alarm).
@@ -265,12 +310,27 @@ impl RealTimeDetector {
     /// Returns [`CoreError::InvalidState`] if the detector has not been trained
     /// and propagates feature-extraction failures.
     pub fn detect(&self, signal: &EegSignal) -> Result<Vec<bool>, CoreError> {
+        let mut ws = FeatureWorkspace::new();
+        self.detect_with(signal, &mut ws)
+    }
+
+    /// Multi-record twin of [`RealTimeDetector::detect`]: the workspace's
+    /// feature buffer and scratch pool are reused across records instead of
+    /// being re-grown per record.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RealTimeDetector::detect`].
+    pub fn detect_with(
+        &self,
+        signal: &EegSignal,
+        workspace: &mut FeatureWorkspace,
+    ) -> Result<Vec<bool>, CoreError> {
         let forest = self.require_flat()?;
-        let matrix = self.extract_feature_matrix(signal)?;
-        let num_features = matrix.num_features();
-        let mut data = matrix.into_data();
-        self.scale_matrix_in_place(&mut data);
-        Ok(forest.predict_batch(&data, num_features)?)
+        self.extract_feature_matrix_with(signal, workspace)?;
+        let num_features = workspace.matrix.num_features();
+        self.scale_matrix_in_place(workspace.matrix.data_mut());
+        Ok(forest.predict_batch(workspace.matrix.data(), num_features)?)
     }
 
     fn require_flat(&self) -> Result<&FlatForest, CoreError> {
@@ -319,9 +379,25 @@ impl RealTimeDetector {
         signal: &EegSignal,
         truth: &SeizureLabel,
     ) -> Result<ConfusionMatrix, CoreError> {
+        let mut ws = FeatureWorkspace::new();
+        self.evaluate_with(signal, truth, &mut ws)
+    }
+
+    /// Multi-record twin of [`RealTimeDetector::evaluate`], reusing the
+    /// workspace across records of an evaluation sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`RealTimeDetector::detect_with`].
+    pub fn evaluate_with(
+        &self,
+        signal: &EegSignal,
+        truth: &SeizureLabel,
+        workspace: &mut FeatureWorkspace,
+    ) -> Result<ConfusionMatrix, CoreError> {
         let fs = signal.sampling_frequency();
         let window = self.window_config(fs)?;
-        let predictions = self.detect(signal)?;
+        let predictions = self.detect_with(signal, workspace)?;
         let truth_labels = window_labels(
             truth,
             predictions.len(),
@@ -335,11 +411,49 @@ impl RealTimeDetector {
     }
 }
 
-fn scale_row(row: &[f64], means: &[f64], stds: &[f64]) -> Vec<f64> {
-    row.iter()
-        .zip(means.iter().zip(stds.iter()))
-        .map(|(x, (m, s))| if *s > 0.0 { (x - m) / s } else { x - m })
-        .collect()
+/// Balanced training selection over per-window labels: every seizure window
+/// plus an equal number of evenly spaced seizure-free windows, positives
+/// first (the order the pipeline's training set accumulates in).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidState`] if either class is absent.
+pub fn balanced_indices(labels: &[bool]) -> Result<Vec<usize>, CoreError> {
+    let positive_idx: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &l)| l.then_some(i))
+        .collect();
+    let negative_idx: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &l)| (!l).then_some(i))
+        .collect();
+    if positive_idx.is_empty() || negative_idx.is_empty() {
+        return Err(CoreError::InvalidState {
+            detail: "balancing requires both seizure and seizure-free windows".to_string(),
+        });
+    }
+    let take = positive_idx.len().min(negative_idx.len());
+    // Evenly spaced negatives avoid clustering right at the label boundary.
+    let stride = (negative_idx.len() as f64 / take as f64).max(1.0);
+    let mut selected = positive_idx;
+    for j in 0..take {
+        let idx = (j as f64 * stride) as usize;
+        selected.push(negative_idx[idx.min(negative_idx.len() - 1)]);
+    }
+    Ok(selected)
+}
+
+/// Standardizes a flat row-major matrix in place: `(x - mean) / std` per
+/// column, skipping the division for zero-variance columns.
+fn scale_flat(data: &mut [f64], means: &[f64], stds: &[f64]) {
+    let f = means.len().max(1);
+    for row in data.chunks_mut(f) {
+        for ((x, m), s) in row.iter_mut().zip(means.iter()).zip(stds.iter()) {
+            *x = if *s > 0.0 { (*x - *m) / *s } else { *x - *m };
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,58 @@
+//! Reusable multi-record extraction state.
+//!
+//! The detect and labeling paths both turn a record into a [`FeatureMatrix`]
+//! through the parallel batch extraction engine. In the seed implementation
+//! the flat matrix buffer and every worker's FFT/wavelet scratch were rebuilt
+//! per record; a [`FeatureWorkspace`] keeps both alive so a whole cohort of
+//! records — an evaluation sweep, a labeling experiment, the self-learning
+//! training loop — runs on one matrix allocation and one pooled scratch set.
+
+use seizure_features::matrix::FeatureMatrix;
+use seizure_features::scratch::FeatureScratchPool;
+
+/// One matrix buffer plus one scratch pool, reused across all records a
+/// caller processes.
+///
+/// # Example
+///
+/// ```no_run
+/// use seizure_core::labeler::{LabelerConfig, PosterioriLabeler};
+/// use seizure_core::workspace::FeatureWorkspace;
+/// use seizure_data::cohort::Cohort;
+/// use seizure_data::sampler::SampleConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cohort = Cohort::chb_mit_like(1);
+/// let config = SampleConfig::fast_test()?;
+/// let labeler = PosterioriLabeler::new(LabelerConfig::default());
+/// let mut ws = FeatureWorkspace::new();
+/// for seizure in 0..3 {
+///     let record = cohort.sample_record(0, seizure, &config, 0)?;
+///     let w = cohort.average_seizure_duration(0)?;
+///     // Every record reuses the same matrix buffer and scratch pool.
+///     let label = labeler.label_record_with(&record, w, &mut ws)?;
+///     println!("onset = {:.1} s", label.onset_secs());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FeatureWorkspace {
+    pub(crate) matrix: FeatureMatrix,
+    pub(crate) pool: FeatureScratchPool,
+}
+
+impl FeatureWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The workspace's feature matrix as the last operation left it. After
+    /// an extraction call this holds raw features; the detect/evaluate paths
+    /// standardize the buffer in place afterwards, so read rows out before
+    /// classifying (or re-extract) when the raw values matter.
+    pub fn matrix(&self) -> &FeatureMatrix {
+        &self.matrix
+    }
+}

@@ -16,7 +16,7 @@ use crate::entropy::{
 use crate::error::FeatureError;
 use crate::hjorth::{hjorth_parameters, hjorth_parameters_fused};
 use crate::matrix::FeatureMatrix;
-use crate::scratch::FeatureScratch;
+use crate::scratch::{FeatureScratch, FeatureScratchPool};
 use crate::statistics::{window_statistics, window_statistics_fused};
 use crate::waveform::{line_length, nonlinear_energy, peak_to_peak, zero_crossings};
 use seizure_dsp::spectrum::periodogram;
@@ -232,21 +232,53 @@ pub trait FeatureExtractor {
     ) -> Result<FeatureMatrix, FeatureError> {
         self.extract_matrix(f7t3, f8t4, config)
     }
+
+    /// Multi-record variant of [`FeatureExtractor::extract_batch`]: refills
+    /// `matrix` in place (reusing its allocation) and checks worker scratch
+    /// workspaces out of `pool` instead of building them per record, so a
+    /// whole cohort of records is extracted with one matrix buffer and one
+    /// scratch set.
+    ///
+    /// The default implementation falls back to the allocating
+    /// [`FeatureExtractor::extract_batch`]; [`PaperFeatureSet`] and
+    /// [`RichFeatureSet`] override it with the fully reusable path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FeatureExtractor::extract_batch`].
+    fn extract_batch_into(
+        &self,
+        f7t3: &[f64],
+        f8t4: &[f64],
+        config: &SlidingWindowConfig,
+        pool: &FeatureScratchPool,
+        matrix: &mut FeatureMatrix,
+    ) -> Result<(), FeatureError> {
+        let _ = pool;
+        *matrix = self.extract_batch(f7t3, f8t4, config)?;
+        Ok(())
+    }
 }
 
 /// Shared driver of the parallel batch extraction path: validates the
-/// channels, allocates the flat output matrix once, and fans the windows out
-/// across scoped worker threads, each owning one [`FeatureScratch`].
-fn parallel_extract<MS, EX>(
-    names: Vec<String>,
+/// channels, refills the flat output matrix in place, and fans the windows
+/// out across scoped worker threads, each checking one [`FeatureScratch`]
+/// out of the pool for its whole block.
+#[allow(clippy::too_many_arguments)]
+fn parallel_extract_into<MN, EX>(
+    num_features: usize,
+    make_names: MN,
     f7t3: &[f64],
     f8t4: &[f64],
     config: &SlidingWindowConfig,
-    make_scratch: MS,
+    fs: f64,
+    max_wavelet_levels: usize,
+    pool: &FeatureScratchPool,
+    matrix: &mut FeatureMatrix,
     extract: EX,
-) -> Result<FeatureMatrix, FeatureError>
+) -> Result<(), FeatureError>
 where
-    MS: Fn() -> Result<FeatureScratch, FeatureError> + Sync,
+    MN: FnOnce() -> Vec<String>,
     EX: Fn(&[f64], &[f64], &mut [f64], &mut FeatureScratch) -> Result<(), FeatureError> + Sync,
 {
     if f7t3.len() != f8t4.len() {
@@ -262,28 +294,25 @@ where
             required: config.window_samples(),
         });
     }
-    let num_features = names.len();
     let window = config.window_samples();
     let step = config.step_samples();
-    let mut data = vec![0.0; count * num_features];
-    seizure_parallel::par_process_rows::<FeatureError, _>(
-        &mut data,
-        num_features,
-        |first_row, block| {
-            let mut scratch = make_scratch()?;
-            for (offset, row) in block.chunks_mut(num_features).enumerate() {
-                let start = (first_row + offset) * step;
-                extract(
-                    &f7t3[start..start + window],
-                    &f8t4[start..start + window],
-                    row,
-                    &mut scratch,
-                )?;
-            }
-            Ok(())
-        },
-    )?;
-    FeatureMatrix::from_flat(names, data)
+    matrix.ensure_names(make_names);
+    debug_assert_eq!(matrix.num_features(), num_features);
+    let data = matrix.reset_rows(count);
+    seizure_parallel::par_process_rows::<FeatureError, _>(data, num_features, |first_row, block| {
+        let mut scratch = pool.acquire(fs, window, max_wavelet_levels)?;
+        for (offset, row) in block.chunks_mut(num_features).enumerate() {
+            let start = (first_row + offset) * step;
+            extract(
+                &f7t3[start..start + window],
+                &f8t4[start..start + window],
+                row,
+                &mut scratch,
+            )?;
+        }
+        pool.release(scratch);
+        Ok(())
+    })
 }
 
 /// Decomposition depth used for the wavelet-domain entropy features.
@@ -459,12 +488,30 @@ impl FeatureExtractor for PaperFeatureSet {
         f8t4: &[f64],
         config: &SlidingWindowConfig,
     ) -> Result<FeatureMatrix, FeatureError> {
-        parallel_extract(
-            self.feature_names(),
+        let pool = FeatureScratchPool::new();
+        let mut matrix = FeatureMatrix::default();
+        self.extract_batch_into(f7t3, f8t4, config, &pool, &mut matrix)?;
+        Ok(matrix)
+    }
+
+    fn extract_batch_into(
+        &self,
+        f7t3: &[f64],
+        f8t4: &[f64],
+        config: &SlidingWindowConfig,
+        pool: &FeatureScratchPool,
+        matrix: &mut FeatureMatrix,
+    ) -> Result<(), FeatureError> {
+        parallel_extract_into(
+            self.num_features(),
+            || self.feature_names(),
             f7t3,
             f8t4,
             config,
-            || self.scratch(config.window_samples()),
+            self.fs,
+            PAPER_WAVELET_LEVELS,
+            pool,
+            matrix,
             |w1, w2, out, scratch| self.extract_window_into(w1, w2, out, scratch),
         )
     }
@@ -710,12 +757,30 @@ impl FeatureExtractor for RichFeatureSet {
         f8t4: &[f64],
         config: &SlidingWindowConfig,
     ) -> Result<FeatureMatrix, FeatureError> {
-        parallel_extract(
-            self.feature_names(),
+        let pool = FeatureScratchPool::new();
+        let mut matrix = FeatureMatrix::default();
+        self.extract_batch_into(f7t3, f8t4, config, &pool, &mut matrix)?;
+        Ok(matrix)
+    }
+
+    fn extract_batch_into(
+        &self,
+        f7t3: &[f64],
+        f8t4: &[f64],
+        config: &SlidingWindowConfig,
+        pool: &FeatureScratchPool,
+        matrix: &mut FeatureMatrix,
+    ) -> Result<(), FeatureError> {
+        parallel_extract_into(
+            self.num_features(),
+            || self.feature_names(),
             f7t3,
             f8t4,
             config,
-            || self.scratch(config.window_samples()),
+            self.fs,
+            RICH_WAVELET_LEVELS,
+            pool,
+            matrix,
             |w1, w2, out, scratch| self.extract_window_into(w1, w2, out, scratch),
         )
     }
@@ -942,6 +1007,33 @@ mod tests {
             ex.extract_batch(&short, &short, &cfg),
             Err(FeatureError::SignalTooShort { .. })
         ));
+    }
+
+    #[test]
+    fn extract_batch_into_reuses_matrix_and_pool_across_records() {
+        let fs = 256.0;
+        let cfg = SlidingWindowConfig::paper_default(fs).unwrap();
+        let ex = RichFeatureSet::new(fs).unwrap();
+        let pool = FeatureScratchPool::new();
+        let mut matrix = FeatureMatrix::default();
+        // Records of different lengths through one matrix and one pool.
+        for secs in [12.0, 20.0, 8.0] {
+            let (a, b) = two_channels(fs, secs);
+            ex.extract_batch_into(&a, &b, &cfg, &pool, &mut matrix)
+                .unwrap();
+            let reference = ex.extract_batch(&a, &b, &cfg).unwrap();
+            assert_eq!(matrix, reference);
+        }
+        // The workers parked their scratches for the next record.
+        assert!(pool.idle() > 0);
+        // Switching extractors on the same workspace renames the columns.
+        let paper = PaperFeatureSet::new(fs).unwrap();
+        let (a, b) = two_channels(fs, 10.0);
+        paper
+            .extract_batch_into(&a, &b, &cfg, &pool, &mut matrix)
+            .unwrap();
+        assert_eq!(matrix.num_features(), 10);
+        assert_eq!(matrix, paper.extract_batch(&a, &b, &cfg).unwrap());
     }
 
     #[test]

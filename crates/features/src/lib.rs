@@ -68,4 +68,4 @@ pub mod waveform;
 pub use error::FeatureError;
 pub use extractor::{FeatureExtractor, PaperFeatureSet, RichFeatureSet, SlidingWindowConfig};
 pub use matrix::FeatureMatrix;
-pub use scratch::FeatureScratch;
+pub use scratch::{FeatureScratch, FeatureScratchPool};

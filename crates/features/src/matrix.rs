@@ -94,6 +94,38 @@ impl FeatureMatrix {
         self.data
     }
 
+    /// Mutable access to the flat row-major buffer, for in-place batch
+    /// transforms (e.g. standardization) that keep the matrix alive for
+    /// reuse.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Clears the matrix and prepares `rows` zeroed windows in place,
+    /// reusing the existing allocation; returns the mutable flat buffer.
+    /// This is the multi-record reuse entry of the batch extraction path.
+    pub(crate) fn reset_rows(&mut self, rows: usize) -> &mut [f64] {
+        let len = rows * self.names.len();
+        self.rows = rows;
+        self.data.clear();
+        self.data.resize(len, 0.0);
+        &mut self.data
+    }
+
+    /// Installs the column names produced by `names` unless the matrix
+    /// already carries exactly those names, clearing stale rows on a change.
+    /// Building the names to compare is trivial next to extracting even one
+    /// record, and comparing the full set keeps a workspace safe to share
+    /// between extractors of equal width.
+    pub(crate) fn ensure_names(&mut self, names: impl FnOnce() -> Vec<String>) {
+        let names = names();
+        if self.names != names {
+            self.names = names;
+            self.data.clear();
+            self.rows = 0;
+        }
+    }
+
     /// Appends one window's feature vector.
     ///
     /// # Errors

@@ -161,3 +161,73 @@ impl FeatureScratch {
         permutation_entropy_scratch(detail, order, delay, &mut self.perm_counts)
     }
 }
+
+/// A shared pool of [`FeatureScratch`] workspaces, so multi-record batch
+/// extraction reuses the FFT/wavelet buffers across records instead of
+/// rebuilding them per record per worker.
+///
+/// Workers of the parallel extraction path check a scratch out once per
+/// record block and return it when done; a scratch is only built when the
+/// pool has none matching the requested window geometry. The mutex is
+/// touched once per worker block, never per window.
+#[derive(Debug, Default)]
+pub struct FeatureScratchPool {
+    inner: std::sync::Mutex<Vec<FeatureScratch>>,
+}
+
+impl FeatureScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of idle workspaces currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.inner.lock().expect("scratch pool poisoned").len()
+    }
+
+    /// Checks out a scratch for the given geometry, building one only when no
+    /// pooled scratch matches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FeatureScratch::new`] failures when a fresh scratch must
+    /// be built.
+    pub(crate) fn acquire(
+        &self,
+        fs: f64,
+        window_len: usize,
+        max_wavelet_levels: usize,
+    ) -> Result<FeatureScratch, FeatureError> {
+        let wanted_levels = max_wavelet_levels
+            .min(seizure_dsp::wavelet::Wavelet::Daubechies4.max_level(window_len))
+            .max(1);
+        {
+            let mut pool = self.inner.lock().expect("scratch pool poisoned");
+            if let Some(pos) = pool.iter().position(|s| {
+                s.sampling_frequency() == fs
+                    && s.window_len() == window_len
+                    && s.wavelet_levels() == wanted_levels
+            }) {
+                return Ok(pool.swap_remove(pos));
+            }
+        }
+        FeatureScratch::new(fs, window_len, max_wavelet_levels)
+    }
+
+    /// Returns a scratch to the pool for the next record.
+    pub(crate) fn release(&self, scratch: FeatureScratch) {
+        self.inner
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
+    }
+}
+
+impl Clone for FeatureScratchPool {
+    /// Cloning a pool yields an empty pool: pooled scratches are a cache, not
+    /// state, and each clone refills on first use.
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}

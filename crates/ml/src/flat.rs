@@ -17,7 +17,7 @@ use crate::forest::RandomForest;
 use crate::tree::Node;
 
 /// Sentinel marking a leaf in the `feature` array.
-const LEAF: u32 = u32::MAX;
+pub(crate) const LEAF: u32 = u32::MAX;
 
 /// A fitted random forest compiled into struct-of-arrays node storage.
 ///
@@ -76,6 +76,29 @@ impl FlatForest {
             flat.roots.push(root);
         }
         flat
+    }
+
+    /// Assembles a flat forest directly from struct-of-arrays node storage.
+    /// Used by the training engine, which grows trees in arena layout and
+    /// never materializes boxed nodes.
+    pub(crate) fn from_raw_parts(
+        num_features: usize,
+        roots: Vec<u32>,
+        feature: Vec<u32>,
+        threshold: Vec<f64>,
+        left: Vec<u32>,
+        right: Vec<u32>,
+        leaf_prob: Vec<f64>,
+    ) -> Self {
+        Self {
+            num_features,
+            roots,
+            feature,
+            threshold,
+            left,
+            right,
+            leaf_prob,
+        }
     }
 
     fn push_node(&mut self, feature: u32, threshold: f64, prob: f64) -> u32 {

@@ -10,6 +10,8 @@
 //!
 //! * [`tree`] — CART-style decision trees with Gini impurity,
 //! * [`forest`] — bagged random forests with per-split feature subsampling,
+//! * [`training`] — the parallel, scratch-backed training engine: presorted
+//!   feature columns, arena-built trees, bit-identical to the boxed path,
 //! * [`linear`] — a logistic-regression baseline,
 //! * [`kmeans`] / [`kmedoids`] — unsupervised clustering baselines,
 //! * [`metrics`] — confusion matrices, sensitivity, specificity and the
@@ -54,6 +56,7 @@ pub mod kmedoids;
 pub mod linear;
 pub mod metrics;
 pub mod split;
+pub mod training;
 pub mod tree;
 
 pub use dataset::Dataset;
@@ -61,4 +64,5 @@ pub use error::MlError;
 pub use flat::FlatForest;
 pub use forest::{RandomForest, RandomForestConfig};
 pub use metrics::ConfusionMatrix;
+pub use training::{train_forest, TrainingSet};
 pub use tree::{DecisionTree, DecisionTreeConfig};

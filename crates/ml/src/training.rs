@@ -1,0 +1,711 @@
+//! Parallel, scratch-backed random-forest training engine.
+//!
+//! [`RandomForest::fit`](crate::forest::RandomForest::fit) re-sorts the
+//! node's samples for every candidate feature of every split and allocates a
+//! boxed node per tree position, which makes retraining the dominant cost of
+//! the paper's self-learning loop. This module is the training twin of
+//! [`FlatForest`]: a [`TrainingSet`] stores the design matrix column-major
+//! and presorts every feature column **once**; tree growth then runs on a
+//! reusable [`SplitScratch`] whose per-feature index segments are kept sorted
+//! by stable partitioning at each split (no per-node sorting), and nodes are
+//! appended to a [`NodeArena`] in DFS preorder (no per-node boxing). Trees
+//! are fitted in parallel over the `seizure-parallel` scoped threads.
+//!
+//! The engine is **bit-identical** to the boxed path: bootstrap draws come
+//! from the same shared RNG stream consumed in tree order, each tree's
+//! feature subsampling replays the same per-tree ChaCha8 stream, and the
+//! split scan applies the same floating-point operations in the same order as
+//! [`DecisionTree::fit_with_indices`](crate::tree::DecisionTree::fit_with_indices),
+//! so [`train_forest`] equals `FlatForest::from_forest(&RandomForest::fit(..))`
+//! node for node (a property-tested invariant).
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::flat::{FlatForest, LEAF};
+use crate::forest::RandomForestConfig;
+use crate::tree::{gini, DecisionTreeConfig};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A design matrix prepared for scratch-backed tree growth: column-major
+/// feature storage plus one presorted index array per feature, shared
+/// read-only by every tree of the ensemble.
+///
+/// # Example
+///
+/// ```
+/// use seizure_ml::{RandomForestConfig, TrainingSet};
+///
+/// # fn main() -> Result<(), seizure_ml::MlError> {
+/// // Four samples of two features, row-major.
+/// let rows = [0.0, 1.0, 0.2, 0.8, 0.9, 0.1, 1.0, 0.0];
+/// let set = TrainingSet::from_rows(&rows, 2, &[false, false, true, true])?;
+/// let config = RandomForestConfig { n_trees: 5, ..RandomForestConfig::default() };
+/// let forest = seizure_ml::train_forest(&set, &config, 1)?;
+/// assert_eq!(forest.num_trees(), 5);
+/// assert!(forest.predict(&[0.95, 0.05]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingSet {
+    num_samples: usize,
+    num_features: usize,
+    /// Column-major feature values: `columns[f * n + i]` is feature `f` of
+    /// sample `i`.
+    columns: Vec<f64>,
+    labels: Vec<bool>,
+    /// Per-feature presorted sample ids: `order[f * n ..][..n]` lists the
+    /// sample indices in ascending order of feature `f` (stable).
+    order: Vec<u32>,
+}
+
+impl TrainingSet {
+    /// Builds a training set from a flat row-major matrix
+    /// (`labels.len() * num_features` values) and presorts every column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidDataset`] for an empty set or zero feature
+    /// count and [`MlError::DimensionMismatch`] if the buffer length does not
+    /// equal `labels.len() * num_features`.
+    pub fn from_rows(rows: &[f64], num_features: usize, labels: &[bool]) -> Result<Self, MlError> {
+        if labels.is_empty() {
+            return Err(MlError::InvalidDataset {
+                detail: "training set must contain at least one sample".to_string(),
+            });
+        }
+        if num_features == 0 {
+            return Err(MlError::InvalidDataset {
+                detail: "training set must contain at least one feature".to_string(),
+            });
+        }
+        let n = labels.len();
+        if rows.len() != n * num_features {
+            return Err(MlError::DimensionMismatch {
+                detail: format!(
+                    "flat matrix of {} values does not cover {n} samples x {num_features} features",
+                    rows.len()
+                ),
+            });
+        }
+        if n > (u32::MAX >> 1) as usize {
+            return Err(MlError::InvalidDataset {
+                detail: "training sets are limited to 2^31 samples (31-bit ids + label bit)"
+                    .to_string(),
+            });
+        }
+        let mut columns = vec![0.0; n * num_features];
+        for (i, row) in rows.chunks_exact(num_features).enumerate() {
+            for (f, &x) in row.iter().enumerate() {
+                columns[f * n + i] = x;
+            }
+        }
+        let mut order = Vec::with_capacity(n * num_features);
+        let mut ids: Vec<u32> = Vec::with_capacity(n);
+        for f in 0..num_features {
+            let col = &columns[f * n..(f + 1) * n];
+            ids.clear();
+            ids.extend(0..n as u32);
+            // Same comparator as the boxed split finder (stable, NaN-neutral),
+            // so derived per-node orders match its per-node sorts.
+            ids.sort_by(|&a, &b| {
+                col[a as usize]
+                    .partial_cmp(&col[b as usize])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            order.extend_from_slice(&ids);
+        }
+        Ok(Self {
+            num_samples: n,
+            num_features,
+            columns,
+            labels: labels.to_vec(),
+            order,
+        })
+    }
+
+    /// Builds a training set from a row-vector [`Dataset`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TrainingSet::from_rows`].
+    pub fn from_dataset(data: &Dataset) -> Result<Self, MlError> {
+        let num_features = data.num_features();
+        let mut rows = Vec::with_capacity(data.len() * num_features);
+        for row in data.features() {
+            rows.extend_from_slice(row);
+        }
+        Self::from_rows(&rows, num_features, data.labels())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.num_samples
+    }
+
+    /// Returns `true` if the set holds no samples (never: construction
+    /// rejects empty sets).
+    pub fn is_empty(&self) -> bool {
+        self.num_samples == 0
+    }
+
+    /// Number of features per sample.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Labels, in sample order.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Value of `feature` for `sample`, off the column-major storage.
+    #[cfg(test)]
+    fn value(&self, feature: usize, sample: u32) -> f64 {
+        self.columns[feature * self.num_samples + sample as usize]
+    }
+}
+
+/// Reusable per-worker scratch for growing one tree at a time: the per-tree
+/// bootstrap multiset orders (one sorted segment per feature), the stable
+/// partition buffer, the bootstrap count table and the candidate-feature
+/// list. One scratch serves every tree a worker fits, so tree growth touches
+/// the heap only when a buffer first grows.
+#[derive(Debug, Default)]
+struct SplitScratch {
+    /// Per-feature bootstrap multiset, column-major: `order[f * m ..][..m]`
+    /// lists the drawn sample ids in ascending order of feature `f`, each
+    /// packed with its label in bit 31 ([`pack`]) so the split scan never
+    /// gathers from the label array.
+    order: Vec<u32>,
+    /// Stable-partition staging buffer (`m` ids).
+    buf: Vec<u32>,
+    /// Bootstrap multiplicity per sample (`n` counts).
+    counts: Vec<u32>,
+    /// Split-side table per sample (1 = left), evaluated once per split so
+    /// partitioning the feature segments never re-gathers the split column.
+    side: Vec<u8>,
+    /// Candidate feature list shuffled per node.
+    features: Vec<usize>,
+}
+
+/// Mask extracting the sample id from a packed id+label word.
+const ID_MASK: u32 = u32::MAX >> 1;
+
+/// Packs a sample id with its label in bit 31.
+#[inline]
+fn pack(id: u32, label: bool) -> u32 {
+    id | ((label as u32) << 31)
+}
+
+impl SplitScratch {
+    /// Prepares the scratch for one tree: zeroes the count table, tallies the
+    /// bootstrap draws and materializes the per-feature sorted multisets from
+    /// the training set's presorted columns.
+    fn load_tree(&mut self, set: &TrainingSet, draws: &[u32]) {
+        let n = set.num_samples;
+        let m = draws.len();
+        self.counts.clear();
+        self.counts.resize(n, 0);
+        for &d in draws {
+            self.counts[d as usize] += 1;
+        }
+        self.buf.resize(m, 0);
+        self.side.clear();
+        self.side.resize(n, 0);
+        // Three spare slots absorb the unconditional overflow writes of the
+        // branch-light emit below.
+        let need = set.num_features * m + 3;
+        if self.order.len() != need {
+            self.order.resize(need, 0);
+        }
+        let mut k = 0usize;
+        for f in 0..set.num_features {
+            for &s in &set.order[f * n..(f + 1) * n] {
+                let c = self.counts[s as usize] as usize;
+                let packed = pack(s, set.labels[s as usize]);
+                // Branch-light emit: bootstrap multiplicities are almost
+                // always <= 3, so three unconditional stores cover ~98% of
+                // samples without a data-dependent branch; slots written past
+                // `k + c` are overwritten by the following samples (or land
+                // in the spare tail).
+                let end = k + c;
+                self.order[k] = packed;
+                self.order[k + 1] = packed;
+                self.order[k + 2] = packed;
+                if c > 3 {
+                    for slot in &mut self.order[k + 3..end] {
+                        *slot = packed;
+                    }
+                }
+                k = end;
+            }
+        }
+        debug_assert_eq!(k, set.num_features * m);
+    }
+}
+
+/// Append-only struct-of-arrays node storage for one growing tree, mirroring
+/// the [`FlatForest`] layout (DFS preorder, [`LEAF`] sentinel in `feature`).
+#[derive(Debug, Default)]
+struct NodeArena {
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    leaf_prob: Vec<f64>,
+}
+
+impl NodeArena {
+    fn push(&mut self, feature: u32, threshold: f64, prob: f64) -> u32 {
+        let idx = self.feature.len() as u32;
+        self.feature.push(feature);
+        self.threshold.push(threshold);
+        self.left.push(0);
+        self.right.push(0);
+        self.leaf_prob.push(prob);
+        idx
+    }
+
+    fn len(&self) -> usize {
+        self.feature.len()
+    }
+}
+
+/// Fits a random forest on a prepared [`TrainingSet`], producing the flat
+/// compiled representation directly. Trees are fitted in parallel (one
+/// deterministic RNG stream per tree), and the result is bit-identical to
+/// `FlatForest::from_forest(&RandomForest::fit(..))` with the same
+/// configuration and seed.
+///
+/// The bit-identity contract holds for feature matrices without NaN values
+/// (every real feature path). With NaNs, *both* split finders order samples
+/// through `partial_cmp(..).unwrap_or(Equal)`, which makes the sort
+/// input-order-dependent — the global presort here and the boxed path's
+/// per-node sorts may then disagree on the segment order around NaNs and
+/// choose different splits.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] under the same conditions as
+/// [`RandomForest::fit`](crate::forest::RandomForest::fit): zero `n_trees`,
+/// a bootstrap fraction outside `(0, 1]`, zero `max_depth` or an
+/// out-of-range `max_features`.
+pub fn train_forest(
+    set: &TrainingSet,
+    config: &RandomForestConfig,
+    seed: u64,
+) -> Result<FlatForest, MlError> {
+    if config.n_trees == 0 {
+        return Err(MlError::InvalidParameter {
+            name: "n_trees",
+            reason: "the ensemble needs at least one tree".to_string(),
+        });
+    }
+    if !(config.bootstrap_fraction > 0.0 && config.bootstrap_fraction <= 1.0) {
+        return Err(MlError::InvalidParameter {
+            name: "bootstrap_fraction",
+            reason: format!("must lie in (0, 1], got {}", config.bootstrap_fraction),
+        });
+    }
+    if config.max_depth == 0 {
+        return Err(MlError::InvalidParameter {
+            name: "max_depth",
+            reason: "maximum depth must be at least 1".to_string(),
+        });
+    }
+    let max_features = match config.max_features {
+        Some(k) => {
+            if k == 0 || k > set.num_features() {
+                return Err(MlError::InvalidParameter {
+                    name: "max_features",
+                    reason: format!("must lie in [1, {}], got {k}", set.num_features()),
+                });
+            }
+            k
+        }
+        None => ((set.num_features() as f64).sqrt().ceil() as usize).max(1),
+    };
+    let tree_config = DecisionTreeConfig {
+        max_depth: config.max_depth,
+        min_samples_split: config.min_samples_split,
+        max_features: Some(max_features),
+    };
+
+    // Bootstrap draws replay the boxed path's shared RNG stream: all trees'
+    // indices are drawn sequentially up front so the fan-out cannot perturb
+    // the sequence.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let sample_count = ((set.len() as f64 * config.bootstrap_fraction).round() as usize).max(1);
+    let mut draws: Vec<u32> = Vec::with_capacity(config.n_trees * sample_count);
+    for _ in 0..config.n_trees * sample_count {
+        draws.push(rng.gen_range(0..set.len()) as u32);
+    }
+
+    let trees = seizure_parallel::par_map_init::<_, _, MlError, _, _>(
+        config.n_trees,
+        1,
+        || Ok(SplitScratch::default()),
+        |scratch, t| {
+            let tree_seed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(t as u64);
+            let tree_draws = &draws[t * sample_count..(t + 1) * sample_count];
+            Ok(build_tree(
+                set,
+                tree_draws,
+                &tree_config,
+                tree_seed,
+                scratch,
+            ))
+        },
+    )?;
+
+    // Stitch the per-tree arenas into one flat forest, offsetting split
+    // children by each tree's base index (leaves keep the 0/0 children the
+    // boxed compiler leaves behind, preserving exact equality).
+    let total: usize = trees.iter().map(NodeArena::len).sum();
+    assert!(
+        (total as u64) < LEAF as u64,
+        "forest exceeds u32 node indexing"
+    );
+    let mut roots = Vec::with_capacity(trees.len());
+    let mut feature = Vec::with_capacity(total);
+    let mut threshold = Vec::with_capacity(total);
+    let mut left = Vec::with_capacity(total);
+    let mut right = Vec::with_capacity(total);
+    let mut leaf_prob = Vec::with_capacity(total);
+    for tree in &trees {
+        let base = feature.len() as u32;
+        roots.push(base);
+        for i in 0..tree.len() {
+            let is_split = tree.feature[i] != LEAF;
+            feature.push(tree.feature[i]);
+            threshold.push(tree.threshold[i]);
+            left.push(if is_split { tree.left[i] + base } else { 0 });
+            right.push(if is_split { tree.right[i] + base } else { 0 });
+            leaf_prob.push(tree.leaf_prob[i]);
+        }
+    }
+    Ok(FlatForest::from_raw_parts(
+        set.num_features(),
+        roots,
+        feature,
+        threshold,
+        left,
+        right,
+        leaf_prob,
+    ))
+}
+
+/// Grows one tree on the scratch and returns its arena.
+fn build_tree(
+    set: &TrainingSet,
+    draws: &[u32],
+    config: &DecisionTreeConfig,
+    tree_seed: u64,
+    scratch: &mut SplitScratch,
+) -> NodeArena {
+    scratch.load_tree(set, draws);
+    let mut rng = ChaCha8Rng::seed_from_u64(tree_seed);
+    let mut arena = NodeArena::default();
+    let pos: usize = scratch.order[..draws.len()]
+        .iter()
+        .map(|&s| (s >> 31) as usize)
+        .sum();
+    build_node(
+        set,
+        scratch,
+        &mut arena,
+        config,
+        NodeSpan {
+            lo: 0,
+            hi: draws.len(),
+            pos,
+        },
+        0,
+        &mut rng,
+    );
+    arena
+}
+
+/// One node's multiset segment (`[lo, hi)` across every feature's sorted
+/// order) plus its positive count, threaded through the recursion so no node
+/// recounts its labels.
+#[derive(Clone, Copy)]
+struct NodeSpan {
+    lo: usize,
+    hi: usize,
+    pos: usize,
+}
+
+/// Recursively grows the node covering `span` (the same `[lo, hi)` range
+/// across every feature's sorted segment), appending to `arena` in DFS
+/// preorder exactly like the boxed builder recursion.
+fn build_node(
+    set: &TrainingSet,
+    scratch: &mut SplitScratch,
+    arena: &mut NodeArena,
+    config: &DecisionTreeConfig,
+    span: NodeSpan,
+    depth: usize,
+    rng: &mut ChaCha8Rng,
+) -> u32 {
+    let m = scratch.buf.len();
+    let NodeSpan { lo, hi, pos } = span;
+    let len = hi - lo;
+    let p = pos as f64 / len as f64;
+    if depth >= config.max_depth || len < config.min_samples_split || p == 0.0 || p == 1.0 {
+        return arena.push(LEAF, 0.0, p);
+    }
+
+    let num_features = set.num_features;
+    scratch.features.clear();
+    scratch.features.extend(0..num_features);
+    if let Some(k) = config.max_features {
+        scratch.features.shuffle(rng);
+        scratch.features.truncate(k);
+    }
+
+    let parent_impurity = gini(p);
+    let total_pos = pos;
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+
+    for &feature in &scratch.features {
+        let seg = &scratch.order[feature * m + lo..feature * m + hi];
+        let col = &set.columns[feature * set.num_samples..];
+        let mut left_pos = 0usize;
+        let mut prev_id = seg[0];
+        let mut prev = col[(prev_id & ID_MASK) as usize];
+        for (split_at, &next_id) in seg.iter().enumerate().skip(1) {
+            left_pos += (prev_id >> 31) as usize;
+            let next = col[(next_id & ID_MASK) as usize];
+            if prev == next {
+                prev_id = next_id;
+                continue; // cannot split between identical values
+            }
+            let left_n = split_at;
+            let right_n = len - split_at;
+            let p_left = left_pos as f64 / left_n as f64;
+            let p_right = (total_pos - left_pos) as f64 / right_n as f64;
+            let weighted =
+                (left_n as f64 * gini(p_left) + right_n as f64 * gini(p_right)) / len as f64;
+            let gain = parent_impurity - weighted;
+            if gain > best.map_or(1e-12, |(_, _, g)| g) {
+                best = Some((feature, 0.5 * (prev + next), gain));
+            }
+            prev_id = next_id;
+            prev = next;
+        }
+    }
+
+    let (feature, threshold) = match best {
+        None => return arena.push(LEAF, 0.0, p),
+        Some((feature, threshold, _)) => (feature, threshold),
+    };
+
+    // Evaluate the split predicate once per element into the side table,
+    // counting the left side's size and positives; the boxed builder
+    // re-checks emptiness on the partitioned sets because midpoint rounding
+    // can push every element to one side.
+    let mut left_n = 0usize;
+    let mut left_pos = 0usize;
+    {
+        let SplitScratch { order, side, .. } = scratch;
+        let col = &set.columns[feature * set.num_samples..];
+        for &s in &order[feature * m + lo..feature * m + hi] {
+            let id = (s & ID_MASK) as usize;
+            let is_left = col[id] <= threshold;
+            side[id] = is_left as u8;
+            left_n += is_left as usize;
+            left_pos += (is_left as usize) & ((s >> 31) as usize);
+        }
+    }
+    if left_n == 0 || left_n == len {
+        return arena.push(LEAF, 0.0, p);
+    }
+    let right_n = len - left_n;
+    let right_pos = pos - left_pos;
+
+    // A child that will immediately become a leaf never reads its sorted
+    // segments (and leaves consume no RNG), so when both children are
+    // guaranteed leaves the partition below is skipped entirely — the
+    // dominant saving on the deepest tree level.
+    let is_leaf = |child_len: usize, child_pos: usize| {
+        depth + 1 >= config.max_depth
+            || child_len < config.min_samples_split
+            || child_pos == 0
+            || child_pos == child_len
+    };
+    let partition_needed = !(is_leaf(left_n, left_pos) && is_leaf(right_n, right_pos));
+
+    // Stable-partition every feature's segment by the chosen split so both
+    // children keep presorted segments, staging through the scratch buffer.
+    if partition_needed {
+        let SplitScratch {
+            order, buf, side, ..
+        } = scratch;
+        for f in 0..num_features {
+            let seg = &mut order[f * m + lo..f * m + hi];
+            buf[..len].copy_from_slice(seg);
+            let mut l = 0usize;
+            let mut r = left_n;
+            for &s in &buf[..len] {
+                // Branch-light select: the destination cursor is chosen with
+                // a conditional move, so the (data-dependent) split side
+                // never costs a branch misprediction.
+                let is_left = side[(s & ID_MASK) as usize] as usize;
+                let dst = if is_left == 1 { l } else { r };
+                seg[dst] = s;
+                l += is_left;
+                r += 1 - is_left;
+            }
+        }
+    }
+
+    let idx = arena.push(feature as u32, threshold, 0.0);
+    let mid = lo + left_n;
+    let left_span = NodeSpan {
+        lo,
+        hi: mid,
+        pos: left_pos,
+    };
+    let right_span = NodeSpan {
+        lo: mid,
+        hi,
+        pos: pos - left_pos,
+    };
+    let left_idx = build_node(set, scratch, arena, config, left_span, depth + 1, rng);
+    let right_idx = build_node(set, scratch, arena, config, right_span, depth + 1, rng);
+    arena.left[idx as usize] = left_idx;
+    arena.right[idx as usize] = right_idx;
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::RandomForest;
+
+    fn blob_dataset(n_per_class: usize, separation: f64) -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_per_class {
+            let jitter1 = ((i * 37 + 13) % 101) as f64 / 101.0 - 0.5;
+            let jitter2 = ((i * 53 + 29) % 97) as f64 / 97.0 - 0.5;
+            rows.push(vec![jitter1, jitter2, ((i % 7) as f64) / 7.0]);
+            labels.push(false);
+            rows.push(vec![
+                separation + jitter2,
+                separation + jitter1,
+                ((i % 5) as f64) / 5.0,
+            ]);
+            labels.push(true);
+        }
+        Dataset::new(rows, labels).unwrap()
+    }
+
+    #[test]
+    fn training_set_validation() {
+        assert!(TrainingSet::from_rows(&[], 1, &[]).is_err());
+        assert!(TrainingSet::from_rows(&[1.0], 0, &[true]).is_err());
+        assert!(TrainingSet::from_rows(&[1.0, 2.0, 3.0], 2, &[true, false]).is_err());
+        let set = TrainingSet::from_rows(&[1.0, 2.0, 3.0, 4.0], 2, &[true, false]).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        assert_eq!(set.num_features(), 2);
+        assert_eq!(set.labels(), &[true, false]);
+    }
+
+    #[test]
+    fn training_set_presorts_columns() {
+        let rows = [3.0, 0.5, 1.0, 0.7, 2.0, 0.1];
+        let set = TrainingSet::from_rows(&rows, 2, &[true, false, true]).unwrap();
+        // Column 0 holds [3, 1, 2] -> ascending order 1, 2, 0.
+        assert_eq!(&set.order[..3], &[1, 2, 0]);
+        // Column 1 holds [0.5, 0.7, 0.1] -> ascending order 2, 0, 1.
+        assert_eq!(&set.order[3..], &[2, 0, 1]);
+        assert_eq!(set.value(0, 2), 2.0);
+        assert_eq!(set.value(1, 0), 0.5);
+    }
+
+    #[test]
+    fn engine_matches_boxed_forest_exactly() {
+        let data = blob_dataset(40, 1.5);
+        let config = RandomForestConfig {
+            n_trees: 13,
+            max_depth: 7,
+            ..RandomForestConfig::default()
+        };
+        for seed in [0, 1, 7, 42] {
+            let boxed = RandomForest::fit(&data, &config, seed).unwrap();
+            let reference = FlatForest::from_forest(&boxed);
+            let set = TrainingSet::from_dataset(&data).unwrap();
+            let engine = train_forest(&set, &config, seed).unwrap();
+            assert_eq!(engine, reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn engine_handles_duplicate_feature_values() {
+        // Constant column plus a discrete column with heavy ties.
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![1.0, (i % 3) as f64, (i % 5) as f64])
+            .collect();
+        let labels: Vec<bool> = (0..30).map(|i| i % 3 == 0).collect();
+        let data = Dataset::new(rows, labels).unwrap();
+        let config = RandomForestConfig {
+            n_trees: 9,
+            max_depth: 5,
+            ..RandomForestConfig::default()
+        };
+        let reference = FlatForest::from_forest(&RandomForest::fit(&data, &config, 3).unwrap());
+        let set = TrainingSet::from_dataset(&data).unwrap();
+        assert_eq!(train_forest(&set, &config, 3).unwrap(), reference);
+    }
+
+    #[test]
+    fn engine_rejects_invalid_parameters() {
+        let set = TrainingSet::from_rows(&[1.0, 2.0], 1, &[true, false]).unwrap();
+        let bad = |config: RandomForestConfig| train_forest(&set, &config, 0).is_err();
+        assert!(bad(RandomForestConfig {
+            n_trees: 0,
+            ..RandomForestConfig::default()
+        }));
+        assert!(bad(RandomForestConfig {
+            bootstrap_fraction: 0.0,
+            ..RandomForestConfig::default()
+        }));
+        assert!(bad(RandomForestConfig {
+            bootstrap_fraction: 1.5,
+            ..RandomForestConfig::default()
+        }));
+        assert!(bad(RandomForestConfig {
+            max_depth: 0,
+            ..RandomForestConfig::default()
+        }));
+        assert!(bad(RandomForestConfig {
+            max_features: Some(0),
+            ..RandomForestConfig::default()
+        }));
+        assert!(bad(RandomForestConfig {
+            max_features: Some(9),
+            ..RandomForestConfig::default()
+        }));
+    }
+
+    #[test]
+    fn pure_training_set_yields_single_leaves() {
+        let set = TrainingSet::from_rows(&[1.0, 2.0, 3.0], 1, &[true, true, true]).unwrap();
+        let config = RandomForestConfig {
+            n_trees: 4,
+            ..RandomForestConfig::default()
+        };
+        let forest = train_forest(&set, &config, 0).unwrap();
+        assert_eq!(forest.num_nodes(), 4);
+        assert_eq!(forest.predict_proba(&[9.0]), 1.0);
+    }
+}

@@ -197,7 +197,9 @@ fn positive_fraction(data: &Dataset, indices: &[usize]) -> f64 {
     positives as f64 / indices.len() as f64
 }
 
-fn gini(p: f64) -> f64 {
+/// Gini impurity of a binary class mixture; shared with the scratch-backed
+/// training engine so both split finders apply identical arithmetic.
+pub(crate) fn gini(p: f64) -> f64 {
     2.0 * p * (1.0 - p)
 }
 

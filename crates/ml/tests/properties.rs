@@ -7,6 +7,7 @@ use seizure_ml::forest::{RandomForest, RandomForestConfig};
 use seizure_ml::kmeans::{KMeans, KMeansConfig};
 use seizure_ml::metrics::{geometric_mean, ConfusionMatrix};
 use seizure_ml::split::{leave_one_group_out, stratified_split, train_test_split};
+use seizure_ml::training::{train_forest, TrainingSet};
 use seizure_ml::tree::{DecisionTree, DecisionTreeConfig};
 
 fn labeled_points(n: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<bool>)> {
@@ -57,6 +58,57 @@ proptest! {
             prop_assert_eq!(flat.predict_proba(row).to_bits(), p.to_bits());
             prop_assert_eq!(forest.predict(row), *c);
         }
+    }
+
+    #[test]
+    fn parallel_training_engine_is_bit_identical_to_sequential_fit(
+        (rows, labels) in labeled_points(6..50),
+        seed in 0u64..50,
+        n_trees in 1usize..12,
+        bootstrap_thirds in 1usize..4,
+    ) {
+        let data = Dataset::new(rows.clone(), labels.clone()).unwrap();
+        let config = RandomForestConfig {
+            n_trees,
+            max_depth: 6,
+            bootstrap_fraction: bootstrap_thirds as f64 / 3.0,
+            ..Default::default()
+        };
+        // Sequential reference: the boxed per-tree fit compiled to flat form.
+        let reference = FlatForest::from_forest(&RandomForest::fit(&data, &config, seed).unwrap());
+        // Engine: presorted columns, scratch-backed growth, parallel trees.
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let set = TrainingSet::from_rows(&flat, 3, &labels).unwrap();
+        let engine = train_forest(&set, &config, seed).unwrap();
+        prop_assert_eq!(&engine, &reference);
+        for row in rows.iter().take(8) {
+            prop_assert_eq!(
+                engine.predict_proba(row).to_bits(),
+                reference.predict_proba(row).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn presorted_split_finder_matches_seed_split_finder(
+        (rows, labels) in labeled_points(8..60),
+        seed in 0u64..30,
+    ) {
+        // A single tree over all features isolates the split finder: every
+        // chosen (feature, threshold) pair of the presorted-column scan must
+        // equal the boxed finder's per-node sort-and-scan choice.
+        let data = Dataset::new(rows.clone(), labels.clone()).unwrap();
+        let config = RandomForestConfig {
+            n_trees: 1,
+            max_depth: 5,
+            max_features: Some(3),
+            ..Default::default()
+        };
+        let reference = FlatForest::from_forest(&RandomForest::fit(&data, &config, seed).unwrap());
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let set = TrainingSet::from_rows(&flat, 3, &labels).unwrap();
+        let engine = train_forest(&set, &config, seed).unwrap();
+        prop_assert_eq!(engine, reference);
     }
 
     #[test]

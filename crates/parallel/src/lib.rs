@@ -82,6 +82,72 @@ where
     Ok(())
 }
 
+/// Maps `f` over the indices `0..count` in parallel, with one lazily created
+/// per-worker state shared by all indices a worker processes.
+///
+/// The index range is split into contiguous blocks, one per scoped worker
+/// thread; each worker builds its state once with `make_state` and then maps
+/// its block in order. Results come back in index order. The first error (in
+/// index order, whether from `make_state` or from `f`) is returned.
+///
+/// This is the task-parallel sibling of [`par_process_rows`]: instead of
+/// disjoint rows of one flat `f64` buffer, each index produces an owned value
+/// (e.g. one fitted decision tree), so the training engine can fan tree
+/// fitting out across cores while every tree keeps its own deterministic RNG
+/// stream.
+///
+/// `min_per_worker` controls the serial cutoff: when fewer than that many
+/// indices would land on each worker, everything runs on the calling thread.
+pub fn par_map_init<S, T, E, MS, F>(
+    count: usize,
+    min_per_worker: usize,
+    make_state: MS,
+    f: F,
+) -> Result<Vec<T>, E>
+where
+    MS: Fn() -> Result<S, E> + Sync,
+    F: Fn(&mut S, usize) -> Result<T, E> + Sync,
+    T: Send,
+    E: Send,
+{
+    let run_block = |range: std::ops::Range<usize>| -> Result<Vec<T>, E> {
+        if range.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut state = make_state()?;
+        let mut out = Vec::with_capacity(range.len());
+        for i in range {
+            out.push(f(&mut state, i)?);
+        }
+        Ok(out)
+    };
+    let workers = num_threads().min(count / min_per_worker.max(1)).max(1);
+    if workers <= 1 {
+        return run_block(0..count);
+    }
+    let per_block = count.div_ceil(workers);
+    let mut results: Vec<Option<Result<Vec<T>, E>>> = Vec::new();
+    results.resize_with(workers, || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for block_idx in 0..workers {
+            let run_block = &run_block;
+            let start = block_idx * per_block;
+            let end = (start + per_block).min(count);
+            handles.push(scope.spawn(move || (block_idx, run_block(start..end))));
+        }
+        for handle in handles {
+            let (block_idx, result) = handle.join().expect("parallel worker panicked");
+            results[block_idx] = Some(result);
+        }
+    });
+    let mut out = Vec::with_capacity(count);
+    for result in results.into_iter().flatten() {
+        out.extend(result?);
+    }
+    Ok(out)
+}
+
 /// Fills `out` by evaluating `f` on every index in parallel.
 ///
 /// Convenience wrapper over [`par_process_rows`] for one-value-per-row
@@ -150,6 +216,38 @@ mod tests {
         // Serial fallback or parallel: the reported error must be the one
         // from the earliest failing block.
         assert_eq!(err.unwrap_err(), "first");
+    }
+
+    #[test]
+    fn par_map_init_preserves_index_order() {
+        let results = par_map_init::<u32, usize, &str, _, _>(
+            97,
+            1,
+            || Ok(0u32),
+            |state, i| {
+                *state += 1;
+                Ok(i * 3)
+            },
+        )
+        .unwrap();
+        assert_eq!(results.len(), 97);
+        for (i, v) in results.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn par_map_init_handles_empty_and_errors() {
+        let empty = par_map_init::<(), usize, &str, _, _>(0, 1, || Ok(()), |_, i| Ok(i)).unwrap();
+        assert!(empty.is_empty());
+        let err = par_map_init::<(), usize, _, _, _>(
+            64,
+            1,
+            || Ok(()),
+            |_, i| if i >= 10 { Err(i) } else { Ok(i) },
+        );
+        // First error in index order wins regardless of worker count.
+        assert_eq!(err.unwrap_err(), 10);
     }
 
     #[test]
