@@ -17,36 +17,11 @@
 
 use std::time::Instant;
 
+use seizure_bench::synth::synth_channels;
 use seizure_features::extractor::{FeatureExtractor, RichFeatureSet, SlidingWindowConfig};
 use seizure_ml::dataset::Dataset;
 use seizure_ml::flat::FlatForest;
 use seizure_ml::forest::{RandomForest, RandomForestConfig};
-
-/// Deterministic two-channel synthetic EEG: tones + pseudo-noise.
-fn synth_channels(secs: f64, fs: f64) -> (Vec<f64>, Vec<f64>) {
-    let n = (secs * fs) as usize;
-    let mut state = 0x1234_5678_9abc_def0u64;
-    let mut noise = move || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
-    };
-    let mut channel = |phase: f64| {
-        (0..n)
-            .map(|i| {
-                let t = i as f64 / fs;
-                (2.0 * std::f64::consts::PI * 3.0 * t + phase).sin()
-                    + 0.6 * (2.0 * std::f64::consts::PI * 7.0 * t).sin()
-                    + 0.3 * (2.0 * std::f64::consts::PI * 21.0 * t + phase).cos()
-                    + 0.4 * noise()
-            })
-            .collect::<Vec<f64>>()
-    };
-    let left = channel(0.0);
-    let right = channel(1.3);
-    (left, right)
-}
 
 /// Best-of-`reps` wall time of `f`, after one warmup run.
 fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
@@ -64,7 +39,7 @@ fn main() {
     let fs = 256.0;
     let secs = 120.0;
     let reps = 5;
-    let (a, b) = synth_channels(secs, fs);
+    let (a, b) = synth_channels(secs, fs, 0x1234_5678_9abc_def0);
     let cfg = SlidingWindowConfig::paper_default(fs).expect("paper config");
     let extractor = RichFeatureSet::new(fs).expect("extractor");
     let windows = cfg.num_windows(a.len());

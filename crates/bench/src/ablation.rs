@@ -77,7 +77,7 @@ pub fn run_feature_ablation(scale: ExperimentScale) -> Result<AblationResults, C
         }
     }
     let mut ranking: Vec<usize> = (0..10).collect();
-    ranking.sort_by(|&a, &b| ranking_votes[b].partial_cmp(&ranking_votes[a]).unwrap());
+    ranking.sort_by(|&a, &b| ranking_votes[b].total_cmp(&ranking_votes[a]));
 
     // 2. Evaluate the labeling with the top-k features.
     let mut points = Vec::new();

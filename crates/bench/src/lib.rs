@@ -17,6 +17,7 @@
 pub mod ablation;
 pub mod labeling;
 pub mod scale;
+pub mod synth;
 pub mod training;
 pub mod unsupervised;
 

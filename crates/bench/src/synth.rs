@@ -1,0 +1,29 @@
+//! Deterministic synthetic EEG signals shared by the benchmark binaries.
+
+/// Two channels of deterministic synthetic EEG: low-frequency tones plus
+/// LCG pseudo-noise seeded with `noise_seed`, so every bench pins its own
+/// reproducible workload while sharing one signal recipe.
+pub fn synth_channels(secs: f64, fs: f64, noise_seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let n = (secs * fs) as usize;
+    let mut state = noise_seed;
+    let mut noise = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    let mut channel = |phase: f64| {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (2.0 * std::f64::consts::PI * 3.0 * t + phase).sin()
+                    + 0.6 * (2.0 * std::f64::consts::PI * 7.0 * t).sin()
+                    + 0.3 * (2.0 * std::f64::consts::PI * 21.0 * t + phase).cos()
+                    + 0.4 * noise()
+            })
+            .collect::<Vec<f64>>()
+    };
+    let left = channel(0.0);
+    let right = channel(1.3);
+    (left, right)
+}

@@ -90,10 +90,11 @@ impl SelfLearningReport {
 pub struct SelfLearningPipeline {
     labeler: PosterioriLabeler,
     detector: RealTimeDetector,
-    /// Accumulated personalized training set, flat row-major — the layout
-    /// the training engine consumes directly.
-    train_rows: Vec<f64>,
-    train_labels: Vec<bool>,
+    /// Staging buffers for one record's balanced window selection, reused
+    /// across records (the accumulated training pool itself lives inside the
+    /// detector's incremental trainer).
+    batch_rows: Vec<f64>,
+    batch_labels: Vec<bool>,
     num_seizures: usize,
     produced_labels: Vec<SeizureLabel>,
     /// Extraction state reused across every record the pipeline touches.
@@ -106,8 +107,8 @@ impl SelfLearningPipeline {
         Self {
             labeler: PosterioriLabeler::new(labeler_config),
             detector: RealTimeDetector::new(detector_config),
-            train_rows: Vec::new(),
-            train_labels: Vec::new(),
+            batch_rows: Vec::new(),
+            batch_labels: Vec::new(),
             num_seizures: 0,
             produced_labels: Vec::new(),
             workspace: FeatureWorkspace::new(),
@@ -131,7 +132,9 @@ impl SelfLearningPipeline {
 
     /// Size of the accumulated personalized training set, in windows.
     pub fn training_windows(&self) -> usize {
-        self.train_labels.len()
+        self.detector
+            .incremental_trainer()
+            .map_or(0, |t| t.num_samples())
     }
 
     /// The labels produced so far (one per observed missed seizure).
@@ -168,10 +171,14 @@ impl SelfLearningPipeline {
     /// [`SelfLearningPipeline::observe_missed_seizure`]; it can also be called
     /// directly with an externally produced label.
     ///
-    /// Runs entirely on the flat batch engine: the record's windows are
-    /// extracted into the pipeline's reusable workspace, a balanced selection
-    /// is appended to the flat training matrix, and the forest is refitted by
-    /// the parallel training engine — no per-row vectors anywhere.
+    /// Runs entirely on the flat batch engine and the incremental retraining
+    /// engine: the record's windows are extracted into the pipeline's
+    /// reusable workspace, a balanced selection is staged into the flat batch
+    /// buffers, and [`RealTimeDetector::retrain_incremental`] appends it to
+    /// the detector's growing pool — merging into the presorted feature
+    /// columns and refitting only the trees whose bootstrap pools the new
+    /// windows touched, instead of paying a full `train_forest` per missed
+    /// seizure.
     ///
     /// # Errors
     ///
@@ -189,15 +196,17 @@ impl SelfLearningPipeline {
         let selected = balanced_indices(&labels)?;
         let matrix = self.workspace.matrix();
         let num_features = matrix.num_features();
-        self.train_rows.reserve(selected.len() * num_features);
+        self.batch_rows.clear();
+        self.batch_labels.clear();
+        self.batch_rows.reserve(selected.len() * num_features);
         for &i in &selected {
-            self.train_rows.extend_from_slice(matrix.row(i));
-            self.train_labels.push(labels[i]);
+            self.batch_rows.extend_from_slice(matrix.row(i));
+            self.batch_labels.push(labels[i]);
         }
+        self.detector
+            .retrain_incremental(&self.batch_rows, num_features, &self.batch_labels)?;
         self.num_seizures += 1;
         self.produced_labels.push(*label);
-        self.detector
-            .train_flat(&self.train_rows, num_features, &self.train_labels)?;
         Ok(())
     }
 
@@ -296,6 +305,35 @@ mod tests {
             "gmean = {}",
             report.geometric_mean
         );
+    }
+
+    #[test]
+    fn pipeline_accumulates_through_the_incremental_trainer() {
+        let cohort = Cohort::chb_mit_like(25);
+        let config = small_sample_config();
+        let patient = 8;
+        let w = cohort.average_seizure_duration(patient).unwrap();
+        let mut pipeline =
+            SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+        assert_eq!(pipeline.training_windows(), 0);
+
+        let record = cohort.sample_record(patient, 0, &config, 11).unwrap();
+        pipeline
+            .observe_missed_seizure(&record, w, LabelSource::Algorithm)
+            .unwrap();
+        let after_first = pipeline.training_windows();
+        assert!(after_first > 0);
+        let trainer = pipeline.detector().incremental_trainer().unwrap();
+        assert_eq!(trainer.num_samples(), after_first);
+
+        let record = cohort.sample_record(patient, 1, &config, 12).unwrap();
+        pipeline
+            .observe_missed_seizure(&record, w, LabelSource::Algorithm)
+            .unwrap();
+        let trainer = pipeline.detector().incremental_trainer().unwrap();
+        assert_eq!(trainer.num_samples(), pipeline.training_windows());
+        assert!(pipeline.training_windows() > after_first);
+        assert!(trainer.last_refit_count() <= trainer.num_trees());
     }
 
     #[test]

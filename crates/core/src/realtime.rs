@@ -15,6 +15,7 @@ use seizure_features::matrix::FeatureMatrix;
 use seizure_ml::dataset::Dataset;
 use seizure_ml::flat::FlatForest;
 use seizure_ml::forest::RandomForestConfig;
+use seizure_ml::incremental::{IncrementalTrainer, IncrementalTrainerConfig};
 use seizure_ml::metrics::ConfusionMatrix;
 use seizure_ml::training::{train_forest, TrainingSet};
 
@@ -29,6 +30,9 @@ pub struct RealTimeDetectorConfig {
     pub forest: RandomForestConfig,
     /// Seed controlling the forest's bootstrap sampling.
     pub seed: u64,
+    /// Ownership-block size of the incremental retraining engine (see
+    /// [`IncrementalTrainerConfig::block_size`]).
+    pub incremental_block_size: usize,
 }
 
 impl Default for RealTimeDetectorConfig {
@@ -42,6 +46,7 @@ impl Default for RealTimeDetectorConfig {
                 ..RandomForestConfig::default()
             },
             seed: 0,
+            incremental_block_size: IncrementalTrainerConfig::default().block_size,
         }
     }
 }
@@ -82,6 +87,10 @@ pub struct RealTimeDetector {
     flat: Option<FlatForest>,
     feature_means: Vec<f64>,
     feature_stds: Vec<f64>,
+    /// The growable retraining engine behind
+    /// [`RealTimeDetector::retrain_incremental`]; `None` until the first
+    /// incremental retrain.
+    incremental: Option<IncrementalTrainer>,
 }
 
 impl RealTimeDetector {
@@ -92,6 +101,7 @@ impl RealTimeDetector {
             flat: None,
             feature_means: Vec::new(),
             feature_stds: Vec::new(),
+            incremental: None,
         }
     }
 
@@ -288,7 +298,69 @@ impl RealTimeDetector {
         self.flat = Some(train_forest(&set, &self.config.forest, self.config.seed)?);
         self.feature_means = means;
         self.feature_stds = stds;
+        // A full batch fit supersedes any incremental pool.
+        self.incremental = None;
         Ok(())
+    }
+
+    /// Adds new labeled windows (flat row-major, `labels.len() *
+    /// num_features` values) to the detector's growing training pool and
+    /// retrains through the [`IncrementalTrainer`]: the pool append merges
+    /// into the presorted feature columns and only the trees whose bootstrap
+    /// pools were touched by the growth are refitted, so the self-learning
+    /// loop stops paying a full `train_forest` per missed seizure.
+    ///
+    /// Unlike [`RealTimeDetector::train_flat`], the incremental path trains
+    /// on **raw** features (no standardization): forests split on per-feature
+    /// thresholds, so the affine per-column scaling changes no decision
+    /// boundary, and skipping it keeps every grown state identical to a
+    /// from-scratch incremental fit of the final pool regardless of when
+    /// which rows arrived. The feature statistics are cleared accordingly so
+    /// the prediction paths feed raw features too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidState`] if the detector currently holds a
+    /// batch-trained model ([`RealTimeDetector::train`] /
+    /// [`RealTimeDetector::train_flat`]): those paths do not retain their
+    /// training rows, so incremental retraining cannot *extend* them — it
+    /// would silently restart from an empty pool instead. Use a fresh
+    /// detector (or keep retraining through the batch path).
+    /// Returns [`CoreError::Ml`] if the matrix is malformed, its feature
+    /// count drifts between calls, or the forest cannot be fitted.
+    pub fn retrain_incremental(
+        &mut self,
+        rows: &[f64],
+        num_features: usize,
+        labels: &[bool],
+    ) -> Result<(), CoreError> {
+        if self.incremental.is_none() && self.flat.is_some() {
+            return Err(CoreError::InvalidState {
+                detail: "the detector holds a batch-trained model whose training rows were \
+                         not retained; incremental retraining cannot extend it (train a \
+                         fresh detector incrementally instead)"
+                    .to_string(),
+            });
+        }
+        let trainer = self.incremental.get_or_insert_with(|| {
+            IncrementalTrainer::new(
+                IncrementalTrainerConfig {
+                    forest: self.config.forest,
+                    block_size: self.config.incremental_block_size,
+                },
+                self.config.seed,
+            )
+        });
+        self.flat = Some(trainer.retrain(rows, num_features, labels)?);
+        self.feature_means.clear();
+        self.feature_stds.clear();
+        Ok(())
+    }
+
+    /// The incremental retraining engine, once
+    /// [`RealTimeDetector::retrain_incremental`] has run.
+    pub fn incremental_trainer(&self) -> Option<&IncrementalTrainer> {
+        self.incremental.as_ref()
     }
 
     /// The flat-compiled forest the inference paths run on, once trained.
@@ -326,11 +398,36 @@ impl RealTimeDetector {
         signal: &EegSignal,
         workspace: &mut FeatureWorkspace,
     ) -> Result<Vec<bool>, CoreError> {
+        self.detect_into(signal, workspace)?;
+        Ok(workspace.predictions.clone())
+    }
+
+    /// Allocation-free end of the detect path: classifies every window of
+    /// `signal` into the workspace's prediction buffer (readable through
+    /// [`FeatureWorkspace::predictions`]) and returns the window count.
+    /// Extraction, standardization and the forest's batch prediction all run
+    /// on workspace-owned buffers, so a sweep over many records touches the
+    /// heap only when a record first outgrows them.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RealTimeDetector::detect`].
+    pub fn detect_into(
+        &self,
+        signal: &EegSignal,
+        workspace: &mut FeatureWorkspace,
+    ) -> Result<usize, CoreError> {
         let forest = self.require_flat()?;
         self.extract_feature_matrix_with(signal, workspace)?;
         let num_features = workspace.matrix.num_features();
         self.scale_matrix_in_place(workspace.matrix.data_mut());
-        Ok(forest.predict_batch(workspace.matrix.data(), num_features)?)
+        let FeatureWorkspace {
+            matrix,
+            predictions,
+            ..
+        } = workspace;
+        forest.predict_batch_into(matrix.data(), num_features, predictions)?;
+        Ok(predictions.len())
     }
 
     fn require_flat(&self) -> Result<&FlatForest, CoreError> {
@@ -349,6 +446,24 @@ impl RealTimeDetector {
     /// trained and [`CoreError::InvalidParameter`] if the rows disagree with
     /// the training feature count.
     pub fn predict_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<bool>, CoreError> {
+        let mut ws = FeatureWorkspace::new();
+        Ok(self.predict_rows_with(rows, &mut ws)?.to_vec())
+    }
+
+    /// Multi-call twin of [`RealTimeDetector::predict_rows`]: the rows are
+    /// staged into the workspace's flat buffer and classified into its
+    /// prediction buffer (like [`RealTimeDetector::detect_into`] does), so
+    /// repeated calls stop allocating a fresh flat matrix each time. Returns
+    /// the predictions borrowed from the workspace.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RealTimeDetector::predict_rows`].
+    pub fn predict_rows_with<'w>(
+        &self,
+        rows: &[Vec<f64>],
+        workspace: &'w mut FeatureWorkspace,
+    ) -> Result<&'w [bool], CoreError> {
         let forest = self.require_flat()?;
         let num_features = forest.num_features();
         if let Some(bad) = rows.iter().find(|r| r.len() != num_features) {
@@ -360,12 +475,14 @@ impl RealTimeDetector {
                 ),
             });
         }
-        let mut data: Vec<f64> = Vec::with_capacity(rows.len() * num_features);
+        workspace.row_buf.clear();
+        workspace.row_buf.reserve(rows.len() * num_features);
         for row in rows {
-            data.extend_from_slice(row);
+            workspace.row_buf.extend_from_slice(row);
         }
-        self.scale_matrix_in_place(&mut data);
-        Ok(forest.predict_batch(&data, num_features)?)
+        self.scale_matrix_in_place(&mut workspace.row_buf);
+        forest.predict_batch_into(&workspace.row_buf, num_features, &mut workspace.predictions)?;
+        Ok(&workspace.predictions)
     }
 
     /// Evaluates the detector on a signal whose true seizure position is known,
@@ -397,15 +514,11 @@ impl RealTimeDetector {
     ) -> Result<ConfusionMatrix, CoreError> {
         let fs = signal.sampling_frequency();
         let window = self.window_config(fs)?;
-        let predictions = self.detect_with(signal, workspace)?;
-        let truth_labels = window_labels(
-            truth,
-            predictions.len(),
-            window.window_seconds(),
-            window.step_seconds(),
-        )?;
+        let count = self.detect_into(signal, workspace)?;
+        let truth_labels =
+            window_labels(truth, count, window.window_seconds(), window.step_seconds())?;
         Ok(ConfusionMatrix::from_predictions(
-            &predictions,
+            &workspace.predictions,
             &truth_labels,
         )?)
     }
@@ -567,8 +680,99 @@ mod tests {
         let via_rows = detector.predict_rows(&rows).unwrap();
         assert_eq!(batch, via_rows);
 
+        // The workspace-reusing paths agree with the allocating ones and
+        // leave their results readable from the workspace.
+        let mut ws = FeatureWorkspace::new();
+        let count = detector.detect_into(record.signal(), &mut ws).unwrap();
+        assert_eq!(count, batch.len());
+        assert_eq!(ws.predictions(), &batch[..]);
+        let via_rows_ws = detector.predict_rows_with(&rows, &mut ws).unwrap();
+        assert_eq!(via_rows_ws, &batch[..]);
+
         // Mismatched row widths are rejected instead of panicking.
         assert!(detector.predict_rows(&[vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn fractional_overlap_detector_keeps_window_label_alignment() {
+        // Regression for the window-step rounding drift: at 60 % overlap the
+        // exact step is fractional (1.6 s at 64 Hz = 102.4 samples); the
+        // detector must round it (102) and keep per-window labels aligned
+        // with the realized step through training and evaluation.
+        let (record, truth) = record_and_truth(6);
+        let mut detector = RealTimeDetector::new(RealTimeDetectorConfig {
+            overlap: 0.6,
+            ..fast_config()
+        });
+        let window = detector
+            .window_config(record.signal().sampling_frequency())
+            .unwrap();
+        assert_eq!(window.window_samples(), 256);
+        assert_eq!(window.step_samples(), 102);
+        let realized = (window.window_samples() - window.step_samples()) as f64;
+        assert!((realized - 256.0 * 0.6).abs() <= 1.0);
+
+        let training = detector
+            .build_training_windows(record.signal(), &truth)
+            .unwrap();
+        detector
+            .train(&detector.balance(&training).unwrap())
+            .unwrap();
+        let cm = detector.evaluate(record.signal(), &truth).unwrap();
+        assert_eq!(cm.total(), training.len());
+    }
+
+    #[test]
+    fn incremental_retraining_matches_single_shot_and_reuses_trees() {
+        // Feed the detector the way the pipeline does: balanced per-record
+        // batches (so ownership blocks mix both classes), appended in two
+        // steps, against a single-shot incremental fit of the final pool.
+        let (record, truth) = record_and_truth(7);
+        let config = fast_config();
+        let mut detector = RealTimeDetector::new(config);
+        let training = detector
+            .build_training_windows(record.signal(), &truth)
+            .unwrap();
+        let balanced = detector.balance(&training).unwrap();
+        let nf = balanced.num_features();
+        let rows: Vec<f64> = balanced.features().iter().flatten().copied().collect();
+        let labels = balanced.labels();
+        let cut = balanced.len() / 2;
+
+        // Two appends through one detector...
+        detector
+            .retrain_incremental(&rows[..cut * nf], nf, &labels[..cut])
+            .unwrap();
+        let first_refits = detector.incremental_trainer().unwrap().last_refit_count();
+        detector
+            .retrain_incremental(&rows[cut * nf..], nf, &labels[cut..])
+            .unwrap();
+        let trainer = detector.incremental_trainer().unwrap();
+        assert_eq!(trainer.num_samples(), balanced.len());
+        assert!(trainer.last_refit_count() <= first_refits);
+
+        // ...equal one single-shot incremental fit on the final pool.
+        let mut reference = RealTimeDetector::new(config);
+        reference.retrain_incremental(&rows, nf, labels).unwrap();
+        assert_eq!(detector.flat_forest(), reference.flat_forest());
+        assert_eq!(
+            detector.detect(record.signal()).unwrap(),
+            reference.detect(record.signal()).unwrap()
+        );
+
+        // The incrementally trained detector is a usable seizure detector.
+        let cm = detector.evaluate(record.signal(), &truth).unwrap();
+        assert!(cm.sensitivity() > 0.6, "sensitivity = {}", cm.sensitivity());
+        assert!(cm.specificity() > 0.6, "specificity = {}", cm.specificity());
+
+        // A full batch fit supersedes the incremental pool, after which the
+        // incremental path refuses to (silently) restart from scratch.
+        detector.train(&balanced).unwrap();
+        assert!(detector.incremental_trainer().is_none());
+        assert!(matches!(
+            detector.retrain_incremental(&rows, nf, labels),
+            Err(CoreError::InvalidState { .. })
+        ));
     }
 
     #[test]

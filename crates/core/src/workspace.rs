@@ -40,6 +40,12 @@ use seizure_features::scratch::FeatureScratchPool;
 pub struct FeatureWorkspace {
     pub(crate) matrix: FeatureMatrix,
     pub(crate) pool: FeatureScratchPool,
+    /// Per-window class predictions of the last detect/predict call routed
+    /// through this workspace (refilled in place, never re-grown per record).
+    pub(crate) predictions: Vec<bool>,
+    /// Flat staging buffer for row-vector prediction inputs
+    /// ([`RealTimeDetector::predict_rows_with`](crate::realtime::RealTimeDetector::predict_rows_with)).
+    pub(crate) row_buf: Vec<f64>,
 }
 
 impl FeatureWorkspace {
@@ -54,5 +60,12 @@ impl FeatureWorkspace {
     /// classifying (or re-extract) when the raw values matter.
     pub fn matrix(&self) -> &FeatureMatrix {
         &self.matrix
+    }
+
+    /// The per-window predictions of the last
+    /// [`RealTimeDetector::detect_into`](crate::realtime::RealTimeDetector::detect_into)
+    /// or `predict_rows_with` call that used this workspace.
+    pub fn predictions(&self) -> &[bool] {
+        &self.predictions
     }
 }

@@ -71,11 +71,31 @@ impl SlidingWindowConfig {
             });
         }
         let window_samples = (window_secs * fs).round() as usize;
-        let step_samples = ((window_secs * (1.0 - overlap)) * fs).round().max(1.0) as usize;
         if window_samples == 0 {
             return Err(FeatureError::InvalidConfig {
                 name: "window_secs",
                 reason: "window must contain at least one sample".to_string(),
+            });
+        }
+        // The step is derived from the *realized* window length (not the
+        // fractional `window_secs * fs`) and rounded to the nearest sample,
+        // so the effective overlap tracks the configured one instead of
+        // silently drifting when `window_samples * (1 - overlap)` is not
+        // integral. Configurations whose realized overlap still deviates by
+        // more than one sample (only reachable if the step formula changes,
+        // e.g. truncation) are rejected rather than accepted quietly.
+        let exact_step = window_samples as f64 * (1.0 - overlap);
+        let step_samples = (exact_step.round() as usize).max(1);
+        let realized_overlap = (window_samples - step_samples.min(window_samples)) as f64;
+        let configured_overlap = window_samples as f64 * overlap;
+        if (realized_overlap - configured_overlap).abs() > 1.0 {
+            return Err(FeatureError::InvalidConfig {
+                name: "overlap",
+                reason: format!(
+                    "realized overlap of {realized_overlap} samples deviates from the \
+                     configured {configured_overlap:.2} by more than one sample \
+                     ({window_samples}-sample windows cannot step by {exact_step:.2})"
+                ),
             });
         }
         Ok(Self {
@@ -816,6 +836,23 @@ mod tests {
         assert!(SlidingWindowConfig::new(256.0, 0.0, 0.75).is_err());
         assert!(SlidingWindowConfig::new(256.0, 4.0, 1.0).is_err());
         assert!(SlidingWindowConfig::new(256.0, 4.0, -0.1).is_err());
+    }
+
+    #[test]
+    fn fractional_overlap_steps_round_to_nearest() {
+        // Regression: 4 s at 256 Hz with 60 % overlap gives an exact step of
+        // 409.6 samples; the step must round to 410 (not truncate to 409),
+        // keeping the realized overlap within one sample of the configured.
+        let cfg = SlidingWindowConfig::new(256.0, 4.0, 0.6).unwrap();
+        assert_eq!(cfg.window_samples(), 1024);
+        assert_eq!(cfg.step_samples(), 410);
+        let realized = (cfg.window_samples() - cfg.step_samples()) as f64;
+        assert!((realized - 1024.0 * 0.6).abs() <= 1.0);
+
+        // Extreme overlaps clamp the step at one sample but still stay
+        // within the one-sample deviation budget.
+        let tight = SlidingWindowConfig::new(64.0, 1.0, 0.999).unwrap();
+        assert_eq!(tight.step_samples(), 1);
     }
 
     #[test]

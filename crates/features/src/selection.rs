@@ -146,7 +146,7 @@ pub fn backward_elimination<S: SubsetScorer>(
     }
     let mut remaining: Vec<usize> = (0..matrix.num_features()).collect();
     let mut eliminated: Vec<usize> = Vec::with_capacity(matrix.num_features());
-    let mut scores = vec![scorer.score(matrix, &remaining, labels)];
+    let mut scores = vec![total_score(scorer.score(matrix, &remaining, labels))];
 
     while remaining.len() > 1 {
         // Find the feature whose removal leaves the best-scoring subset.
@@ -158,7 +158,7 @@ pub fn backward_elimination<S: SubsetScorer>(
                 .enumerate()
                 .filter_map(|(p, &f)| (p != pos).then_some(f))
                 .collect();
-            let s = scorer.score(matrix, &candidate, labels);
+            let s = total_score(scorer.score(matrix, &candidate, labels));
             if s > best_score {
                 best_score = s;
                 best_idx = pos;
@@ -191,6 +191,18 @@ pub fn select_top_k(
     let result = backward_elimination(matrix, labels, &CentroidSeparation)?;
     let projected = matrix.select_columns(result.top_k(k))?;
     Ok((projected, result))
+}
+
+/// Maps a criterion score into the total order the elimination loop ranks
+/// by: a NaN score (e.g. a corrupted feature column propagating NaN through
+/// the criterion) counts as the worst possible subset, so the offending
+/// feature is eliminated first instead of scrambling the ranking.
+fn total_score(s: f64) -> f64 {
+    if s.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        s
+    }
 }
 
 fn validate_labels(matrix: &FeatureMatrix, labels: &[bool]) -> Result<(), FeatureError> {
@@ -266,6 +278,23 @@ mod tests {
         assert_eq!(projected.num_features(), 2);
         assert_eq!(projected.feature_names()[0], "strong");
         assert_eq!(result.top_k(10).len(), 3);
+    }
+
+    #[test]
+    fn nan_feature_column_is_ranked_last_without_panicking() {
+        // A corrupted (NaN) column makes every subset containing it score
+        // NaN; the ranking must shed it first instead of letting NaN
+        // comparisons scramble the elimination order.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            let x = if i < 15 { 0.0 } else { 10.0 };
+            rows.push(vec![x, f64::NAN]);
+            labels.push(i >= 15);
+        }
+        let m = FeatureMatrix::from_rows(vec!["clean".into(), "nan".into()], rows).unwrap();
+        let result = backward_elimination(&m, &labels, &CentroidSeparation).unwrap();
+        assert_eq!(result.ranking, vec![0, 1]);
     }
 
     #[test]

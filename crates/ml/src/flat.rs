@@ -221,12 +221,32 @@ impl FlatForest {
         matrix: &[f64],
         num_features: usize,
     ) -> Result<Vec<f64>, MlError> {
+        let mut out = Vec::new();
+        self.predict_proba_batch_into(matrix, num_features, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free twin of [`FlatForest::predict_proba_batch`]: clears
+    /// `out` and refills it in place, so a buffer reused across calls only
+    /// allocates when a batch first outgrows it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] under the same conditions as
+    /// [`FlatForest::predict_proba_batch`] (leaving `out` untouched).
+    pub fn predict_proba_batch_into(
+        &self,
+        matrix: &[f64],
+        num_features: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), MlError> {
         let samples = self.validate_matrix(matrix, num_features)?;
-        let mut out = vec![0.0; samples];
-        seizure_parallel::par_fill(&mut out, |i| {
+        out.clear();
+        out.resize(samples, 0.0);
+        seizure_parallel::par_fill(out, |i| {
             self.predict_proba(&matrix[i * num_features..(i + 1) * num_features])
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Majority-vote predictions for every row of a flat row-major matrix,
@@ -237,17 +257,32 @@ impl FlatForest {
     /// Returns [`MlError::DimensionMismatch`] under the same conditions as
     /// [`FlatForest::predict_proba_batch`].
     pub fn predict_batch(&self, matrix: &[f64], num_features: usize) -> Result<Vec<bool>, MlError> {
+        let mut out = Vec::new();
+        self.predict_batch_into(matrix, num_features, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free twin of [`FlatForest::predict_batch`]: clears `out`
+    /// and refills it in place (votes are compared against the majority
+    /// threshold directly in the parallel fill, no staging buffer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] under the same conditions as
+    /// [`FlatForest::predict_proba_batch`] (leaving `out` untouched).
+    pub fn predict_batch_into(
+        &self,
+        matrix: &[f64],
+        num_features: usize,
+        out: &mut Vec<bool>,
+    ) -> Result<(), MlError> {
         let samples = self.validate_matrix(matrix, num_features)?;
-        // Vote counts are small integers, exactly representable in the f64
-        // buffer the parallel fill writes into.
-        let mut votes = vec![0.0; samples];
-        seizure_parallel::par_fill(&mut votes, |i| {
-            self.votes(&matrix[i * num_features..(i + 1) * num_features]) as f64
+        out.clear();
+        out.resize(samples, false);
+        seizure_parallel::par_fill_slice(out, |i| {
+            2 * self.votes(&matrix[i * num_features..(i + 1) * num_features]) >= self.roots.len()
         });
-        Ok(votes
-            .into_iter()
-            .map(|v| 2 * v as usize >= self.roots.len())
-            .collect())
+        Ok(())
     }
 }
 
@@ -329,6 +364,30 @@ mod tests {
             assert_eq!(forest.predict_proba(row).to_bits(), p.to_bits());
             assert_eq!(forest.predict(row), *c);
         }
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_across_batches() {
+        let (data, forest) = fitted(5);
+        let flat = FlatForest::from_forest(&forest);
+        let matrix: Vec<f64> = data.features().iter().flatten().copied().collect();
+        let mut probas = Vec::new();
+        let mut classes = Vec::new();
+        // Shrinking and growing batches through the same buffers.
+        for take in [data.len(), 3, data.len() / 2] {
+            let slice = &matrix[..take * 3];
+            flat.predict_proba_batch_into(slice, 3, &mut probas)
+                .unwrap();
+            flat.predict_batch_into(slice, 3, &mut classes).unwrap();
+            assert_eq!(probas, flat.predict_proba_batch(slice, 3).unwrap());
+            assert_eq!(classes, flat.predict_batch(slice, 3).unwrap());
+        }
+        // Errors leave the buffers untouched.
+        let before = classes.clone();
+        assert!(flat
+            .predict_batch_into(&[1.0, 2.0], 2, &mut classes)
+            .is_err());
+        assert_eq!(classes, before);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`forest`] — bagged random forests with per-split feature subsampling,
 //! * [`training`] — the parallel, scratch-backed training engine: presorted
 //!   feature columns, arena-built trees, bit-identical to the boxed path,
+//! * [`incremental`] — the stateful retraining engine for growing training
+//!   sets: appends merge into the presorted columns and only the trees whose
+//!   bootstrap pools were touched are refitted,
 //! * [`linear`] — a logistic-regression baseline,
 //! * [`kmeans`] / [`kmedoids`] — unsupervised clustering baselines,
 //! * [`metrics`] — confusion matrices, sensitivity, specificity and the
@@ -51,6 +54,7 @@ pub mod dataset;
 pub mod error;
 pub mod flat;
 pub mod forest;
+pub mod incremental;
 pub mod kmeans;
 pub mod kmedoids;
 pub mod linear;
@@ -63,6 +67,7 @@ pub use dataset::Dataset;
 pub use error::MlError;
 pub use flat::FlatForest;
 pub use forest::{RandomForest, RandomForestConfig};
+pub use incremental::{IncrementalTrainer, IncrementalTrainerConfig};
 pub use metrics::ConfusionMatrix;
-pub use training::{train_forest, TrainingSet};
+pub use training::{train_forest, train_forest_with_width, IdWidth, TrainingSet};
 pub use tree::{DecisionTree, DecisionTreeConfig};

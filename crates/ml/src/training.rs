@@ -11,6 +11,18 @@
 //! appended to a [`NodeArena`] in DFS preorder (no per-node boxing). Trees
 //! are fitted in parallel over the `seizure-parallel` scoped threads.
 //!
+//! Two refinements serve the self-learning loop, whose training set only
+//! ever *grows*:
+//!
+//! * [`TrainingSet::append_rows`] merges new sample ids into the presorted
+//!   per-feature index arrays instead of re-sorting the untouched prefix, so
+//!   growing the pool costs one linear merge per feature;
+//! * the segment/partition buffers store **u16 sample ids** whenever the set
+//!   holds fewer than 65 536 samples ([`IdWidth::Auto`]), halving the memory
+//!   traffic of every stable partition; the wide (u32) path packs the label
+//!   into bit 31 and both widths produce bit-identical forests (a
+//!   property-tested invariant).
+//!
 //! The engine is **bit-identical** to the boxed path: bootstrap draws come
 //! from the same shared RNG stream consumed in tree order, each tree's
 //! feature subsampling replays the same per-tree ChaCha8 stream, and the
@@ -18,6 +30,11 @@
 //! [`DecisionTree::fit_with_indices`](crate::tree::DecisionTree::fit_with_indices),
 //! so [`train_forest`] equals `FlatForest::from_forest(&RandomForest::fit(..))`
 //! node for node (a property-tested invariant).
+//!
+//! For retraining that reuses trees across pool growth instead of refitting
+//! the whole ensemble, see
+//! [`IncrementalTrainer`](crate::incremental::IncrementalTrainer), which is
+//! built on the same scratch machinery.
 
 use crate::dataset::Dataset;
 use crate::error::MlError;
@@ -28,6 +45,8 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+pub use crate::incremental::{IncrementalTrainer, IncrementalTrainerConfig};
 
 /// A design matrix prepared for scratch-backed tree growth: column-major
 /// feature storage plus one presorted index array per feature, shared
@@ -58,7 +77,8 @@ pub struct TrainingSet {
     columns: Vec<f64>,
     labels: Vec<bool>,
     /// Per-feature presorted sample ids: `order[f * n ..][..n]` lists the
-    /// sample indices in ascending order of feature `f` (stable).
+    /// sample indices in ascending order of feature `f` (total order by
+    /// `(value, id)` — `f64::total_cmp` with stable ties).
     order: Vec<u32>,
 }
 
@@ -109,13 +129,10 @@ impl TrainingSet {
             let col = &columns[f * n..(f + 1) * n];
             ids.clear();
             ids.extend(0..n as u32);
-            // Same comparator as the boxed split finder (stable, NaN-neutral),
-            // so derived per-node orders match its per-node sorts.
-            ids.sort_by(|&a, &b| {
-                col[a as usize]
-                    .partial_cmp(&col[b as usize])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            // NaN-safe total order (same comparator as the boxed split
+            // finder); the stable sort breaks value ties by sample id, which
+            // is what `append_rows`'s merge reproduces.
+            ids.sort_by(|&a, &b| col[a as usize].total_cmp(&col[b as usize]));
             order.extend_from_slice(&ids);
         }
         Ok(Self {
@@ -139,6 +156,91 @@ impl TrainingSet {
             rows.extend_from_slice(row);
         }
         Self::from_rows(&rows, num_features, data.labels())
+    }
+
+    /// Appends new samples (flat row-major, `labels.len() * num_features`
+    /// values) to the set **without re-sorting the untouched prefix**: the
+    /// new ids are sorted among themselves and merged into each presorted
+    /// per-feature index array in one linear pass, so the result is exactly
+    /// the set [`TrainingSet::from_rows`] would build from the concatenated
+    /// matrix (value ties keep ascending sample ids).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidDataset`] for an empty append and
+    /// [`MlError::DimensionMismatch`] if the buffer length does not equal
+    /// `labels.len() * num_features` features.
+    pub fn append_rows(&mut self, rows: &[f64], labels: &[bool]) -> Result<(), MlError> {
+        if labels.is_empty() {
+            return Err(MlError::InvalidDataset {
+                detail: "append requires at least one sample".to_string(),
+            });
+        }
+        let k = labels.len();
+        if rows.len() != k * self.num_features {
+            return Err(MlError::DimensionMismatch {
+                detail: format!(
+                    "flat matrix of {} values does not cover {k} samples x {} features",
+                    rows.len(),
+                    self.num_features
+                ),
+            });
+        }
+        let n = self.num_samples;
+        let total = n + k;
+        if total > (u32::MAX >> 1) as usize {
+            return Err(MlError::InvalidDataset {
+                detail: "training sets are limited to 2^31 samples (31-bit ids + label bit)"
+                    .to_string(),
+            });
+        }
+
+        // Re-lay the column-major storage for the grown sample count and
+        // scatter the appended rows behind each column's existing values.
+        let mut columns = vec![0.0; total * self.num_features];
+        for f in 0..self.num_features {
+            columns[f * total..f * total + n].copy_from_slice(&self.columns[f * n..(f + 1) * n]);
+        }
+        for (i, row) in rows.chunks_exact(self.num_features).enumerate() {
+            for (f, &x) in row.iter().enumerate() {
+                columns[f * total + n + i] = x;
+            }
+        }
+
+        // Merge the new ids into every presorted order array. The existing
+        // run is already sorted by (value, id) and every new id is larger
+        // than every existing one, so taking the existing side on value ties
+        // reproduces the full stable sort exactly.
+        let mut order = vec![0u32; total * self.num_features];
+        let mut fresh: Vec<u32> = Vec::with_capacity(k);
+        for f in 0..self.num_features {
+            let col = &columns[f * total..(f + 1) * total];
+            fresh.clear();
+            fresh.extend(n as u32..total as u32);
+            fresh.sort_by(|&a, &b| col[a as usize].total_cmp(&col[b as usize]));
+            let old = &self.order[f * n..(f + 1) * n];
+            let dst = &mut order[f * total..(f + 1) * total];
+            let (mut i, mut j) = (0usize, 0usize);
+            for slot in dst.iter_mut() {
+                let take_old = i < n
+                    && (j >= k
+                        || col[old[i] as usize].total_cmp(&col[fresh[j] as usize])
+                            != std::cmp::Ordering::Greater);
+                if take_old {
+                    *slot = old[i];
+                    i += 1;
+                } else {
+                    *slot = fresh[j];
+                    j += 1;
+                }
+            }
+        }
+
+        self.columns = columns;
+        self.order = order;
+        self.labels.extend_from_slice(labels);
+        self.num_samples = total;
+        Ok(())
     }
 
     /// Number of samples.
@@ -169,20 +271,87 @@ impl TrainingSet {
     }
 }
 
+/// Mask extracting the sample id from a packed wide (u32) id+label word.
+const ID_MASK: u32 = u32::MAX >> 1;
+
+/// Sample-id word of the tree-growth scratch. The wide word (`u32`) packs
+/// the sample's label into bit 31 so the split scan never gathers from the
+/// label array; the narrow word (`u16`) holds the bare id — half the
+/// partition traffic — and reads the label from the (cache-resident, at most
+/// 64 KiB) label table instead.
+pub(crate) trait SampleWord: Copy + Default + Send + 'static {
+    /// Packs a sample id (wide words also pack the label).
+    fn pack(id: u32, label: bool) -> Self;
+    /// The sample id.
+    fn id(self) -> usize;
+    /// The sample's label as 0/1.
+    fn label(self, labels: &[bool]) -> usize;
+}
+
+impl SampleWord for u32 {
+    #[inline]
+    fn pack(id: u32, label: bool) -> Self {
+        id | ((label as u32) << 31)
+    }
+
+    #[inline]
+    fn id(self) -> usize {
+        (self & ID_MASK) as usize
+    }
+
+    #[inline]
+    fn label(self, _labels: &[bool]) -> usize {
+        (self >> 31) as usize
+    }
+}
+
+impl SampleWord for u16 {
+    #[inline]
+    fn pack(id: u32, _label: bool) -> Self {
+        id as u16
+    }
+
+    #[inline]
+    fn id(self) -> usize {
+        self as usize
+    }
+
+    #[inline]
+    fn label(self, labels: &[bool]) -> usize {
+        labels[self as usize] as usize
+    }
+}
+
+/// Largest sample count the narrow (u16) id word can address.
+const NARROW_LIMIT: usize = u16::MAX as usize + 1;
+
+/// Width of the sample-id words in the tree-growth scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IdWidth {
+    /// Narrow (u16) ids whenever the set holds fewer than 65 536 samples,
+    /// wide (u32) ids otherwise.
+    #[default]
+    Auto,
+    /// Force u16 ids (errors when the set exceeds 65 536 samples).
+    Narrow,
+    /// Force u32 ids.
+    Wide,
+}
+
 /// Reusable per-worker scratch for growing one tree at a time: the per-tree
 /// bootstrap multiset orders (one sorted segment per feature), the stable
 /// partition buffer, the bootstrap count table and the candidate-feature
 /// list. One scratch serves every tree a worker fits, so tree growth touches
 /// the heap only when a buffer first grows.
 #[derive(Debug, Default)]
-struct SplitScratch {
+struct SplitScratch<W> {
     /// Per-feature bootstrap multiset, column-major: `order[f * m ..][..m]`
-    /// lists the drawn sample ids in ascending order of feature `f`, each
-    /// packed with its label in bit 31 ([`pack`]) so the split scan never
-    /// gathers from the label array.
-    order: Vec<u32>,
+    /// lists the drawn sample ids in ascending order of feature `f` as
+    /// [`SampleWord`]s, so the split scan reads labels without a second
+    /// gather (wide words) or from the small label table (narrow words).
+    order: Vec<W>,
     /// Stable-partition staging buffer (`m` ids).
-    buf: Vec<u32>,
+    buf: Vec<W>,
     /// Bootstrap multiplicity per sample (`n` counts).
     counts: Vec<u32>,
     /// Split-side table per sample (1 = left), evaluated once per split so
@@ -192,16 +361,7 @@ struct SplitScratch {
     features: Vec<usize>,
 }
 
-/// Mask extracting the sample id from a packed id+label word.
-const ID_MASK: u32 = u32::MAX >> 1;
-
-/// Packs a sample id with its label in bit 31.
-#[inline]
-fn pack(id: u32, label: bool) -> u32 {
-    id | ((label as u32) << 31)
-}
-
-impl SplitScratch {
+impl<W: SampleWord> SplitScratch<W> {
     /// Prepares the scratch for one tree: zeroes the count table, tallies the
     /// bootstrap draws and materializes the per-feature sorted multisets from
     /// the training set's presorted columns.
@@ -213,20 +373,20 @@ impl SplitScratch {
         for &d in draws {
             self.counts[d as usize] += 1;
         }
-        self.buf.resize(m, 0);
+        self.buf.resize(m, W::default());
         self.side.clear();
         self.side.resize(n, 0);
         // Three spare slots absorb the unconditional overflow writes of the
         // branch-light emit below.
         let need = set.num_features * m + 3;
         if self.order.len() != need {
-            self.order.resize(need, 0);
+            self.order.resize(need, W::default());
         }
         let mut k = 0usize;
         for f in 0..set.num_features {
             for &s in &set.order[f * n..(f + 1) * n] {
                 let c = self.counts[s as usize] as usize;
-                let packed = pack(s, set.labels[s as usize]);
+                let packed = W::pack(s, set.labels[s as usize]);
                 // Branch-light emit: bootstrap multiplicities are almost
                 // always <= 3, so three unconditional stores cover ~98% of
                 // samples without a data-dependent branch; slots written past
@@ -250,8 +410,8 @@ impl SplitScratch {
 
 /// Append-only struct-of-arrays node storage for one growing tree, mirroring
 /// the [`FlatForest`] layout (DFS preorder, [`LEAF`] sentinel in `feature`).
-#[derive(Debug, Default)]
-struct NodeArena {
+#[derive(Debug, Default, Clone, PartialEq)]
+pub(crate) struct NodeArena {
     feature: Vec<u32>,
     threshold: Vec<f64>,
     left: Vec<u32>,
@@ -270,35 +430,25 @@ impl NodeArena {
         idx
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.feature.len()
     }
 }
 
-/// Fits a random forest on a prepared [`TrainingSet`], producing the flat
-/// compiled representation directly. Trees are fitted in parallel (one
-/// deterministic RNG stream per tree), and the result is bit-identical to
-/// `FlatForest::from_forest(&RandomForest::fit(..))` with the same
-/// configuration and seed.
-///
-/// The bit-identity contract holds for feature matrices without NaN values
-/// (every real feature path). With NaNs, *both* split finders order samples
-/// through `partial_cmp(..).unwrap_or(Equal)`, which makes the sort
-/// input-order-dependent — the global presort here and the boxed path's
-/// per-node sorts may then disagree on the segment order around NaNs and
-/// choose different splits.
-///
-/// # Errors
-///
-/// Returns [`MlError::InvalidParameter`] under the same conditions as
-/// [`RandomForest::fit`](crate::forest::RandomForest::fit): zero `n_trees`,
-/// a bootstrap fraction outside `(0, 1]`, zero `max_depth` or an
-/// out-of-range `max_features`.
-pub fn train_forest(
+/// The per-tree seed feeding each tree's private feature-subsampling stream
+/// (the same mixing the boxed forest applies).
+pub(crate) fn tree_stream_seed(seed: u64, t: usize) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(t as u64)
+}
+
+/// Validates the forest hyper-parameters against `set` and resolves them
+/// into the per-tree configuration (shared by [`train_forest`] and the
+/// incremental trainer).
+pub(crate) fn resolve_tree_config(
     set: &TrainingSet,
     config: &RandomForestConfig,
-    seed: u64,
-) -> Result<FlatForest, MlError> {
+) -> Result<DecisionTreeConfig, MlError> {
     if config.n_trees == 0 {
         return Err(MlError::InvalidParameter {
             name: "n_trees",
@@ -329,45 +479,80 @@ pub fn train_forest(
         }
         None => ((set.num_features() as f64).sqrt().ceil() as usize).max(1),
     };
-    let tree_config = DecisionTreeConfig {
+    Ok(DecisionTreeConfig {
         max_depth: config.max_depth,
         min_samples_split: config.min_samples_split,
         max_features: Some(max_features),
+    })
+}
+
+/// One tree-fitting job: the bootstrap draw multiset (global sample ids,
+/// repetitions allowed) and the seed of the tree's feature-subsampling
+/// stream.
+pub(crate) struct TreeJob<'a> {
+    pub draws: &'a [u32],
+    pub seed: u64,
+}
+
+/// Fits one arena per job in parallel (per-worker scratch, deterministic
+/// per-tree RNG streams), dispatching on the sample-id width. Both widths
+/// produce bit-identical arenas; the narrow path merely halves the partition
+/// traffic.
+pub(crate) fn fit_tree_jobs(
+    set: &TrainingSet,
+    tree_config: &DecisionTreeConfig,
+    jobs: &[TreeJob<'_>],
+    width: IdWidth,
+) -> Result<Vec<NodeArena>, MlError> {
+    let narrow = match width {
+        IdWidth::Auto => set.len() < NARROW_LIMIT,
+        IdWidth::Wide => false,
+        IdWidth::Narrow => {
+            if set.len() > NARROW_LIMIT {
+                return Err(MlError::InvalidParameter {
+                    name: "id_width",
+                    reason: format!(
+                        "narrow (u16) ids address at most {NARROW_LIMIT} samples, got {}",
+                        set.len()
+                    ),
+                });
+            }
+            true
+        }
     };
-
-    // Bootstrap draws replay the boxed path's shared RNG stream: all trees'
-    // indices are drawn sequentially up front so the fan-out cannot perturb
-    // the sequence.
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let sample_count = ((set.len() as f64 * config.bootstrap_fraction).round() as usize).max(1);
-    let mut draws: Vec<u32> = Vec::with_capacity(config.n_trees * sample_count);
-    for _ in 0..config.n_trees * sample_count {
-        draws.push(rng.gen_range(0..set.len()) as u32);
+    if narrow {
+        fit_tree_jobs_with::<u16>(set, tree_config, jobs)
+    } else {
+        fit_tree_jobs_with::<u32>(set, tree_config, jobs)
     }
+}
 
-    let trees = seizure_parallel::par_map_init::<_, _, MlError, _, _>(
-        config.n_trees,
+fn fit_tree_jobs_with<W: SampleWord>(
+    set: &TrainingSet,
+    tree_config: &DecisionTreeConfig,
+    jobs: &[TreeJob<'_>],
+) -> Result<Vec<NodeArena>, MlError> {
+    seizure_parallel::par_map_init::<_, _, MlError, _, _>(
+        jobs.len(),
         1,
-        || Ok(SplitScratch::default()),
+        || Ok(SplitScratch::<W>::default()),
         |scratch, t| {
-            let tree_seed = seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(t as u64);
-            let tree_draws = &draws[t * sample_count..(t + 1) * sample_count];
             Ok(build_tree(
                 set,
-                tree_draws,
-                &tree_config,
-                tree_seed,
+                jobs[t].draws,
+                tree_config,
+                jobs[t].seed,
                 scratch,
             ))
         },
-    )?;
+    )
+}
 
-    // Stitch the per-tree arenas into one flat forest, offsetting split
-    // children by each tree's base index (leaves keep the 0/0 children the
-    // boxed compiler leaves behind, preserving exact equality).
-    let total: usize = trees.iter().map(NodeArena::len).sum();
+/// Stitches per-tree arenas into one flat forest, offsetting split children
+/// by each tree's base index (leaves keep the 0/0 children the boxed
+/// compiler leaves behind, preserving exact equality).
+pub(crate) fn stitch_forest(num_features: usize, trees: &[&NodeArena]) -> FlatForest {
+    let total: usize = trees.iter().map(|t| t.len()).sum();
     assert!(
         (total as u64) < LEAF as u64,
         "forest exceeds u32 node indexing"
@@ -378,7 +563,7 @@ pub fn train_forest(
     let mut left = Vec::with_capacity(total);
     let mut right = Vec::with_capacity(total);
     let mut leaf_prob = Vec::with_capacity(total);
-    for tree in &trees {
+    for tree in trees {
         let base = feature.len() as u32;
         roots.push(base);
         for i in 0..tree.len() {
@@ -390,31 +575,96 @@ pub fn train_forest(
             leaf_prob.push(tree.leaf_prob[i]);
         }
     }
-    Ok(FlatForest::from_raw_parts(
-        set.num_features(),
+    FlatForest::from_raw_parts(
+        num_features,
         roots,
         feature,
         threshold,
         left,
         right,
         leaf_prob,
-    ))
+    )
+}
+
+/// Fits a random forest on a prepared [`TrainingSet`], producing the flat
+/// compiled representation directly. Trees are fitted in parallel (one
+/// deterministic RNG stream per tree), and the result is bit-identical to
+/// `FlatForest::from_forest(&RandomForest::fit(..))` with the same
+/// configuration and seed. Sample ids are sized automatically
+/// ([`IdWidth::Auto`]).
+///
+/// The bit-identity contract holds for feature matrices without NaN values
+/// (every real feature path). With NaNs, both split finders are panic-free
+/// and deterministic (`f64::total_cmp` total order), but the global presort
+/// here and the boxed path's per-node sorts may order bit-identical NaNs
+/// differently within a tie group and then choose different (degenerate)
+/// splits.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] under the same conditions as
+/// [`RandomForest::fit`](crate::forest::RandomForest::fit): zero `n_trees`,
+/// a bootstrap fraction outside `(0, 1]`, zero `max_depth` or an
+/// out-of-range `max_features`.
+pub fn train_forest(
+    set: &TrainingSet,
+    config: &RandomForestConfig,
+    seed: u64,
+) -> Result<FlatForest, MlError> {
+    train_forest_with_width(set, config, seed, IdWidth::Auto)
+}
+
+/// [`train_forest`] with an explicit sample-id width — both widths produce
+/// bit-identical forests; this entry point exists so the equivalence is
+/// testable and the wide path remains reachable below the auto threshold.
+///
+/// # Errors
+///
+/// Same conditions as [`train_forest`], plus [`MlError::InvalidParameter`]
+/// when [`IdWidth::Narrow`] cannot address the set's samples.
+pub fn train_forest_with_width(
+    set: &TrainingSet,
+    config: &RandomForestConfig,
+    seed: u64,
+    width: IdWidth,
+) -> Result<FlatForest, MlError> {
+    let tree_config = resolve_tree_config(set, config)?;
+
+    // Bootstrap draws replay the boxed path's shared RNG stream: all trees'
+    // indices are drawn sequentially up front so the fan-out cannot perturb
+    // the sequence.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let sample_count = ((set.len() as f64 * config.bootstrap_fraction).round() as usize).max(1);
+    let mut draws: Vec<u32> = Vec::with_capacity(config.n_trees * sample_count);
+    for _ in 0..config.n_trees * sample_count {
+        draws.push(rng.gen_range(0..set.len()) as u32);
+    }
+
+    let jobs: Vec<TreeJob<'_>> = (0..config.n_trees)
+        .map(|t| TreeJob {
+            draws: &draws[t * sample_count..(t + 1) * sample_count],
+            seed: tree_stream_seed(seed, t),
+        })
+        .collect();
+    let trees = fit_tree_jobs(set, &tree_config, &jobs, width)?;
+    let refs: Vec<&NodeArena> = trees.iter().collect();
+    Ok(stitch_forest(set.num_features(), &refs))
 }
 
 /// Grows one tree on the scratch and returns its arena.
-fn build_tree(
+fn build_tree<W: SampleWord>(
     set: &TrainingSet,
     draws: &[u32],
     config: &DecisionTreeConfig,
     tree_seed: u64,
-    scratch: &mut SplitScratch,
+    scratch: &mut SplitScratch<W>,
 ) -> NodeArena {
     scratch.load_tree(set, draws);
     let mut rng = ChaCha8Rng::seed_from_u64(tree_seed);
     let mut arena = NodeArena::default();
     let pos: usize = scratch.order[..draws.len()]
         .iter()
-        .map(|&s| (s >> 31) as usize)
+        .map(|&s| s.label(&set.labels))
         .sum();
     build_node(
         set,
@@ -445,9 +695,9 @@ struct NodeSpan {
 /// Recursively grows the node covering `span` (the same `[lo, hi)` range
 /// across every feature's sorted segment), appending to `arena` in DFS
 /// preorder exactly like the boxed builder recursion.
-fn build_node(
+fn build_node<W: SampleWord>(
     set: &TrainingSet,
-    scratch: &mut SplitScratch,
+    scratch: &mut SplitScratch<W>,
     arena: &mut NodeArena,
     config: &DecisionTreeConfig,
     span: NodeSpan,
@@ -472,6 +722,7 @@ fn build_node(
 
     let parent_impurity = gini(p);
     let total_pos = pos;
+    let labels = &set.labels;
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
 
     for &feature in &scratch.features {
@@ -479,10 +730,10 @@ fn build_node(
         let col = &set.columns[feature * set.num_samples..];
         let mut left_pos = 0usize;
         let mut prev_id = seg[0];
-        let mut prev = col[(prev_id & ID_MASK) as usize];
+        let mut prev = col[prev_id.id()];
         for (split_at, &next_id) in seg.iter().enumerate().skip(1) {
-            left_pos += (prev_id >> 31) as usize;
-            let next = col[(next_id & ID_MASK) as usize];
+            left_pos += prev_id.label(labels);
+            let next = col[next_id.id()];
             if prev == next {
                 prev_id = next_id;
                 continue; // cannot split between identical values
@@ -517,11 +768,11 @@ fn build_node(
         let SplitScratch { order, side, .. } = scratch;
         let col = &set.columns[feature * set.num_samples..];
         for &s in &order[feature * m + lo..feature * m + hi] {
-            let id = (s & ID_MASK) as usize;
+            let id = s.id();
             let is_left = col[id] <= threshold;
             side[id] = is_left as u8;
             left_n += is_left as usize;
-            left_pos += (is_left as usize) & ((s >> 31) as usize);
+            left_pos += (is_left as usize) & s.label(labels);
         }
     }
     if left_n == 0 || left_n == len {
@@ -557,7 +808,7 @@ fn build_node(
                 // Branch-light select: the destination cursor is chosen with
                 // a conditional move, so the (data-dependent) split side
                 // never costs a branch misprediction.
-                let is_left = side[(s & ID_MASK) as usize] as usize;
+                let is_left = side[s.id()] as usize;
                 let dst = if is_left == 1 { l } else { r };
                 seg[dst] = s;
                 l += is_left;
@@ -633,6 +884,34 @@ mod tests {
     }
 
     #[test]
+    fn append_rows_matches_full_rebuild() {
+        // Values with heavy ties across the prefix/suffix boundary exercise
+        // the merge's stable tie-breaking.
+        let full_rows: Vec<f64> = (0..60).map(|i| ((i * 7) % 5) as f64 * 0.5).collect();
+        let full_labels: Vec<bool> = (0..30).map(|i| i % 3 == 0).collect();
+        for cut in [1usize, 10, 17, 29] {
+            let mut grown =
+                TrainingSet::from_rows(&full_rows[..cut * 2], 2, &full_labels[..cut]).unwrap();
+            grown
+                .append_rows(&full_rows[cut * 2..], &full_labels[cut..])
+                .unwrap();
+            let rebuilt = TrainingSet::from_rows(&full_rows, 2, &full_labels).unwrap();
+            assert_eq!(grown, rebuilt, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn append_rows_validation() {
+        let mut set = TrainingSet::from_rows(&[1.0, 2.0], 2, &[true]).unwrap();
+        assert!(set.append_rows(&[], &[]).is_err());
+        assert!(set.append_rows(&[1.0], &[true]).is_err());
+        assert!(set.append_rows(&[1.0, 2.0, 3.0], &[true]).is_err());
+        set.append_rows(&[3.0, 4.0], &[false]).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.labels(), &[true, false]);
+    }
+
+    #[test]
     fn engine_matches_boxed_forest_exactly() {
         let data = blob_dataset(40, 1.5);
         let config = RandomForestConfig {
@@ -646,6 +925,24 @@ mod tests {
             let set = TrainingSet::from_dataset(&data).unwrap();
             let engine = train_forest(&set, &config, seed).unwrap();
             assert_eq!(engine, reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn narrow_and_wide_ids_produce_identical_forests() {
+        let data = blob_dataset(35, 1.2);
+        let set = TrainingSet::from_dataset(&data).unwrap();
+        let config = RandomForestConfig {
+            n_trees: 9,
+            max_depth: 6,
+            ..RandomForestConfig::default()
+        };
+        for seed in [0, 5, 11] {
+            let narrow = train_forest_with_width(&set, &config, seed, IdWidth::Narrow).unwrap();
+            let wide = train_forest_with_width(&set, &config, seed, IdWidth::Wide).unwrap();
+            assert_eq!(narrow, wide, "seed {seed}");
+            // Auto picks the narrow path here (70 samples).
+            assert_eq!(train_forest(&set, &config, seed).unwrap(), narrow);
         }
     }
 
@@ -707,5 +1004,25 @@ mod tests {
         let forest = train_forest(&set, &config, 0).unwrap();
         assert_eq!(forest.num_nodes(), 4);
         assert_eq!(forest.predict_proba(&[9.0]), 1.0);
+    }
+
+    #[test]
+    fn nan_features_train_without_panicking() {
+        // A column of NaNs cannot anchor a usable split; training must fall
+        // back to the clean column instead of panicking mid-retrain.
+        let rows: Vec<f64> = (0..40)
+            .flat_map(|i| [if i % 4 == 0 { f64::NAN } else { 0.5 }, i as f64])
+            .collect();
+        let labels: Vec<bool> = (0..40).map(|i| i >= 20).collect();
+        let set = TrainingSet::from_rows(&rows, 2, &labels).unwrap();
+        let config = RandomForestConfig {
+            n_trees: 5,
+            max_depth: 4,
+            max_features: Some(2),
+            ..RandomForestConfig::default()
+        };
+        let forest = train_forest(&set, &config, 1).unwrap();
+        assert!(forest.predict(&[0.5, 39.0]));
+        assert!(!forest.predict(&[0.5, 0.0]));
     }
 }

@@ -228,12 +228,12 @@ fn build_node<R: Rng>(
 
     for &feature in &candidate_features {
         // Sort the samples by this feature and scan candidate thresholds.
+        // `total_cmp` gives a NaN-safe total order (NaNs sort to the ends and
+        // cannot scramble the sort): a NaN feature value degrades the split
+        // it would anchor into a leaf instead of corrupting the ordering.
         let mut sorted: Vec<usize> = indices.to_vec();
-        sorted.sort_by(|&a, &b| {
-            data.features()[a][feature]
-                .partial_cmp(&data.features()[b][feature])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        sorted
+            .sort_by(|&a, &b| data.features()[a][feature].total_cmp(&data.features()[b][feature]));
         let total_pos = sorted.iter().filter(|&&i| data.labels()[i]).count();
         let n = sorted.len();
         let mut left_pos = 0usize;
@@ -394,6 +394,23 @@ mod tests {
         let tree = DecisionTree::fit(&data, &DecisionTreeConfig::default(), 0).unwrap();
         assert!((tree.predict_proba(&[1.0]) - 0.75).abs() < 1e-12);
         assert!(tree.predict(&[1.0]));
+    }
+
+    #[test]
+    fn nan_feature_values_degrade_gracefully() {
+        // One corrupted feature column (NaNs) next to an informative one:
+        // fitting must not panic and must still learn from the clean column.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let nan_or_value = if i % 3 == 0 { f64::NAN } else { i as f64 };
+            rows.push(vec![nan_or_value, i as f64]);
+            labels.push(i >= 10);
+        }
+        let data = Dataset::new(rows, labels).unwrap();
+        let tree = DecisionTree::fit(&data, &DecisionTreeConfig::default(), 0).unwrap();
+        assert!(tree.predict(&[f64::NAN, 19.0]));
+        assert!(!tree.predict(&[f64::NAN, 0.0]));
     }
 
     #[test]

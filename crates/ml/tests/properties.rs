@@ -4,10 +4,11 @@ use proptest::prelude::*;
 use seizure_ml::dataset::Dataset;
 use seizure_ml::flat::FlatForest;
 use seizure_ml::forest::{RandomForest, RandomForestConfig};
+use seizure_ml::incremental::{IncrementalTrainer, IncrementalTrainerConfig};
 use seizure_ml::kmeans::{KMeans, KMeansConfig};
 use seizure_ml::metrics::{geometric_mean, ConfusionMatrix};
 use seizure_ml::split::{leave_one_group_out, stratified_split, train_test_split};
-use seizure_ml::training::{train_forest, TrainingSet};
+use seizure_ml::training::{train_forest, train_forest_with_width, IdWidth, TrainingSet};
 use seizure_ml::tree::{DecisionTree, DecisionTreeConfig};
 
 fn labeled_points(n: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<bool>)> {
@@ -112,6 +113,77 @@ proptest! {
     }
 
     #[test]
+    fn training_set_append_equals_full_rebuild(
+        (rows, labels) in labeled_points(4..60),
+        cut_raw in 0usize..1000,
+    ) {
+        let n = rows.len();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let cut = 1 + cut_raw % (n.max(2) - 1);
+        let mut grown = TrainingSet::from_rows(&flat[..cut * 3], 3, &labels[..cut]).unwrap();
+        grown.append_rows(&flat[cut * 3..], &labels[cut..]).unwrap();
+        let rebuilt = TrainingSet::from_rows(&flat, 3, &labels).unwrap();
+        // Exact equality including the merged presorted index arrays.
+        prop_assert_eq!(grown, rebuilt);
+    }
+
+    #[test]
+    fn narrow_and_wide_sample_ids_fit_bit_identical_forests(
+        (rows, labels) in labeled_points(6..50),
+        seed in 0u64..30,
+        n_trees in 1usize..10,
+    ) {
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let set = TrainingSet::from_rows(&flat, 3, &labels).unwrap();
+        let config = RandomForestConfig { n_trees, max_depth: 6, ..Default::default() };
+        let narrow = train_forest_with_width(&set, &config, seed, IdWidth::Narrow).unwrap();
+        let wide = train_forest_with_width(&set, &config, seed, IdWidth::Wide).unwrap();
+        prop_assert_eq!(&narrow, &wide);
+        // Auto resolves to the narrow path below the 65536-sample boundary.
+        prop_assert_eq!(&train_forest(&set, &config, seed).unwrap(), &narrow);
+    }
+
+    #[test]
+    fn incremental_retraining_is_schedule_independent(
+        (rows, labels) in labeled_points(10..80),
+        seed in 0u64..30,
+        cuts_raw in prop::collection::vec(1usize..1000, 0..3),
+    ) {
+        let n = rows.len();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let config = IncrementalTrainerConfig {
+            forest: RandomForestConfig { n_trees: 7, max_depth: 5, ..Default::default() },
+            block_size: 8,
+        };
+        // A random grow schedule ending at the full dataset.
+        let mut cuts: Vec<usize> = cuts_raw.iter().map(|c| 1 + c % n).collect();
+        cuts.push(n);
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut trainer = IncrementalTrainer::new(config, seed);
+        let mut prev = 0;
+        let mut forest = None;
+        for &cut in &cuts {
+            forest = Some(trainer.retrain(&flat[prev * 3..cut * 3], 3, &labels[prev..cut]).unwrap());
+            prev = cut;
+        }
+        let forest = forest.unwrap();
+        // Any schedule must equal the single-shot fit of the final dataset...
+        let mut scratch = IncrementalTrainer::new(config, seed);
+        let reference = scratch.retrain(&flat, 3, &labels).unwrap();
+        prop_assert_eq!(&forest, &reference);
+        // ...including identical predictions on a held-out matrix.
+        let held: Vec<f64> = (0..60).map(|i| (i % 21) as f64 * 5.0 - 50.0).collect();
+        prop_assert_eq!(
+            forest.predict_batch(&held, 3).unwrap(),
+            reference.predict_batch(&held, 3).unwrap()
+        );
+        let probas: Vec<u64> = forest.predict_proba_batch(&held, 3).unwrap().iter().map(|p| p.to_bits()).collect();
+        let ref_probas: Vec<u64> = reference.predict_proba_batch(&held, 3).unwrap().iter().map(|p| p.to_bits()).collect();
+        prop_assert_eq!(probas, ref_probas);
+    }
+
+    #[test]
     fn confusion_matrix_counts_are_consistent(predictions in prop::collection::vec(any::<bool>(), 1..200), flip in any::<u64>()) {
         let truth: Vec<bool> = predictions
             .iter()
@@ -191,4 +263,54 @@ proptest! {
         }
         prop_assert!(model.inertia() >= 0.0);
     }
+}
+
+/// A large pseudo-random training set for the id-width boundary check.
+fn boundary_set(n: usize) -> TrainingSet {
+    let mut rows = Vec::with_capacity(n * 2);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        rows.push((h % 9973) as f64);
+        rows.push(((h >> 32) % 101) as f64);
+        labels.push(h % 89 < 44);
+    }
+    TrainingSet::from_rows(&rows, 2, &labels).unwrap()
+}
+
+/// The narrow (u16) and wide (u32) sample-id paths must agree exactly on
+/// both sides of the 65535/65536 boundary, where the auto selection flips
+/// from narrow to wide; one sample past the narrow address space the forced
+/// narrow path must refuse instead of truncating ids.
+#[test]
+fn u16_sample_ids_are_bit_identical_at_the_65536_boundary() {
+    let config = RandomForestConfig {
+        n_trees: 2,
+        max_depth: 4,
+        bootstrap_fraction: 0.02,
+        max_features: Some(2),
+        ..RandomForestConfig::default()
+    };
+    // n = 65535: auto selects narrow ids.
+    let below = boundary_set(65535);
+    let narrow = train_forest_with_width(&below, &config, 3, IdWidth::Narrow).unwrap();
+    let wide = train_forest_with_width(&below, &config, 3, IdWidth::Wide).unwrap();
+    assert_eq!(narrow, wide);
+    assert_eq!(train_forest(&below, &config, 3).unwrap(), narrow);
+    // n = 65536: auto switches to wide ids; narrow still addresses exactly
+    // 65536 samples (ids 0..=65535) and stays bit-identical.
+    let at = boundary_set(65536);
+    let wide = train_forest_with_width(&at, &config, 3, IdWidth::Wide).unwrap();
+    assert_eq!(train_forest(&at, &config, 3).unwrap(), wide);
+    assert_eq!(
+        train_forest_with_width(&at, &config, 3, IdWidth::Narrow).unwrap(),
+        wide
+    );
+    // n = 65537: the narrow address space is exhausted.
+    let past = boundary_set(65537);
+    assert!(train_forest_with_width(&past, &config, 3, IdWidth::Narrow).is_err());
+    assert_eq!(
+        train_forest(&past, &config, 3).unwrap(),
+        train_forest_with_width(&past, &config, 3, IdWidth::Wide).unwrap()
+    );
 }

@@ -150,21 +150,45 @@ where
 
 /// Fills `out` by evaluating `f` on every index in parallel.
 ///
-/// Convenience wrapper over [`par_process_rows`] for one-value-per-row
-/// outputs (e.g. per-sample class probabilities).
+/// Convenience wrapper over [`par_fill_slice`] for `f64` outputs (e.g.
+/// per-sample class probabilities).
 pub fn par_fill<F>(out: &mut [f64], f: F)
 where
     F: Fn(usize) -> f64 + Sync,
 {
-    let result: Result<(), std::convert::Infallible> = par_process_rows(out, 1, |start, block| {
+    par_fill_slice(out, f);
+}
+
+/// Fills a slice of any `Send` element type by evaluating `f` on every index
+/// in parallel — the generic sibling of [`par_fill`], used by the prediction
+/// into-variants to write class labels (`bool`) without a staging `f64`
+/// buffer.
+///
+/// The slice is split into contiguous blocks, one per scoped worker thread;
+/// small slices run on the calling thread.
+pub fn par_fill_slice<T, F>(out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n = out.len();
+    let workers = num_threads().min(n / MIN_ROWS_PER_WORKER).max(1);
+    let fill_block = |start: usize, block: &mut [T]| {
         for (offset, slot) in block.iter_mut().enumerate() {
             *slot = f(start + offset);
         }
-        Ok(())
-    });
-    match result {
-        Ok(()) => {}
+    };
+    if workers <= 1 {
+        fill_block(0, out);
+        return;
     }
+    let per_block = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (block_idx, block) in out.chunks_mut(per_block).enumerate() {
+            let fill_block = &fill_block;
+            scope.spawn(move || fill_block(block_idx * per_block, block));
+        }
+    });
 }
 
 #[cfg(test)]
@@ -248,6 +272,22 @@ mod tests {
         );
         // First error in index order wins regardless of worker count.
         assert_eq!(err.unwrap_err(), 10);
+    }
+
+    #[test]
+    fn par_fill_slice_fills_non_f64_outputs() {
+        let mut flags = vec![false; 777];
+        par_fill_slice(&mut flags, |i| i % 3 == 0);
+        for (i, v) in flags.iter().enumerate() {
+            assert_eq!(*v, i % 3 == 0);
+        }
+        // Small slices run serially and empty slices are a no-op.
+        let mut small = vec![0usize; 3];
+        par_fill_slice(&mut small, |i| i + 1);
+        assert_eq!(small, vec![1, 2, 3]);
+        let mut empty: Vec<bool> = Vec::new();
+        par_fill_slice(&mut empty, |_| true);
+        assert!(empty.is_empty());
     }
 
     #[test]
