@@ -2,6 +2,7 @@
 
 use seizure_data::DataError;
 use seizure_features::FeatureError;
+use seizure_ml::persist::PersistError;
 use seizure_ml::MlError;
 use std::error::Error;
 use std::fmt;
@@ -15,6 +16,8 @@ pub enum CoreError {
     Ml(MlError),
     /// The data substrate failed.
     Data(DataError),
+    /// A persisted state snapshot could not be decoded.
+    Persist(PersistError),
     /// An algorithm parameter was invalid (window length, subsampling step, …).
     InvalidParameter {
         /// Name of the offending parameter.
@@ -40,6 +43,7 @@ impl fmt::Display for CoreError {
             CoreError::Feature(e) => write!(f, "feature extraction failed: {e}"),
             CoreError::Ml(e) => write!(f, "classifier failed: {e}"),
             CoreError::Data(e) => write!(f, "data substrate failed: {e}"),
+            CoreError::Persist(e) => write!(f, "state restore failed: {e}"),
             CoreError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
@@ -55,6 +59,7 @@ impl Error for CoreError {
             CoreError::Feature(e) => Some(e),
             CoreError::Ml(e) => Some(e),
             CoreError::Data(e) => Some(e),
+            CoreError::Persist(e) => Some(e),
             _ => None,
         }
     }
@@ -75,6 +80,12 @@ impl From<MlError> for CoreError {
 impl From<DataError> for CoreError {
     fn from(e: DataError) -> Self {
         CoreError::Data(e)
+    }
+}
+
+impl From<PersistError> for CoreError {
+    fn from(e: PersistError) -> Self {
+        CoreError::Persist(e)
     }
 }
 
@@ -104,6 +115,10 @@ mod tests {
         }
         .into();
         assert!(e.to_string().contains("data substrate"));
+
+        let e: CoreError = PersistError::UnsupportedVersion { found: 7 }.into();
+        assert!(e.to_string().contains("state restore"));
+        assert!(e.source().is_some());
 
         let e = CoreError::InvalidParameter {
             name: "window",

@@ -6,6 +6,7 @@
 //! personalized training set and the real-time detector is retrained. With
 //! every missed seizure the detector becomes more robust.
 
+use crate::algorithm::{DetectorConfig, Implementation};
 use crate::error::CoreError;
 use crate::label::SeizureLabel;
 use crate::labeler::{LabelerConfig, PosterioriLabeler};
@@ -13,6 +14,7 @@ use crate::realtime::{balanced_indices, RealTimeDetector, RealTimeDetectorConfig
 use crate::workspace::FeatureWorkspace;
 use seizure_data::sampler::EegRecord;
 use seizure_ml::metrics::ConfusionMatrix;
+use seizure_ml::persist::{PersistError, SnapshotKind, SnapshotReader, SnapshotWriter};
 
 /// Where the seizure labels used for training come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -180,6 +182,14 @@ impl SelfLearningPipeline {
     /// windows touched, instead of paying a full `train_forest` per missed
     /// seizure.
     ///
+    /// The seizure counter follows the label's **actual seizure content**: a
+    /// label that marks no window of this record as seizure (too short for
+    /// the half-window overlap rule, or lying outside the recording) adds
+    /// nothing to the training pool and does not advance
+    /// [`SelfLearningPipeline::num_seizures_collected`] — the call is a
+    /// no-op, not an error, so external label producers can stream
+    /// uncurated labels through this entry point.
+    ///
     /// # Errors
     ///
     /// Propagates feature-extraction and training failures.
@@ -193,13 +203,34 @@ impl SelfLearningPipeline {
             label,
             &mut self.workspace,
         )?;
+        if !labels.iter().any(|&l| l) {
+            return Ok(());
+        }
         let selected = balanced_indices(&labels)?;
         let matrix = self.workspace.matrix();
         let num_features = matrix.num_features();
         self.batch_rows.clear();
         self.batch_labels.clear();
         self.batch_rows.reserve(selected.len() * num_features);
-        for &i in &selected {
+        // `balanced_indices` returns every positive followed by the sampled
+        // negatives; staged in that order a long seizure (more positive
+        // windows than `block_size`) would fill whole ownership blocks of
+        // the incremental pool with one class. Spreading the smaller class
+        // evenly through the larger keeps single-class runs at the class
+        // ratio instead of the full class size, so blocks stay mixed.
+        let num_pos = labels.iter().filter(|&&l| l).count();
+        let (pos, neg) = selected.split_at(num_pos.min(selected.len()));
+        let (mut p, mut n) = (0usize, 0usize);
+        while p < pos.len() || n < neg.len() {
+            // Proportional merge: advance whichever class lags its share.
+            let pick_pos = n >= neg.len() || (p < pos.len() && p * neg.len() <= n * pos.len());
+            let i = if pick_pos {
+                p += 1;
+                pos[p - 1]
+            } else {
+                n += 1;
+                neg[n - 1]
+            };
             self.batch_rows.extend_from_slice(matrix.row(i));
             self.batch_labels.push(labels[i]);
         }
@@ -208,6 +239,95 @@ impl SelfLearningPipeline {
         self.num_seizures += 1;
         self.produced_labels.push(*label);
         Ok(())
+    }
+
+    /// Serializes the pipeline's full persistent state — labeler
+    /// configuration, the detector (model, statistics or incremental pool;
+    /// see [`RealTimeDetector::save_state`]), the seizure counter and every
+    /// produced label — into the versioned binary snapshot format of
+    /// [`seizure_ml::persist`]. The extraction workspace and the batch
+    /// staging buffers are scratch and are not stored; a resumed pipeline
+    /// regrows them on first use.
+    pub fn save(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        let labeler = self.labeler.config();
+        w.f64(labeler.window_secs);
+        w.f64(labeler.overlap);
+        w.usize(labeler.detector.subsample_step);
+        w.u8(match labeler.detector.implementation {
+            Implementation::Reference => 0,
+            Implementation::Optimized => 1,
+        });
+        w.bool(labeler.detector.normalize);
+        w.nested(&self.detector.save_state());
+        w.usize(self.num_seizures);
+        w.usize(self.produced_labels.len());
+        for label in &self.produced_labels {
+            w.f64(label.onset_secs());
+            w.f64(label.offset_secs());
+        }
+        w.finish(SnapshotKind::SelfLearningPipeline)
+    }
+
+    /// Restores a pipeline from a [`SelfLearningPipeline::save`] snapshot.
+    /// The resumed pipeline reproduces the original's detections on any
+    /// record and continues learning exactly where it stopped: the next
+    /// [`SelfLearningPipeline::observe_missed_seizure`] retrains
+    /// node-identically to a pipeline that never shut down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Persist`] for truncated, foreign, corrupted,
+    /// version-mismatched or internally inconsistent snapshots — never a
+    /// panic.
+    pub fn resume(bytes: &[u8]) -> Result<Self, CoreError> {
+        let mut r = SnapshotReader::open(bytes, SnapshotKind::SelfLearningPipeline)?;
+        let window_secs = r.f64()?;
+        let overlap = r.f64()?;
+        let subsample_step = r.usize()?;
+        let implementation = match r.u8()? {
+            0 => Implementation::Reference,
+            1 => Implementation::Optimized,
+            marker => {
+                return Err(PersistError::Corrupted {
+                    detail: format!("unknown labeler implementation marker {marker}"),
+                }
+                .into())
+            }
+        };
+        let normalize = r.bool()?;
+        let detector = RealTimeDetector::load_state(r.nested()?)?;
+        let num_seizures = r.usize()?;
+        let num_labels = r.usize()?;
+        let mut produced_labels = Vec::with_capacity(num_labels.min(1024));
+        for _ in 0..num_labels {
+            let onset = r.f64()?;
+            let offset = r.f64()?;
+            produced_labels.push(SeizureLabel::new(onset, offset).map_err(|e| {
+                PersistError::Corrupted {
+                    detail: format!("stored label does not reconstruct: {e}"),
+                }
+            })?);
+        }
+        r.finish()?;
+        let labeler_config = LabelerConfig {
+            window_secs,
+            overlap,
+            detector: DetectorConfig {
+                subsample_step,
+                implementation,
+                normalize,
+            },
+        };
+        Ok(Self {
+            labeler: PosterioriLabeler::new(labeler_config),
+            detector,
+            batch_rows: Vec::new(),
+            batch_labels: Vec::new(),
+            num_seizures,
+            produced_labels,
+            workspace: FeatureWorkspace::new(),
+        })
     }
 
     /// Evaluates the current real-time detector on a held-out record, using the
@@ -351,6 +471,131 @@ mod tests {
         // Expert labels coincide exactly with the ground-truth annotation.
         assert_eq!(label.onset_secs(), record.annotation().onset());
         assert_eq!(label.offset_secs(), record.annotation().offset());
+    }
+
+    #[test]
+    fn non_seizure_labels_are_not_counted_as_collected_seizures() {
+        // Regression: `add_training_record` used to be all-or-nothing around
+        // the seizure counter; an externally produced label that marks no
+        // window of the record must neither train nor count.
+        let cohort = Cohort::chb_mit_like(26);
+        let config = small_sample_config();
+        let patient = 8;
+        let mut pipeline =
+            SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+        let record = cohort.sample_record(patient, 0, &config, 5).unwrap();
+
+        // A label entirely past the end of the record yields no seizure
+        // window under the half-overlap rule.
+        let beyond = record.signal().duration_secs() + 100.0;
+        let label = crate::label::SeizureLabel::new(beyond, beyond + 30.0).unwrap();
+        pipeline.add_training_record(&record, &label).unwrap();
+        assert_eq!(pipeline.num_seizures_collected(), 0);
+        assert_eq!(pipeline.training_windows(), 0);
+        assert!(pipeline.produced_labels().is_empty());
+        assert!(!pipeline.detector().is_trained());
+
+        // A genuine seizure label afterwards trains and counts exactly once.
+        let truth = crate::label::SeizureLabel::new(
+            record.annotation().onset(),
+            record.annotation().offset(),
+        )
+        .unwrap();
+        pipeline.add_training_record(&record, &truth).unwrap();
+        assert_eq!(pipeline.num_seizures_collected(), 1);
+        assert!(pipeline.training_windows() > 0);
+    }
+
+    #[test]
+    fn staged_batches_spread_classes_when_positives_dominate() {
+        // A label covering most of the record yields far more seizure than
+        // seizure-free windows; the staging buffer must still spread the
+        // negatives through the positives so no ownership block of the
+        // incremental pool is filled by one class.
+        let cohort = Cohort::chb_mit_like(28);
+        let config = small_sample_config();
+        let mut pipeline =
+            SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+        let record = cohort.sample_record(8, 0, &config, 6).unwrap();
+        let label =
+            crate::label::SeizureLabel::new(1.0, record.signal().duration_secs() * 0.8).unwrap();
+        pipeline.add_training_record(&record, &label).unwrap();
+
+        let staged = &pipeline.batch_labels;
+        let pos = staged.iter().filter(|&&l| l).count();
+        let neg = staged.len() - pos;
+        assert!(pos > neg, "the label should dominate: {pos} vs {neg}");
+        let mut max_run = 0;
+        let mut run = 0;
+        let mut prev = None;
+        for &l in staged {
+            run = if prev == Some(l) { run + 1 } else { 1 };
+            prev = Some(l);
+            max_run = max_run.max(run);
+        }
+        assert!(
+            max_run <= pos.div_ceil(neg) + 1,
+            "max single-class run {max_run} exceeds the class ratio bound"
+        );
+    }
+
+    #[test]
+    fn resumed_pipeline_reproduces_detections_and_keeps_learning() {
+        let cohort = Cohort::chb_mit_like(27);
+        let config = small_sample_config();
+        let patient = 8;
+        let w = cohort.average_seizure_duration(patient).unwrap();
+        let mut pipeline =
+            SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+        let record = cohort.sample_record(patient, 0, &config, 21).unwrap();
+        pipeline
+            .observe_missed_seizure(&record, w, LabelSource::Algorithm)
+            .unwrap();
+
+        // Save, cross the "process boundary", resume.
+        let snapshot = pipeline.save();
+        let mut resumed = SelfLearningPipeline::resume(&snapshot).unwrap();
+        assert_eq!(resumed.num_seizures_collected(), 1);
+        assert_eq!(resumed.produced_labels(), pipeline.produced_labels());
+        assert_eq!(resumed.training_windows(), pipeline.training_windows());
+
+        // Same detections on a held-out record...
+        let held_out = cohort.sample_record(patient, 2, &config, 22).unwrap();
+        assert_eq!(
+            resumed.detector().detect(held_out.signal()).unwrap(),
+            pipeline.detector().detect(held_out.signal()).unwrap()
+        );
+
+        // ...and the next missed seizure retrains node-identically to the
+        // pipeline that never shut down.
+        let second = cohort.sample_record(patient, 1, &config, 23).unwrap();
+        pipeline
+            .observe_missed_seizure(&second, w, LabelSource::Algorithm)
+            .unwrap();
+        resumed
+            .observe_missed_seizure(&second, w, LabelSource::Algorithm)
+            .unwrap();
+        assert_eq!(
+            resumed.detector().flat_forest(),
+            pipeline.detector().flat_forest()
+        );
+        assert_eq!(resumed.num_seizures_collected(), 2);
+    }
+
+    #[test]
+    fn corrupt_pipeline_snapshots_are_rejected() {
+        let pipeline = SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+        let mut bytes = pipeline.save();
+        assert!(SelfLearningPipeline::resume(&bytes[..10]).is_err());
+        bytes[24] ^= 0x10;
+        assert!(matches!(
+            SelfLearningPipeline::resume(&bytes),
+            Err(CoreError::Persist(_))
+        ));
+        // An untrained pipeline round-trips too (empty-pool snapshot).
+        let restored = SelfLearningPipeline::resume(&pipeline.save()).unwrap();
+        assert_eq!(restored.num_seizures_collected(), 0);
+        assert!(!restored.detector().is_trained());
     }
 
     #[test]

@@ -17,7 +17,16 @@ use seizure_ml::flat::FlatForest;
 use seizure_ml::forest::RandomForestConfig;
 use seizure_ml::incremental::{IncrementalTrainer, IncrementalTrainerConfig};
 use seizure_ml::metrics::ConfusionMatrix;
+use seizure_ml::persist::{self, PersistError, SnapshotKind, SnapshotReader, SnapshotWriter};
 use seizure_ml::training::{train_forest, TrainingSet};
+
+/// Snapshot marker: the detector has never been trained.
+const MODEL_UNTRAINED: u8 = 0;
+/// Snapshot marker: batch-trained model (standardization statistics stored).
+const MODEL_BATCH: u8 = 1;
+/// Snapshot marker: incrementally trained model (raw features, trainer
+/// stored, forest re-stitched on load).
+const MODEL_INCREMENTAL: u8 = 2;
 
 /// Configuration of the real-time detector.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -370,8 +379,14 @@ impl RealTimeDetector {
 
     /// Standardizes a flat row-major feature matrix in place with the
     /// statistics captured at training time (same arithmetic as the per-row
-    /// scaling, fused over the whole batch).
+    /// scaling, fused over the whole batch). Raw-feature detectors — the
+    /// incremental path clears the statistics — skip the pass entirely:
+    /// without the early return, empty statistics would walk the whole
+    /// matrix in single-element chunks doing nothing.
     fn scale_matrix_in_place(&self, data: &mut [f64]) {
+        if self.feature_means.is_empty() {
+            return;
+        }
         scale_flat(data, &self.feature_means, &self.feature_stds);
     }
 
@@ -485,6 +500,119 @@ impl RealTimeDetector {
         Ok(&workspace.predictions)
     }
 
+    /// Serializes the detector's full state — configuration, model, feature
+    /// statistics and (when trained incrementally) the whole retraining
+    /// engine including its sample pool — into the versioned binary snapshot
+    /// format of [`seizure_ml::persist`], so a wearable can power down and
+    /// [`RealTimeDetector::load_state`] can resume exactly where it left
+    /// off. Batch-trained detectors store their standardization statistics
+    /// alongside the forest; incremental detectors are marked raw-feature
+    /// (the incremental path trains unstandardized) and store the trainer
+    /// instead, from which the forest is re-stitched on load.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.f64(self.config.window_secs);
+        w.f64(self.config.overlap);
+        persist::write_forest_config(&mut w, &self.config.forest);
+        w.u64(self.config.seed);
+        w.usize(self.config.incremental_block_size);
+        match (&self.incremental, &self.flat) {
+            (Some(trainer), _) => {
+                w.u8(MODEL_INCREMENTAL);
+                w.nested(&persist::trainer_to_bytes(trainer));
+            }
+            (None, Some(forest)) => {
+                w.u8(MODEL_BATCH);
+                w.slice_f64(&self.feature_means);
+                w.slice_f64(&self.feature_stds);
+                w.nested(&persist::forest_to_bytes(forest));
+            }
+            (None, None) => w.u8(MODEL_UNTRAINED),
+        }
+        w.finish(SnapshotKind::RealTimeDetector)
+    }
+
+    /// Restores a detector from a [`RealTimeDetector::save_state`] snapshot.
+    /// The restored detector is state-identical to the saved one: a
+    /// batch-trained detector keeps its statistics and forest bit for bit,
+    /// and an incremental detector's next
+    /// [`RealTimeDetector::retrain_incremental`] emits a forest
+    /// node-identical to the one an uninterrupted detector would produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Persist`] for truncated, foreign, corrupted,
+    /// version-mismatched or internally inconsistent snapshots — never a
+    /// panic.
+    pub fn load_state(bytes: &[u8]) -> Result<Self, CoreError> {
+        let mut r = SnapshotReader::open(bytes, SnapshotKind::RealTimeDetector)?;
+        let window_secs = r.f64()?;
+        let overlap = r.f64()?;
+        let forest_config = persist::read_forest_config(&mut r)?;
+        let seed = r.u64()?;
+        let incremental_block_size = r.usize()?;
+        let config = RealTimeDetectorConfig {
+            window_secs,
+            overlap,
+            forest: forest_config,
+            seed,
+            incremental_block_size,
+        };
+        let mut detector = Self::new(config);
+        match r.u8()? {
+            MODEL_UNTRAINED => {}
+            MODEL_BATCH => {
+                detector.feature_means = r.slice_f64()?;
+                detector.feature_stds = r.slice_f64()?;
+                if detector.feature_means.len() != detector.feature_stds.len() {
+                    return Err(PersistError::Corrupted {
+                        detail: "feature means and stds disagree in length".to_string(),
+                    }
+                    .into());
+                }
+                let forest = persist::forest_from_bytes(r.nested()?)?;
+                if detector.feature_means.len() != forest.num_features() {
+                    return Err(PersistError::Corrupted {
+                        detail: format!(
+                            "feature statistics cover {} features but the forest was trained \
+                             on {}",
+                            detector.feature_means.len(),
+                            forest.num_features()
+                        ),
+                    }
+                    .into());
+                }
+                detector.flat = Some(forest);
+            }
+            MODEL_INCREMENTAL => {
+                let trainer = persist::trainer_from_bytes(r.nested()?)?;
+                if *trainer.config()
+                    != (IncrementalTrainerConfig {
+                        forest: config.forest,
+                        block_size: config.incremental_block_size,
+                    })
+                    || trainer.seed() != config.seed
+                {
+                    return Err(PersistError::Corrupted {
+                        detail: "embedded trainer disagrees with the detector configuration"
+                            .to_string(),
+                    }
+                    .into());
+                }
+                detector.flat = trainer.current_forest();
+                detector.incremental = Some(trainer);
+            }
+            marker => {
+                return Err(PersistError::Corrupted {
+                    detail: format!("unknown detector model marker {marker}"),
+                }
+                .into())
+            }
+        }
+        r.finish()?;
+        Ok(detector)
+    }
+
     /// Evaluates the detector on a signal whose true seizure position is known,
     /// returning the per-window confusion matrix.
     ///
@@ -526,7 +654,9 @@ impl RealTimeDetector {
 
 /// Balanced training selection over per-window labels: every seizure window
 /// plus an equal number of evenly spaced seizure-free windows, positives
-/// first (the order the pipeline's training set accumulates in).
+/// first (the pipeline re-spreads the two halves proportionally before
+/// staging them into the incremental pool, so ownership blocks mix both
+/// classes).
 ///
 /// # Errors
 ///
@@ -779,5 +909,87 @@ mod tests {
     fn config_accessor() {
         let detector = RealTimeDetector::new(fast_config());
         assert_eq!(detector.config().window_secs, 4.0);
+    }
+
+    #[test]
+    fn untrained_detector_state_round_trips() {
+        let detector = RealTimeDetector::new(fast_config());
+        let restored = RealTimeDetector::load_state(&detector.save_state()).unwrap();
+        assert_eq!(restored, detector);
+        assert!(!restored.is_trained());
+    }
+
+    #[test]
+    fn batch_trained_detector_state_round_trips_with_statistics() {
+        let (record, truth) = record_and_truth(9);
+        let mut detector = RealTimeDetector::new(fast_config());
+        let training = detector
+            .build_training_windows(record.signal(), &truth)
+            .unwrap();
+        detector
+            .train(&detector.balance(&training).unwrap())
+            .unwrap();
+
+        let restored = RealTimeDetector::load_state(&detector.save_state()).unwrap();
+        // State-identical: config, forest, and the standardization stats the
+        // batch path re-applies at prediction time.
+        assert_eq!(restored, detector);
+        assert_eq!(
+            restored.detect(record.signal()).unwrap(),
+            detector.detect(record.signal()).unwrap()
+        );
+    }
+
+    #[test]
+    fn incremental_detector_resumes_node_identically_across_a_save() {
+        let (record, truth) = record_and_truth(10);
+        let config = fast_config();
+        let mut detector = RealTimeDetector::new(config);
+        let training = detector
+            .build_training_windows(record.signal(), &truth)
+            .unwrap();
+        let balanced = detector.balance(&training).unwrap();
+        let nf = balanced.num_features();
+        let rows: Vec<f64> = balanced.features().iter().flatten().copied().collect();
+        let labels = balanced.labels();
+        let cut = balanced.len() / 2;
+
+        // Train half, save, cross the "process boundary", resume, train the
+        // rest — against a detector that never stopped.
+        detector
+            .retrain_incremental(&rows[..cut * nf], nf, &labels[..cut])
+            .unwrap();
+        let snapshot = detector.save_state();
+        detector
+            .retrain_incremental(&rows[cut * nf..], nf, &labels[cut..])
+            .unwrap();
+
+        let mut resumed = RealTimeDetector::load_state(&snapshot).unwrap();
+        resumed
+            .retrain_incremental(&rows[cut * nf..], nf, &labels[cut..])
+            .unwrap();
+        assert_eq!(resumed.flat_forest(), detector.flat_forest());
+        assert_eq!(resumed, detector);
+        assert_eq!(
+            resumed.detect(record.signal()).unwrap(),
+            detector.detect(record.signal()).unwrap()
+        );
+    }
+
+    #[test]
+    fn corrupt_detector_snapshots_are_rejected() {
+        let detector = RealTimeDetector::new(fast_config());
+        let mut bytes = detector.save_state();
+        assert!(matches!(
+            RealTimeDetector::load_state(&bytes[..bytes.len() - 3]),
+            Err(CoreError::Persist(_))
+        ));
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        assert!(matches!(
+            RealTimeDetector::load_state(&bytes),
+            Err(CoreError::Persist(_))
+        ));
+        assert!(RealTimeDetector::load_state(b"not a snapshot, not even close").is_err());
     }
 }

@@ -67,6 +67,65 @@ impl MemoryModel {
         rows * num_features * std::mem::size_of::<f32>()
     }
 
+    /// Exact size in bytes of a persisted incremental-trainer snapshot
+    /// (`seizure-ml`'s `persist::trainer_to_bytes`) for a pool of
+    /// `num_samples` samples of `num_features` features, cached as `n_trees`
+    /// trees totalling `total_nodes` nodes. Mirrors the format's layout term
+    /// by term — envelope, fixed trainer fields, the column-major matrix
+    /// with bit-packed labels (the presorted orders are rebuilt on load, not
+    /// stored), and the per-tree arenas — so a wearable can budget its Flash
+    /// before ever writing a snapshot. An integration test pins this formula
+    /// to the real codec's output length.
+    pub fn trainer_snapshot_bytes(
+        &self,
+        num_samples: usize,
+        num_features: usize,
+        n_trees: usize,
+        total_nodes: usize,
+    ) -> usize {
+        // Envelope: magic 8 + version 2 + kind 2 + payload length 8 +
+        // checksum 8.
+        const ENVELOPE: usize = 28;
+        // Forest config (41) + block_size, seed, last refit count (24) +
+        // has-pool flag (1).
+        const TRAINER_FIXED: usize = 66;
+        // Pool: feature count + two slice length prefixes.
+        const POOL_FIXED: usize = 24;
+        // Per tree: the two fingerprint fields + five arena length prefixes.
+        const PER_TREE: usize = 56;
+        // Per node: feature u32 + threshold f64 + children 2xu32 + leaf f64.
+        const PER_NODE: usize = 28;
+        // An empty trainer (no retrain yet) stores no pool section at all.
+        let pool = if num_samples == 0 {
+            0
+        } else {
+            POOL_FIXED + num_samples.div_ceil(8) + 8 * num_samples * num_features
+        };
+        let trees = 8 + n_trees * PER_TREE + total_nodes * PER_NODE;
+        ENVELOPE + TRAINER_FIXED + pool + trees
+    }
+
+    /// [`MemoryModel::budget`] with a persisted-state snapshot stored in
+    /// Flash next to the history buffer: the snapshot bytes are added to the
+    /// Flash-resident side of the budget, so `fits_flash` answers whether
+    /// the platform can hold **both** the last hour of data and the
+    /// personalized trainer state across a power cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::InvalidParameter`] if the buffer duration is not
+    /// positive.
+    pub fn budget_with_snapshot(
+        &self,
+        buffer_secs: f64,
+        snapshot_bytes: usize,
+    ) -> Result<MemoryBudget, EdgeError> {
+        let mut budget = self.budget(buffer_secs)?;
+        budget.history_bytes += snapshot_bytes;
+        budget.fits_flash = budget.history_bytes <= self.spec.flash_bytes;
+        Ok(budget)
+    }
+
     /// Computes the memory budget for a history buffer of `buffer_secs`
     /// seconds (the paper uses one hour, the maximum delay between a missed
     /// seizure and the patient's confirmation).
@@ -153,5 +212,25 @@ mod tests {
     #[test]
     fn platform_accessor() {
         assert_eq!(model().platform().ram_bytes, 48 * 1024);
+    }
+
+    #[test]
+    fn snapshot_accounting_extends_the_flash_side_of_the_budget() {
+        let model = model();
+        // An empty trainer is pure overhead; a paper-scale pool dominates.
+        let empty = model.trainer_snapshot_bytes(0, 0, 0, 0);
+        assert_eq!(empty, 28 + 66 + 8);
+        let pool = model.trainer_snapshot_bytes(4096, 54, 30, 30 * 200);
+        assert!(pool > 8 * 4096 * 54);
+
+        // The snapshot lands in Flash next to the history buffer.
+        let base = model.budget(3600.0).unwrap();
+        let with = model.budget_with_snapshot(3600.0, 64 * 1024).unwrap();
+        assert_eq!(with.history_bytes, base.history_bytes + 64 * 1024);
+        assert_eq!(with.working_bytes, base.working_bytes);
+        assert!(with.fits_flash); // 240 KB + 64 KB < 384 KB
+        let too_big = model.budget_with_snapshot(3600.0, 200 * 1024).unwrap();
+        assert!(!too_big.fits_flash); // 240 KB + 200 KB > 384 KB
+        assert!(model.budget_with_snapshot(0.0, 1).is_err());
     }
 }

@@ -44,19 +44,19 @@ pub(crate) const LEAF: u32 = u32::MAX;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlatForest {
-    num_features: usize,
+    pub(crate) num_features: usize,
     /// Index of each tree's root node in the node arrays.
-    roots: Vec<u32>,
+    pub(crate) roots: Vec<u32>,
     /// Split feature per node; [`LEAF`] marks leaves.
-    feature: Vec<u32>,
+    pub(crate) feature: Vec<u32>,
     /// Split threshold per node (unused for leaves).
-    threshold: Vec<f64>,
+    pub(crate) threshold: Vec<f64>,
     /// Left child (taken when `sample[feature] <= threshold`).
-    left: Vec<u32>,
+    pub(crate) left: Vec<u32>,
     /// Right child.
-    right: Vec<u32>,
+    pub(crate) right: Vec<u32>,
     /// Positive-class probability for leaves (unused for splits).
-    leaf_prob: Vec<f64>,
+    pub(crate) leaf_prob: Vec<f64>,
 }
 
 impl FlatForest {

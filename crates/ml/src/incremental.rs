@@ -99,10 +99,10 @@ impl Default for IncrementalTrainerConfig {
 /// fingerprint changes (pools only ever grow, so equal fingerprints imply an
 /// identical pool).
 #[derive(Debug, Clone, Default, PartialEq)]
-struct TreeState {
-    arena: NodeArena,
-    blocks_owned: usize,
-    pool_len: usize,
+pub(crate) struct TreeState {
+    pub(crate) arena: NodeArena,
+    pub(crate) blocks_owned: usize,
+    pub(crate) pool_len: usize,
 }
 
 /// Stateful incremental retraining engine — see the [module docs](self) for
@@ -155,6 +155,64 @@ impl IncrementalTrainer {
         self.last_refit
     }
 
+    /// The seed the per-tree draw and feature-subsampling streams derive
+    /// from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Re-stitches the forest the last [`IncrementalTrainer::retrain`]
+    /// emitted from the cached per-tree arenas (`None` until the first
+    /// retrain). Used when restoring a persisted trainer, whose snapshot
+    /// stores the arenas but not the stitched copy.
+    pub fn current_forest(&self) -> Option<FlatForest> {
+        let set = self.set.as_ref()?;
+        if self.trees.len() != self.config.forest.n_trees || self.trees.is_empty() {
+            return None;
+        }
+        let refs: Vec<&NodeArena> = self.trees.iter().map(|s| &s.arena).collect();
+        Some(stitch_forest(set.num_features(), &refs))
+    }
+
+    /// Decomposes the trainer into the parts the persistence codec stores:
+    /// configuration, seed, pool, cached trees with their draw-stream
+    /// fingerprints, and the last refit count.
+    pub(crate) fn snapshot_parts(
+        &self,
+    ) -> (
+        &IncrementalTrainerConfig,
+        u64,
+        Option<&TrainingSet>,
+        &[TreeState],
+        usize,
+    ) {
+        (
+            &self.config,
+            self.seed,
+            self.set.as_ref(),
+            &self.trees,
+            self.last_refit,
+        )
+    }
+
+    /// Reassembles a trainer from persisted parts (the codec validates the
+    /// cross-field invariants before calling this).
+    pub(crate) fn from_snapshot_parts(
+        config: IncrementalTrainerConfig,
+        seed: u64,
+        set: Option<TrainingSet>,
+        trees: Vec<TreeState>,
+        last_refit: usize,
+    ) -> Self {
+        Self {
+            config,
+            seed,
+            set,
+            trees,
+            last_refit,
+        }
+    }
+
     /// Appends new samples (flat row-major, `labels.len() * num_features`
     /// values) to the pool, refits exactly the trees whose bootstrap pools
     /// were affected by the growth, and emits the full flat forest.
@@ -165,7 +223,13 @@ impl IncrementalTrainer {
     /// invalid forest hyper-parameters, [`MlError::DimensionMismatch`] if
     /// the matrix does not match `labels.len() * num_features` or
     /// `num_features` differs from earlier appends, and
-    /// [`MlError::InvalidDataset`] for an empty append.
+    /// [`MlError::InvalidDataset`] for an empty append — or for a
+    /// **single-class** append longer than `block_size`: such a batch fills
+    /// whole ownership blocks with one label, so every block-specialized
+    /// tree drawing from them would silently degrade into a single-class
+    /// stump. The error is raised before the pool is touched; interleave
+    /// classes in the batch (the pipeline's balanced batches do) or raise
+    /// `block_size` above the stream's longest single-class run.
     pub fn retrain(
         &mut self,
         rows: &[f64],
@@ -177,6 +241,21 @@ impl IncrementalTrainer {
             return Err(MlError::InvalidParameter {
                 name: "block_size",
                 reason: "ownership blocks must hold at least one sample".to_string(),
+            });
+        }
+        if self.config.forest.n_trees > 1
+            && labels.len() > block
+            && labels.windows(2).all(|w| w[0] == w[1])
+        {
+            return Err(MlError::InvalidDataset {
+                detail: format!(
+                    "single-class append of {} samples exceeds block_size {}: every ownership \
+                     block it fills holds one label only, silently degrading block-specialized \
+                     tree diversity; interleave both classes in the batch or raise block_size \
+                     above the stream's longest single-class run",
+                    labels.len(),
+                    block
+                ),
             });
         }
         match &mut self.set {
@@ -390,6 +469,53 @@ mod tests {
             0,
         );
         assert!(zero_trees.retrain(&rows, 2, &labels).is_err());
+    }
+
+    #[test]
+    fn single_class_append_longer_than_a_block_is_rejected() {
+        // block_size 16 (small_config); a 17-sample one-label batch would
+        // fill a whole ownership block with a single class.
+        let (rows, labels) = rows_and_labels(40);
+        let mut trainer = IncrementalTrainer::new(small_config(), 2);
+        trainer.retrain(&rows, 2, &labels).unwrap();
+        let bad_rows: Vec<f64> = (0..34).map(f64::from).collect();
+        let err = trainer.retrain(&bad_rows, 2, &[true; 17]).unwrap_err();
+        assert!(matches!(err, MlError::InvalidDataset { .. }));
+        assert!(err.to_string().contains("block_size"), "{err}");
+        // The rejected batch never touched the pool.
+        assert_eq!(trainer.num_samples(), 40);
+        // At exactly block_size a single-class batch is still allowed...
+        let ok_rows: Vec<f64> = (0..32).map(f64::from).collect();
+        trainer.retrain(&ok_rows, 2, &[true; 16]).unwrap();
+        // ...as is a longer batch that mixes classes.
+        let mut mixed = vec![true; 17];
+        mixed[8] = false;
+        trainer.retrain(&bad_rows, 2, &mixed).unwrap();
+        assert_eq!(trainer.num_samples(), 40 + 16 + 17);
+        // Single-tree ensembles always bootstrap the whole pool, so the
+        // block-diversity concern (and the guard) do not apply.
+        let mut single = IncrementalTrainer::new(
+            IncrementalTrainerConfig {
+                forest: RandomForestConfig {
+                    n_trees: 1,
+                    ..RandomForestConfig::default()
+                },
+                block_size: 4,
+            },
+            0,
+        );
+        single.retrain(&rows, 2, &labels).unwrap();
+        single.retrain(&bad_rows, 2, &[true; 17]).unwrap();
+    }
+
+    #[test]
+    fn current_forest_matches_last_retrain_output() {
+        let mut trainer = IncrementalTrainer::new(small_config(), 5);
+        assert!(trainer.current_forest().is_none());
+        let (rows, labels) = rows_and_labels(60);
+        let emitted = trainer.retrain(&rows, 2, &labels).unwrap();
+        assert_eq!(trainer.current_forest().unwrap(), emitted);
+        assert_eq!(trainer.seed(), 5);
     }
 
     #[test]

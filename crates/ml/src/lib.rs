@@ -17,6 +17,9 @@
 //!   bootstrap pools were touched are refitted,
 //! * [`linear`] — a logistic-regression baseline,
 //! * [`kmeans`] / [`kmedoids`] — unsupervised clustering baselines,
+//! * [`persist`] — versioned binary snapshots of forests, training sets and
+//!   incremental trainers, so a wearable resumes its personalized pool
+//!   across power cycles,
 //! * [`metrics`] — confusion matrices, sensitivity, specificity and the
 //!   geometric mean used by the paper's Fig. 4,
 //! * [`split`] — train/test and leave-one-group-out splitting utilities,
@@ -59,6 +62,7 @@ pub mod kmeans;
 pub mod kmedoids;
 pub mod linear;
 pub mod metrics;
+pub mod persist;
 pub mod split;
 pub mod training;
 pub mod tree;
@@ -69,5 +73,6 @@ pub use flat::FlatForest;
 pub use forest::{RandomForest, RandomForestConfig};
 pub use incremental::{IncrementalTrainer, IncrementalTrainerConfig};
 pub use metrics::ConfusionMatrix;
+pub use persist::PersistError;
 pub use training::{train_forest, train_forest_with_width, IdWidth, TrainingSet};
 pub use tree::{DecisionTree, DecisionTreeConfig};

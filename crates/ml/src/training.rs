@@ -92,11 +92,6 @@ impl TrainingSet {
     /// count and [`MlError::DimensionMismatch`] if the buffer length does not
     /// equal `labels.len() * num_features`.
     pub fn from_rows(rows: &[f64], num_features: usize, labels: &[bool]) -> Result<Self, MlError> {
-        if labels.is_empty() {
-            return Err(MlError::InvalidDataset {
-                detail: "training set must contain at least one sample".to_string(),
-            });
-        }
         if num_features == 0 {
             return Err(MlError::InvalidDataset {
                 detail: "training set must contain at least one feature".to_string(),
@@ -111,17 +106,54 @@ impl TrainingSet {
                 ),
             });
         }
-        if n > (u32::MAX >> 1) as usize {
-            return Err(MlError::InvalidDataset {
-                detail: "training sets are limited to 2^31 samples (31-bit ids + label bit)"
-                    .to_string(),
-            });
-        }
         let mut columns = vec![0.0; n * num_features];
         for (i, row) in rows.chunks_exact(num_features).enumerate() {
             for (f, &x) in row.iter().enumerate() {
                 columns[f * n + i] = x;
             }
+        }
+        Self::from_columns(columns, num_features, labels.to_vec())
+    }
+
+    /// Builds a training set from column-major storage (`columns[f * n + i]`
+    /// is feature `f` of sample `i`), presorting every column. This is the
+    /// layout [`TrainingSet`] keeps internally, so the persistence codec
+    /// restores snapshots through this constructor without a row-major
+    /// round-trip; the presort is a pure function of the columns, making the
+    /// rebuilt order arrays identical to the saved set's.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TrainingSet::from_rows`].
+    pub(crate) fn from_columns(
+        columns: Vec<f64>,
+        num_features: usize,
+        labels: Vec<bool>,
+    ) -> Result<Self, MlError> {
+        if labels.is_empty() {
+            return Err(MlError::InvalidDataset {
+                detail: "training set must contain at least one sample".to_string(),
+            });
+        }
+        if num_features == 0 {
+            return Err(MlError::InvalidDataset {
+                detail: "training set must contain at least one feature".to_string(),
+            });
+        }
+        let n = labels.len();
+        if columns.len() != n * num_features {
+            return Err(MlError::DimensionMismatch {
+                detail: format!(
+                    "column storage of {} values does not cover {n} samples x {num_features} features",
+                    columns.len()
+                ),
+            });
+        }
+        if n > (u32::MAX >> 1) as usize {
+            return Err(MlError::InvalidDataset {
+                detail: "training sets are limited to 2^31 samples (31-bit ids + label bit)"
+                    .to_string(),
+            });
         }
         let mut order = Vec::with_capacity(n * num_features);
         let mut ids: Vec<u32> = Vec::with_capacity(n);
@@ -139,7 +171,7 @@ impl TrainingSet {
             num_samples: n,
             num_features,
             columns,
-            labels: labels.to_vec(),
+            labels,
             order,
         })
     }
@@ -262,6 +294,12 @@ impl TrainingSet {
     /// Labels, in sample order.
     pub fn labels(&self) -> &[bool] {
         &self.labels
+    }
+
+    /// Column-major feature storage (`columns[f * n + i]` is feature `f` of
+    /// sample `i`) — the persisted representation of the set.
+    pub(crate) fn columns(&self) -> &[f64] {
+        &self.columns
     }
 
     /// Value of `feature` for `sample`, off the column-major storage.
@@ -412,11 +450,11 @@ impl<W: SampleWord> SplitScratch<W> {
 /// the [`FlatForest`] layout (DFS preorder, [`LEAF`] sentinel in `feature`).
 #[derive(Debug, Default, Clone, PartialEq)]
 pub(crate) struct NodeArena {
-    feature: Vec<u32>,
-    threshold: Vec<f64>,
-    left: Vec<u32>,
-    right: Vec<u32>,
-    leaf_prob: Vec<f64>,
+    pub(crate) feature: Vec<u32>,
+    pub(crate) threshold: Vec<f64>,
+    pub(crate) left: Vec<u32>,
+    pub(crate) right: Vec<u32>,
+    pub(crate) leaf_prob: Vec<f64>,
 }
 
 impl NodeArena {

@@ -7,6 +7,7 @@ use seizure_ml::forest::{RandomForest, RandomForestConfig};
 use seizure_ml::incremental::{IncrementalTrainer, IncrementalTrainerConfig};
 use seizure_ml::kmeans::{KMeans, KMeansConfig};
 use seizure_ml::metrics::{geometric_mean, ConfusionMatrix};
+use seizure_ml::persist::{trainer_from_bytes, trainer_to_bytes};
 use seizure_ml::split::{leave_one_group_out, stratified_split, train_test_split};
 use seizure_ml::training::{train_forest, train_forest_with_width, IdWidth, TrainingSet};
 use seizure_ml::tree::{DecisionTree, DecisionTreeConfig};
@@ -14,6 +15,27 @@ use seizure_ml::tree::{DecisionTree, DecisionTreeConfig};
 fn labeled_points(n: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<bool>)> {
     prop::collection::vec((prop::collection::vec(-50.0f64..50.0, 3), any::<bool>()), n)
         .prop_map(|rows| rows.into_iter().unzip())
+}
+
+/// Caps every single-class run of `labels` at `max_run` samples by flipping
+/// the label that would extend it. The incremental trainer rejects
+/// single-class appends longer than its block size (they degrade
+/// block-specialized tree diversity), so random grow schedules must not
+/// carve such a batch out of the label stream.
+fn cap_runs(mut labels: Vec<bool>, max_run: usize) -> Vec<bool> {
+    let mut run = 1;
+    for i in 1..labels.len() {
+        if labels[i] == labels[i - 1] {
+            run += 1;
+        } else {
+            run = 1;
+        }
+        if run > max_run {
+            labels[i] = !labels[i];
+            run = 1;
+        }
+    }
+    labels
 }
 
 proptest! {
@@ -150,6 +172,7 @@ proptest! {
         cuts_raw in prop::collection::vec(1usize..1000, 0..3),
     ) {
         let n = rows.len();
+        let labels = cap_runs(labels, 8);
         let flat: Vec<f64> = rows.iter().flatten().copied().collect();
         let config = IncrementalTrainerConfig {
             forest: RandomForestConfig { n_trees: 7, max_depth: 5, ..Default::default() },
@@ -181,6 +204,56 @@ proptest! {
         let probas: Vec<u64> = forest.predict_proba_batch(&held, 3).unwrap().iter().map(|p| p.to_bits()).collect();
         let ref_probas: Vec<u64> = reference.predict_proba_batch(&held, 3).unwrap().iter().map(|p| p.to_bits()).collect();
         prop_assert_eq!(probas, ref_probas);
+    }
+
+    #[test]
+    fn snapshot_resume_is_node_identical_at_any_split_point(
+        (rows, labels) in labeled_points(10..80),
+        seed in 0u64..30,
+        cuts_raw in prop::collection::vec(1usize..1000, 1..4),
+        split_raw in 0usize..1000,
+    ) {
+        let n = rows.len();
+        let labels = cap_runs(labels, 8);
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let config = IncrementalTrainerConfig {
+            forest: RandomForestConfig { n_trees: 7, max_depth: 5, ..Default::default() },
+            block_size: 8,
+        };
+        // A random grow schedule ending at the full dataset, interrupted by
+        // a save/load round trip after a random step.
+        let mut cuts: Vec<usize> = cuts_raw.iter().map(|c| 1 + c % n).collect();
+        cuts.push(n);
+        cuts.sort_unstable();
+        cuts.dedup();
+        let split = split_raw % cuts.len();
+
+        let mut uninterrupted = IncrementalTrainer::new(config, seed);
+        let mut resumed: Option<IncrementalTrainer> = None;
+        let mut prev = 0;
+        let mut forest = None;
+        let mut resumed_forest = None;
+        for (step, &cut) in cuts.iter().enumerate() {
+            let (r, l) = (&flat[prev * 3..cut * 3], &labels[prev..cut]);
+            forest = Some(uninterrupted.retrain(r, 3, l).unwrap());
+            if let Some(t) = resumed.as_mut() {
+                resumed_forest = Some(t.retrain(r, 3, l).unwrap());
+            }
+            if step == split {
+                // The process boundary: serialize, drop, restore.
+                let bytes = trainer_to_bytes(&uninterrupted);
+                let restored = trainer_from_bytes(&bytes).unwrap();
+                prop_assert_eq!(&restored, &uninterrupted);
+                resumed = Some(restored);
+                resumed_forest = forest.clone();
+            }
+            prev = cut;
+        }
+        // The resumed trainer's final forest is node-identical to the
+        // uninterrupted one's, and the trainers agree state for state.
+        let resumed = resumed.unwrap();
+        prop_assert_eq!(&resumed, &uninterrupted);
+        prop_assert_eq!(&resumed_forest.unwrap(), &forest.unwrap());
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! Battery-lifetime analysis of the wearable platform (paper §VI-C,
-//! Table III and Fig. 5).
+//! Table III and Fig. 5), followed by a multi-session lifetime demo: the
+//! self-learning pipeline saves its personalized state, "powers down" (the
+//! snapshot crosses a process boundary through a file), resumes, and keeps
+//! retraining node-identically to a device that never lost power.
 //!
 //! Run with:
 //!
@@ -7,10 +10,16 @@
 //! cargo run --release --example wearable_lifetime
 //! ```
 
+use selflearn_seizure::core::labeler::LabelerConfig;
+use selflearn_seizure::core::pipeline::{LabelSource, SelfLearningPipeline};
+use selflearn_seizure::core::realtime::RealTimeDetectorConfig;
+use selflearn_seizure::data::cohort::Cohort;
+use selflearn_seizure::data::sampler::SampleConfig;
 use selflearn_seizure::edge::energy::{EnergyModel, OperatingMode};
 use selflearn_seizure::edge::memory::MemoryModel;
 use selflearn_seizure::edge::platform::PlatformSpec;
 use selflearn_seizure::edge::timing::TimingModel;
+use selflearn_seizure::ml::forest::RandomForestConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = PlatformSpec::stm32l151_default();
@@ -76,5 +85,75 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "labeling one hour of signal: {:.2e} operations, {:.0} s of CPU time ({:.2} s per signal second)",
         cost.operations, cost.seconds, cost.seconds_per_signal_second
     );
+
+    // Multi-session lifetime: the personalized pool survives a power cycle.
+    println!("\nsession-resume persistence (save -> power cycle -> resume -> retrain)");
+    let cohort = Cohort::chb_mit_like(5);
+    let sample = SampleConfig::new(150.0, 200.0, 64.0)?;
+    let patient = 8;
+    let w = cohort.average_seizure_duration(patient)?;
+    let detector_config = RealTimeDetectorConfig {
+        forest: RandomForestConfig {
+            n_trees: 10,
+            max_depth: 6,
+            ..RandomForestConfig::default()
+        },
+        ..RealTimeDetectorConfig::default()
+    };
+
+    // Day 1: the wearable learns from its first missed seizure, then powers
+    // down — the snapshot is everything that survives.
+    let snapshot_path = std::env::temp_dir().join("wearable_lifetime_session.snap");
+    {
+        let mut day1 = SelfLearningPipeline::new(LabelerConfig::default(), detector_config);
+        let record = cohort.sample_record(patient, 0, &sample, 1)?;
+        day1.observe_missed_seizure(&record, w, LabelSource::Algorithm)?;
+        std::fs::write(&snapshot_path, day1.save())?;
+        println!(
+            "day 1: {} training windows collected, state saved to {}",
+            day1.training_windows(),
+            snapshot_path.display()
+        );
+    } // <- the day-1 process state is gone here
+
+    // Day 2: a fresh process resumes from the snapshot and learns from the
+    // next missed seizure.
+    let mut day2 = SelfLearningPipeline::resume(&std::fs::read(&snapshot_path)?)?;
+    let record = cohort.sample_record(patient, 1, &sample, 2)?;
+    day2.observe_missed_seizure(&record, w, LabelSource::Algorithm)?;
+
+    // Reference device that never lost power: both seizures in one process.
+    let mut uninterrupted = SelfLearningPipeline::new(LabelerConfig::default(), detector_config);
+    for (seizure, seed) in [(0usize, 1u64), (1, 2)] {
+        let record = cohort.sample_record(patient, seizure, &sample, seed)?;
+        uninterrupted.observe_missed_seizure(&record, w, LabelSource::Algorithm)?;
+    }
+    assert_eq!(
+        day2.detector().flat_forest(),
+        uninterrupted.detector().flat_forest(),
+        "resumed retraining must be node-identical to the uninterrupted device"
+    );
+    let held_out = cohort.sample_record(patient, 2, &sample, 3)?;
+    let resumed_report = day2.evaluate(&held_out)?;
+    let reference_report = uninterrupted.evaluate(&held_out)?;
+    assert_eq!(resumed_report, reference_report);
+    println!(
+        "day 2: resumed pool of {} windows retrained node-identically \
+         (held-out gmean {:.3})",
+        day2.training_windows(),
+        resumed_report.geometric_mean
+    );
+
+    // And the snapshot fits the platform's Flash next to the history buffer.
+    let snapshot_bytes = std::fs::metadata(&snapshot_path)?.len() as usize;
+    std::fs::remove_file(&snapshot_path)?;
+    let with_snapshot = memory.budget_with_snapshot(1200.0, snapshot_bytes)?;
+    println!(
+        "snapshot: {:.1} KB; 20-min history + snapshot = {} KB in flash (fits: {})",
+        snapshot_bytes as f64 / 1024.0,
+        with_snapshot.history_bytes / 1024,
+        with_snapshot.fits_flash
+    );
+    assert!(with_snapshot.fits_flash);
     Ok(())
 }

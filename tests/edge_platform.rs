@@ -5,6 +5,9 @@ use selflearn_seizure::edge::energy::{EnergyModel, OperatingMode};
 use selflearn_seizure::edge::memory::MemoryModel;
 use selflearn_seizure::edge::platform::PlatformSpec;
 use selflearn_seizure::edge::timing::TimingModel;
+use selflearn_seizure::ml::forest::RandomForestConfig;
+use selflearn_seizure::ml::persist::trainer_to_bytes;
+use selflearn_seizure::ml::training::{IncrementalTrainer, IncrementalTrainerConfig};
 
 #[test]
 fn table_iii_is_reproduced() {
@@ -86,4 +89,57 @@ fn memory_and_timing_claims_hold_on_the_platform() {
     assert!(cost.seconds_per_signal_second < 2.0);
     // And the real-time detector's duty cycle is the 75 % used in Table III.
     assert!((timing.detection_duty_cycle() - 0.75).abs() < 1e-12);
+}
+
+/// The edge memory model's snapshot-size formula must agree byte for byte
+/// with what `seizure-ml`'s persistence codec actually emits, for the empty
+/// pool and for fitted trainers alike — otherwise the Flash budgeting the
+/// wearable plans its power cycles around would drift from reality.
+#[test]
+fn snapshot_size_formula_matches_the_real_codec() {
+    let memory = MemoryModel::new(PlatformSpec::stm32l151_default());
+    let config = IncrementalTrainerConfig {
+        forest: RandomForestConfig {
+            n_trees: 5,
+            max_depth: 5,
+            ..RandomForestConfig::default()
+        },
+        block_size: 16,
+    };
+
+    let empty = IncrementalTrainer::new(config, 9);
+    assert_eq!(
+        trainer_to_bytes(&empty).len(),
+        memory.trainer_snapshot_bytes(0, 0, 0, 0)
+    );
+
+    let mut trainer = IncrementalTrainer::new(config, 9);
+    let n = 300;
+    let rows: Vec<f64> = (0..n * 2)
+        .map(|i| ((i * 37 + 11) % 101) as f64 / 7.0)
+        .collect();
+    let labels: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+    trainer.retrain(&rows, 2, &labels).unwrap();
+    let total_nodes: usize = trainer.current_forest().unwrap().num_nodes();
+    assert_eq!(
+        trainer_to_bytes(&trainer).len(),
+        memory.trainer_snapshot_bytes(n, 2, 5, total_nodes)
+    );
+
+    // And a few-seizure personalized pool (the paper trains on 2-5 balanced
+    // seizures, ~256 windows of 54 features, 30 trees) fits the 384 KB Flash
+    // alongside a 20-minute history buffer — exactly the budgeting question
+    // a self-learning wearable has to answer before committing to
+    // persistence. A much larger pool visibly does not, so the model can
+    // also tell the device when to stop growing on-flash state.
+    let few_seizures = memory.trainer_snapshot_bytes(256, 54, 30, 30 * 128);
+    let budget = memory.budget_with_snapshot(1200.0, few_seizures).unwrap();
+    assert!(budget.fits_flash, "{} bytes", budget.history_bytes);
+    let oversized = memory.trainer_snapshot_bytes(2048, 54, 30, 30 * 256);
+    assert!(
+        !memory
+            .budget_with_snapshot(1200.0, oversized)
+            .unwrap()
+            .fits_flash
+    );
 }

@@ -72,6 +72,48 @@ fn algorithm_labels_are_close_to_expert_labels() {
     );
 }
 
+/// The acceptance property of the persistence subsystem at experiment scale:
+/// interrupting the Fig. 4 training loop with a save/resume round trip after
+/// every collected seizure must leave the final detector node-identical to
+/// the uninterrupted run — identical held-out detections, identical metrics.
+#[test]
+fn experiment_survives_a_process_boundary_after_every_seizure() {
+    let cohort = Cohort::chb_mit_like(17);
+    let config = sample_config();
+    let patient = 8;
+    let w = cohort.average_seizure_duration(patient).unwrap();
+
+    let mut uninterrupted = SelfLearningPipeline::new(LabelerConfig::default(), fast_detector());
+    let mut resumed = SelfLearningPipeline::new(LabelerConfig::default(), fast_detector());
+    for seizure in 0..3 {
+        let record = cohort
+            .sample_record(patient, seizure, &config, seizure as u64)
+            .unwrap();
+        uninterrupted
+            .observe_missed_seizure(&record, w, LabelSource::Algorithm)
+            .unwrap();
+        resumed
+            .observe_missed_seizure(&record, w, LabelSource::Algorithm)
+            .unwrap();
+        // The "power cycle": serialize, drop, restore.
+        resumed = SelfLearningPipeline::resume(&resumed.save()).unwrap();
+    }
+    assert_eq!(
+        resumed.detector().flat_forest(),
+        uninterrupted.detector().flat_forest()
+    );
+    assert_eq!(resumed.num_seizures_collected(), 3);
+
+    let held_out = cohort.sample_record(patient, 3, &config, 53).unwrap();
+    assert_eq!(
+        resumed.detector().detect(held_out.signal()).unwrap(),
+        uninterrupted.detector().detect(held_out.signal()).unwrap()
+    );
+    let a = resumed.evaluate(&held_out).unwrap();
+    let b = uninterrupted.evaluate(&held_out).unwrap();
+    assert_eq!(a, b);
+}
+
 #[test]
 fn detector_improves_with_more_collected_seizures() {
     let one = run_pipeline(8, 1, LabelSource::Algorithm);
