@@ -144,10 +144,20 @@ pub fn posteriori_detect(
         }
     };
 
+    // NaN-safe peak selection with NaN ranked *worst*: a candidate whose
+    // distance was poisoned by a NaN feature value must never outrank a
+    // finite one. (The former `partial_cmp` fallback to `Equal` let a NaN
+    // candidate late in the profile displace the true peak, silently
+    // mislabeling the seizure.)
     let window_index = distances
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| match (a.1.is_nan(), b.1.is_nan()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            (false, false) => a.1.total_cmp(b.1),
+        })
         .map(|(i, _)| i)
         .unwrap_or(0);
 
@@ -221,8 +231,11 @@ fn optimized_distances(matrix: &FeatureMatrix, w_len: usize, step: usize) -> Vec
     }
     let mut index = Vec::with_capacity(features);
     for f in 0..features {
+        // `total_cmp` keeps the prefix-sum index totally ordered even when a
+        // corrupted feature column carries NaN (the former `Equal` fallback
+        // produced an arbitrarily mis-sorted index, skewing every query).
         let mut sorted: Vec<f64> = grid.iter().map(|&k| matrix.get(k, f)).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let mut prefix = Vec::with_capacity(sorted.len() + 1);
         prefix.push(0.0);
         for v in &sorted {
@@ -333,6 +346,44 @@ mod tests {
             for (a, b) in reference.distances.iter().zip(optimized.distances.iter()) {
                 assert!((a - b).abs() < 1e-9, "rows={rows} w={w} step={step}");
             }
+        }
+    }
+
+    /// Regression for the NaN-unsafe peak selection: a NaN feature value
+    /// poisons the distance of every candidate window containing it, and
+    /// those candidates sit *after* the true peak here — the former
+    /// `partial_cmp().unwrap_or(Equal)` fold let the last NaN candidate
+    /// displace the real seizure window. NaN must rank worst, on both
+    /// implementations, without panicking.
+    #[test]
+    fn nan_features_never_win_the_detection() {
+        let mut data: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![if (10..15).contains(&i) { 8.0 } else { 0.0 }])
+            .collect();
+        // An odd row index keeps the NaN off the subsample grid (step 2), so
+        // only the windows *containing* it go NaN; the grid sums stay finite
+        // for everything else.
+        data[25][0] = f64::NAN;
+        let matrix = FeatureMatrix::from_rows(vec!["f".into()], data).unwrap();
+        for implementation in [Implementation::Reference, Implementation::Optimized] {
+            let detection = posteriori_detect(
+                &matrix,
+                5,
+                &DetectorConfig {
+                    implementation,
+                    subsample_step: 2,
+                    normalize: false,
+                },
+            )
+            .unwrap();
+            assert_eq!(detection.window_index, 10, "{implementation:?}");
+            assert!(
+                detection.peak_distance().is_finite(),
+                "{implementation:?}: a NaN candidate won the peak"
+            );
+            // The poisoned candidates are really NaN — the selection, not
+            // luck, kept them out.
+            assert!(detection.distances[21..25].iter().all(|d| d.is_nan()));
         }
     }
 

@@ -16,7 +16,9 @@ pub enum CoreError {
     Ml(MlError),
     /// The data substrate failed.
     Data(DataError),
-    /// A persisted state snapshot could not be decoded.
+    /// A persisted state snapshot — or a delta-journal entry layered on one
+    /// (see `seizure_ml::persist::journal`) — could not be decoded or
+    /// re-applied.
     Persist(PersistError),
     /// An algorithm parameter was invalid (window length, subsampling step, …).
     InvalidParameter {
@@ -119,6 +121,14 @@ mod tests {
         let e: CoreError = PersistError::UnsupportedVersion { found: 7 }.into();
         assert!(e.to_string().contains("state restore"));
         assert!(e.source().is_some());
+
+        // Journal replay failures surface through the same variant, with the
+        // entry-level detail preserved.
+        let e: CoreError = PersistError::Corrupted {
+            detail: "journal entry 3 does not re-apply: boom".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("journal entry 3"));
 
         let e = CoreError::InvalidParameter {
             name: "window",

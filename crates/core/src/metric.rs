@@ -176,13 +176,18 @@ impl DeviationSummary {
     }
 }
 
-/// Median of a slice (`None` when empty).
+/// Median of a slice (`None` when empty). NaN-safe: `total_cmp` gives a
+/// deterministic total order, where the former `Equal` fallback left the
+/// slice arbitrarily mis-sorted around a NaN deviation. A NaN still counts
+/// as a (worst-ranked) element — it shifts which rank the median reads —
+/// but the result is now deterministic and the finite values stay properly
+/// ordered.
 pub fn median(values: &[f64]) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let mid = sorted.len() / 2;
     Some(if sorted.len() % 2 == 1 {
         sorted[mid]
@@ -227,6 +232,18 @@ mod tests {
         let det = (1600.0, 1700.0);
         let expected = 1.0 - (100.0 + 60.0) / (2.0 * n);
         assert!((normalized_deviation(gt, det, 1800.0).unwrap() - expected).abs() < 1e-12);
+    }
+
+    /// Regression for the NaN-unsafe median sort: a NaN deviation must sort
+    /// to the worst end deterministically instead of scrambling the order of
+    /// the finite deltas (and it must never panic).
+    #[test]
+    fn median_tolerates_nan_values() {
+        assert_eq!(median(&[2.0, f64::NAN, 1.0]), Some(2.0));
+        // [1, 3, 5, NaN]: the even-length median averages the finite middle.
+        assert_eq!(median(&[5.0, 1.0, f64::NAN, 3.0]), Some(4.0));
+        assert!(median(&[f64::NAN]).unwrap().is_nan());
+        assert_eq!(median(&[]), None);
     }
 
     #[test]

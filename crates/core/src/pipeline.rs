@@ -14,6 +14,9 @@ use crate::realtime::{balanced_indices, RealTimeDetector, RealTimeDetectorConfig
 use crate::workspace::FeatureWorkspace;
 use seizure_data::sampler::EegRecord;
 use seizure_ml::metrics::ConfusionMatrix;
+use seizure_ml::persist::journal::{
+    self, CompactionPolicy, DeltaSave, DeltaState, JournalReplayReport, JournalWriter,
+};
 use seizure_ml::persist::{PersistError, SnapshotKind, SnapshotReader, SnapshotWriter};
 
 /// Where the seizure labels used for training come from.
@@ -101,6 +104,40 @@ pub struct SelfLearningPipeline {
     produced_labels: Vec<SeizureLabel>,
     /// Extraction state reused across every record the pipeline touches.
     workspace: FeatureWorkspace,
+    /// Delta-journal state armed by [`SelfLearningPipeline::save_delta`] /
+    /// [`SelfLearningPipeline::resume_with_journal`]; `None` while the
+    /// pipeline persists through full snapshots only. The pipeline keeps
+    /// its own journal rather than arming the detector's: each entry
+    /// additionally carries the produced seizure label as its annotation,
+    /// so a resume also restores the seizure counter and label history.
+    delta: Option<DeltaState>,
+}
+
+/// Length of the per-entry annotation: the produced label's onset and
+/// offset as two little-endian `f64`s.
+const LABEL_ANNOTATION_LEN: usize = 16;
+
+fn encode_label(label: &SeizureLabel) -> [u8; LABEL_ANNOTATION_LEN] {
+    let mut bytes = [0u8; LABEL_ANNOTATION_LEN];
+    bytes[..8].copy_from_slice(&label.onset_secs().to_le_bytes());
+    bytes[8..].copy_from_slice(&label.offset_secs().to_le_bytes());
+    bytes
+}
+
+fn decode_label(annotation: &[u8], index: usize) -> Result<SeizureLabel, PersistError> {
+    let bytes: [u8; LABEL_ANNOTATION_LEN] =
+        annotation.try_into().map_err(|_| PersistError::Corrupted {
+            detail: format!(
+                "journal entry {index} annotates {} bytes, expected a {LABEL_ANNOTATION_LEN}-byte \
+                 seizure label",
+                annotation.len()
+            ),
+        })?;
+    let onset = f64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+    let offset = f64::from_le_bytes(bytes[8..].try_into().expect("8 bytes"));
+    SeizureLabel::new(onset, offset).map_err(|e| PersistError::Corrupted {
+        detail: format!("journal entry {index} annotates a label that does not reconstruct: {e}"),
+    })
 }
 
 impl SelfLearningPipeline {
@@ -114,6 +151,7 @@ impl SelfLearningPipeline {
             num_seizures: 0,
             produced_labels: Vec::new(),
             workspace: FeatureWorkspace::new(),
+            delta: None,
         }
     }
 
@@ -238,6 +276,17 @@ impl SelfLearningPipeline {
             .retrain_incremental(&self.batch_rows, num_features, &self.batch_labels)?;
         self.num_seizures += 1;
         self.produced_labels.push(*label);
+        // With delta persistence armed, journal the staged batch together
+        // with the produced label, so the next `save_delta` appends O(batch)
+        // bytes and a resume also restores the counter and label history.
+        if let Some(delta) = &mut self.delta {
+            delta.writer.append_with(
+                &self.batch_rows,
+                num_features,
+                &self.batch_labels,
+                &encode_label(label),
+            )?;
+        }
         Ok(())
     }
 
@@ -259,7 +308,12 @@ impl SelfLearningPipeline {
             Implementation::Optimized => 1,
         });
         w.bool(labeler.detector.normalize);
-        w.nested(&self.detector.save_state());
+        // The detector (and through it the O(pool) trainer payload) is
+        // nested in place — lengths and checksums are back-patched instead
+        // of memcpying separately finished child envelopes.
+        let child = w.begin_nested(SnapshotKind::RealTimeDetector);
+        self.detector.write_state_body(&mut w);
+        w.end_nested(child);
         w.usize(self.num_seizures);
         w.usize(self.produced_labels.len());
         for label in &self.produced_labels {
@@ -327,7 +381,85 @@ impl SelfLearningPipeline {
             num_seizures,
             produced_labels,
             workspace: FeatureWorkspace::new(),
+            delta: None,
         })
+    }
+
+    /// Per-seizure persistence: the pipeline twin of
+    /// [`RealTimeDetector::save_delta`]. The first call returns
+    /// [`DeltaSave::Full`] (write as the base snapshot, erase the journal
+    /// region); afterwards each learned seizure costs one O(batch)
+    /// [`DeltaSave::Append`], until the [`CompactionPolicy`] folds the
+    /// journal into a fresh full base. Restore with
+    /// [`SelfLearningPipeline::resume_with_journal`].
+    pub fn save_delta(&mut self) -> DeltaSave {
+        self.save_delta_with(CompactionPolicy::default())
+    }
+
+    /// [`SelfLearningPipeline::save_delta`] under an explicit compaction
+    /// policy.
+    pub fn save_delta_with(&mut self, policy: CompactionPolicy) -> DeltaSave {
+        if let Some(save) = self.delta.as_mut().and_then(|d| d.save(policy)) {
+            return save;
+        }
+        let base = self.save();
+        let writer = JournalWriter::new(&base, self.training_windows())
+            .expect("save emits a valid envelope");
+        self.delta = Some(DeltaState {
+            writer,
+            base_len: base.len(),
+        });
+        DeltaSave::Full(base)
+    }
+
+    /// Restores a pipeline from a base snapshot plus its delta journal and
+    /// arms delta persistence for the next
+    /// [`SelfLearningPipeline::save_delta`]. Each journal entry re-applies
+    /// its balanced batch through the incremental trainer **and** restores
+    /// the produced label and seizure counter from its annotation, so the
+    /// resumed pipeline is state-identical to the one that never powered
+    /// down. A torn final entry (power loss mid-append) is dropped; the
+    /// report's `valid_len` says where to truncate the journal file before
+    /// appending again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Persist`] under the same conditions as
+    /// [`RealTimeDetector::load_with_journal`], plus entries whose
+    /// annotation is not a valid seizure label — never a panic, and a batch
+    /// is never half-applied.
+    pub fn resume_with_journal(
+        base: &[u8],
+        journal_bytes: &[u8],
+    ) -> Result<(Self, JournalReplayReport), CoreError> {
+        let mut pipeline = Self::resume(base)?;
+        let fingerprint = journal::base_fingerprint(base)?;
+        let scan = journal::scan_journal(journal_bytes)?;
+        for (i, entry) in scan.entries.iter().enumerate() {
+            let label = decode_label(&entry.annotation, i)?;
+            pipeline
+                .detector
+                .apply_journal_entry(entry, fingerprint, i)?;
+            pipeline.num_seizures += 1;
+            pipeline.produced_labels.push(label);
+        }
+        pipeline.delta = Some(DeltaState {
+            writer: JournalWriter::resume(
+                fingerprint,
+                pipeline.training_windows(),
+                scan.valid_len,
+                scan.entries.len(),
+            ),
+            base_len: base.len(),
+        });
+        Ok((
+            pipeline,
+            JournalReplayReport {
+                entries_applied: scan.entries.len(),
+                valid_len: scan.valid_len,
+                torn_bytes: scan.torn_bytes,
+            },
+        ))
     }
 
     /// Evaluates the current real-time detector on a held-out record, using the
@@ -580,6 +712,168 @@ mod tests {
             pipeline.detector().flat_forest()
         );
         assert_eq!(resumed.num_seizures_collected(), 2);
+    }
+
+    #[test]
+    fn pipeline_delta_saves_resume_with_labels_and_counters() {
+        let cohort = Cohort::chb_mit_like(29);
+        let config = small_sample_config();
+        let patient = 8;
+        let w = cohort.average_seizure_duration(patient).unwrap();
+        let mut pipeline =
+            SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+
+        // Seizure 1, then the first delta save: a full base.
+        let record = cohort.sample_record(patient, 0, &config, 31).unwrap();
+        pipeline
+            .observe_missed_seizure(&record, w, LabelSource::Algorithm)
+            .unwrap();
+        let base = match pipeline.save_delta() {
+            DeltaSave::Full(bytes) => bytes,
+            other => panic!("first delta save must be full, got {other:?}"),
+        };
+        assert_eq!(pipeline.save_delta(), DeltaSave::Clean);
+
+        // Seizure 2: an O(batch) append. With only one seizure in the base,
+        // the batch is a large fraction of the pool and the default policy
+        // would legitimately compact — a lenient one pins the append
+        // outcome this early-life test is about.
+        let lenient = CompactionPolicy {
+            max_journal_fraction: 100.0,
+            ..CompactionPolicy::default()
+        };
+        let second = cohort.sample_record(patient, 1, &config, 32).unwrap();
+        pipeline
+            .observe_missed_seizure(&second, w, LabelSource::Algorithm)
+            .unwrap();
+        let journal = match pipeline.save_delta_with(lenient) {
+            DeltaSave::Append(bytes) => bytes,
+            other => panic!("steady-state delta save must append, got {other:?}"),
+        };
+        assert!(
+            journal.len() < base.len(),
+            "append of {} bytes vs base of {}",
+            journal.len(),
+            base.len()
+        );
+
+        // Resume: detections, counter and label history all come back.
+        let (mut resumed, report) =
+            SelfLearningPipeline::resume_with_journal(&base, &journal).unwrap();
+        assert_eq!(report.entries_applied, 1);
+        assert_eq!(report.torn_bytes, 0);
+        assert_eq!(resumed.num_seizures_collected(), 2);
+        assert_eq!(resumed.produced_labels(), pipeline.produced_labels());
+        assert_eq!(resumed.training_windows(), pipeline.training_windows());
+        assert_eq!(
+            resumed.detector().flat_forest(),
+            pipeline.detector().flat_forest()
+        );
+        let held_out = cohort.sample_record(patient, 2, &config, 33).unwrap();
+        assert_eq!(
+            resumed.detector().detect(held_out.signal()).unwrap(),
+            pipeline.detector().detect(held_out.signal()).unwrap()
+        );
+
+        // The resumed pipeline keeps journaling: learn from the held-out
+        // seizure on both sides and compare the next appended entry.
+        pipeline
+            .observe_missed_seizure(&held_out, w, LabelSource::Algorithm)
+            .unwrap();
+        resumed
+            .observe_missed_seizure(&held_out, w, LabelSource::Algorithm)
+            .unwrap();
+        let a = pipeline.save_delta_with(lenient);
+        let b = resumed.save_delta_with(lenient);
+        assert!(matches!(a, DeltaSave::Append(_)));
+        assert_eq!(a, b, "resumed journal must continue the same sequence");
+    }
+
+    #[test]
+    fn pipeline_torn_journal_drops_the_lost_seizure_only() {
+        let cohort = Cohort::chb_mit_like(30);
+        let config = small_sample_config();
+        let patient = 8;
+        let w = cohort.average_seizure_duration(patient).unwrap();
+        let mut pipeline =
+            SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+        let record = cohort.sample_record(patient, 0, &config, 41).unwrap();
+        pipeline
+            .observe_missed_seizure(&record, w, LabelSource::Algorithm)
+            .unwrap();
+        let base = match pipeline.save_delta() {
+            DeltaSave::Full(bytes) => bytes,
+            other => panic!("{other:?}"),
+        };
+        let second = cohort.sample_record(patient, 1, &config, 42).unwrap();
+        pipeline
+            .observe_missed_seizure(&second, w, LabelSource::Algorithm)
+            .unwrap();
+        let lenient = CompactionPolicy {
+            max_journal_fraction: 100.0,
+            ..CompactionPolicy::default()
+        };
+        let journal = match pipeline.save_delta_with(lenient) {
+            DeltaSave::Append(bytes) => bytes,
+            other => panic!("{other:?}"),
+        };
+
+        // Crash mid-append: the resumed pipeline holds exactly one seizure
+        // and reports where the journal file must be truncated.
+        let torn = &journal[..journal.len() - 7];
+        let (resumed, report) = SelfLearningPipeline::resume_with_journal(&base, torn).unwrap();
+        assert_eq!(report.entries_applied, 0);
+        assert_eq!(report.valid_len, 0);
+        assert_eq!(report.torn_bytes, torn.len());
+        assert_eq!(resumed.num_seizures_collected(), 1);
+        assert_eq!(resumed.produced_labels().len(), 1);
+
+        // A corrupt annotation is a typed error, not a panic: flip a byte
+        // inside the entry and re-sign nothing — the checksum catches it.
+        let mut flipped = journal.clone();
+        flipped[journal.len() / 2] ^= 0x01;
+        assert!(matches!(
+            SelfLearningPipeline::resume_with_journal(&base, &flipped),
+            Err(CoreError::Persist(_))
+        ));
+    }
+
+    /// The zero-copy pipeline snapshot (detector nested in place) must stay
+    /// byte-identical to the copying path the format was defined with.
+    #[test]
+    fn zero_copy_pipeline_snapshot_is_byte_identical_to_the_copying_codec() {
+        let cohort = Cohort::chb_mit_like(31);
+        let config = small_sample_config();
+        let patient = 8;
+        let w = cohort.average_seizure_duration(patient).unwrap();
+        let mut pipeline =
+            SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+        let record = cohort.sample_record(patient, 0, &config, 51).unwrap();
+        pipeline
+            .observe_missed_seizure(&record, w, LabelSource::Algorithm)
+            .unwrap();
+
+        let labeler = pipeline.labeler.config();
+        let mut reference = SnapshotWriter::new();
+        reference.f64(labeler.window_secs);
+        reference.f64(labeler.overlap);
+        reference.usize(labeler.detector.subsample_step);
+        reference.u8(match labeler.detector.implementation {
+            Implementation::Reference => 0,
+            Implementation::Optimized => 1,
+        });
+        reference.bool(labeler.detector.normalize);
+        reference.nested(&pipeline.detector.save_state());
+        reference.usize(pipeline.num_seizures);
+        reference.usize(pipeline.produced_labels.len());
+        for label in &pipeline.produced_labels {
+            reference.f64(label.onset_secs());
+            reference.f64(label.offset_secs());
+        }
+        assert_eq!(
+            pipeline.save(),
+            reference.finish(SnapshotKind::SelfLearningPipeline)
+        );
     }
 
     #[test]

@@ -17,6 +17,9 @@ use seizure_ml::flat::FlatForest;
 use seizure_ml::forest::RandomForestConfig;
 use seizure_ml::incremental::{IncrementalTrainer, IncrementalTrainerConfig};
 use seizure_ml::metrics::ConfusionMatrix;
+use seizure_ml::persist::journal::{
+    self, CompactionPolicy, DeltaSave, DeltaState, JournalEntry, JournalReplayReport, JournalWriter,
+};
 use seizure_ml::persist::{self, PersistError, SnapshotKind, SnapshotReader, SnapshotWriter};
 use seizure_ml::training::{train_forest, TrainingSet};
 
@@ -100,6 +103,10 @@ pub struct RealTimeDetector {
     /// [`RealTimeDetector::retrain_incremental`]; `None` until the first
     /// incremental retrain.
     incremental: Option<IncrementalTrainer>,
+    /// Delta-journal state armed by [`RealTimeDetector::save_delta`] /
+    /// [`RealTimeDetector::load_with_journal`]; `None` while the detector
+    /// persists through full snapshots only.
+    delta: Option<DeltaState>,
 }
 
 impl RealTimeDetector {
@@ -111,6 +118,7 @@ impl RealTimeDetector {
             feature_means: Vec::new(),
             feature_stds: Vec::new(),
             incremental: None,
+            delta: None,
         }
     }
 
@@ -307,8 +315,10 @@ impl RealTimeDetector {
         self.flat = Some(train_forest(&set, &self.config.forest, self.config.seed)?);
         self.feature_means = means;
         self.feature_stds = stds;
-        // A full batch fit supersedes any incremental pool.
+        // A full batch fit supersedes any incremental pool — and any delta
+        // journal bound to it; the next `save_delta` re-bases.
         self.incremental = None;
+        self.delta = None;
         Ok(())
     }
 
@@ -363,6 +373,12 @@ impl RealTimeDetector {
         self.flat = Some(trainer.retrain(rows, num_features, labels)?);
         self.feature_means.clear();
         self.feature_stds.clear();
+        // With delta persistence armed, every accepted batch is journaled so
+        // the next `save_delta` is an O(batch) append instead of an O(pool)
+        // snapshot (`retrain` validated the shapes, so this cannot fail).
+        if let Some(delta) = &mut self.delta {
+            delta.writer.append_retrain(rows, num_features, labels)?;
+        }
         Ok(())
     }
 
@@ -511,25 +527,40 @@ impl RealTimeDetector {
     /// instead, from which the forest is re-stitched on load.
     pub fn save_state(&self) -> Vec<u8> {
         let mut w = SnapshotWriter::new();
+        self.write_state_body(&mut w);
+        w.finish(SnapshotKind::RealTimeDetector)
+    }
+
+    /// Writes the payload of a [`RealTimeDetector::save_state`] snapshot
+    /// into `w`. The model sections nest their child envelopes **in place**
+    /// (`begin_nested` / `end_nested` back-patch length and checksum), so a
+    /// save never memcpys the O(pool) trainer payload through intermediate
+    /// buffers — the bytes are identical to the copying path, minus the
+    /// copies. The pipeline calls this to nest a detector inside its own
+    /// snapshot the same way.
+    pub(crate) fn write_state_body(&self, w: &mut SnapshotWriter) {
         w.f64(self.config.window_secs);
         w.f64(self.config.overlap);
-        persist::write_forest_config(&mut w, &self.config.forest);
+        persist::write_forest_config(w, &self.config.forest);
         w.u64(self.config.seed);
         w.usize(self.config.incremental_block_size);
         match (&self.incremental, &self.flat) {
             (Some(trainer), _) => {
                 w.u8(MODEL_INCREMENTAL);
-                w.nested(&persist::trainer_to_bytes(trainer));
+                let child = w.begin_nested(SnapshotKind::IncrementalTrainer);
+                persist::write_trainer_body(w, trainer);
+                w.end_nested(child);
             }
             (None, Some(forest)) => {
                 w.u8(MODEL_BATCH);
                 w.slice_f64(&self.feature_means);
                 w.slice_f64(&self.feature_stds);
-                w.nested(&persist::forest_to_bytes(forest));
+                let child = w.begin_nested(SnapshotKind::FlatForest);
+                persist::write_forest_body(w, forest);
+                w.end_nested(child);
             }
             (None, None) => w.u8(MODEL_UNTRAINED),
         }
-        w.finish(SnapshotKind::RealTimeDetector)
     }
 
     /// Restores a detector from a [`RealTimeDetector::save_state`] snapshot.
@@ -611,6 +642,116 @@ impl RealTimeDetector {
         }
         r.finish()?;
         Ok(detector)
+    }
+
+    /// Per-seizure persistence: returns the **delta** Flash write that makes
+    /// the detector's current state durable, instead of re-writing the whole
+    /// O(pool) snapshot every time.
+    ///
+    /// * The first call (or any call after [`RealTimeDetector::train_flat`]
+    ///   re-based the model) returns [`DeltaSave::Full`]: write these bytes
+    ///   as the base snapshot and erase the journal region.
+    /// * Steady state returns [`DeltaSave::Append`] with the journal entries
+    ///   recorded since the last save — O(batch) — to append to the journal
+    ///   region.
+    /// * Once the journal outgrows the [`CompactionPolicy`] (default
+    ///   policy; see [`RealTimeDetector::save_delta_with`]), the journal is
+    ///   folded into a fresh [`DeltaSave::Full`] base and starts empty
+    ///   again.
+    /// * With nothing new to persist it returns [`DeltaSave::Clean`].
+    ///
+    /// Restore with [`RealTimeDetector::load_with_journal`], handing it the
+    /// base region and the journal region.
+    pub fn save_delta(&mut self) -> DeltaSave {
+        self.save_delta_with(CompactionPolicy::default())
+    }
+
+    /// [`RealTimeDetector::save_delta`] under an explicit compaction policy.
+    pub fn save_delta_with(&mut self, policy: CompactionPolicy) -> DeltaSave {
+        if let Some(save) = self.delta.as_mut().and_then(|d| d.save(policy)) {
+            return save;
+        }
+        self.rebase_delta()
+    }
+
+    /// Writes a fresh full base snapshot and arms an empty journal over it.
+    fn rebase_delta(&mut self) -> DeltaSave {
+        let base = self.save_state();
+        let pool = self.incremental.as_ref().map_or(0, |t| t.num_samples());
+        let writer = JournalWriter::new(&base, pool).expect("save_state emits a valid envelope");
+        self.delta = Some(DeltaState {
+            writer,
+            base_len: base.len(),
+        });
+        DeltaSave::Full(base)
+    }
+
+    /// Restores a detector from a base snapshot plus its delta journal and
+    /// arms delta persistence so the next
+    /// [`RealTimeDetector::save_delta`] keeps appending to the same journal.
+    /// Replay re-applies each journaled batch through
+    /// [`RealTimeDetector::retrain_incremental`], so the restored detector
+    /// is node-identical to the one that never powered down. A torn final
+    /// entry (power loss mid-append) is dropped; the report's `valid_len`
+    /// tells the device where to truncate its journal file before appending
+    /// again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Persist`] for a malformed base snapshot, for
+    /// journal corruption that is not a clean tail tear (bad magic, foreign
+    /// version, checksum mismatch, wrong kind), and for entries that do not
+    /// belong (wrong base fingerprint, wrong pool position, or a batch the
+    /// trainer no longer accepts) — never a panic, and a batch is never
+    /// half-applied.
+    pub fn load_with_journal(
+        base: &[u8],
+        journal_bytes: &[u8],
+    ) -> Result<(Self, JournalReplayReport), CoreError> {
+        let mut detector = Self::load_state(base)?;
+        let fingerprint = journal::base_fingerprint(base)?;
+        let scan = journal::scan_journal(journal_bytes)?;
+        for (i, entry) in scan.entries.iter().enumerate() {
+            detector.apply_journal_entry(entry, fingerprint, i)?;
+        }
+        detector.delta = Some(DeltaState {
+            writer: JournalWriter::resume(
+                fingerprint,
+                detector.incremental.as_ref().map_or(0, |t| t.num_samples()),
+                scan.valid_len,
+                scan.entries.len(),
+            ),
+            base_len: base.len(),
+        });
+        Ok((
+            detector,
+            JournalReplayReport {
+                entries_applied: scan.entries.len(),
+                valid_len: scan.valid_len,
+                torn_bytes: scan.torn_bytes,
+            },
+        ))
+    }
+
+    /// Validates one journal entry's bindings against this detector
+    /// (sharing `journal::validate_entry` with the bare trainer-level
+    /// replay, so the rules cannot diverge) and re-applies its batch. Used
+    /// by the detector- and pipeline-level journal restores.
+    pub(crate) fn apply_journal_entry(
+        &mut self,
+        entry: &JournalEntry,
+        fingerprint: u64,
+        index: usize,
+    ) -> Result<(), CoreError> {
+        let pool = self.incremental.as_ref().map_or(0, |t| t.num_samples());
+        journal::validate_entry(entry, fingerprint, pool, index)?;
+        self.retrain_incremental(&entry.rows, entry.num_features, &entry.labels)
+            .map_err(|e| {
+                PersistError::Corrupted {
+                    detail: format!("journal entry {index} does not re-apply: {e}"),
+                }
+                .into()
+            })
     }
 
     /// Evaluates the detector on a signal whose true seizure position is known,
@@ -974,6 +1115,243 @@ mod tests {
             resumed.detect(record.signal()).unwrap(),
             detector.detect(record.signal()).unwrap()
         );
+    }
+
+    /// The zero-copy snapshot assembly (nested envelopes written in place,
+    /// lengths and checksums back-patched) must emit exactly the bytes of
+    /// the copying `nested()` path the format was defined with.
+    #[test]
+    fn zero_copy_state_snapshot_is_byte_identical_to_the_copying_codec() {
+        let (record, truth) = record_and_truth(11);
+        let config = fast_config();
+
+        // Incremental model: the O(pool) trainer payload is the one worth
+        // not copying.
+        let mut detector = RealTimeDetector::new(config);
+        let training = detector
+            .build_training_windows(record.signal(), &truth)
+            .unwrap();
+        let balanced = detector.balance(&training).unwrap();
+        let nf = balanced.num_features();
+        let rows: Vec<f64> = balanced.features().iter().flatten().copied().collect();
+        detector
+            .retrain_incremental(&rows, nf, balanced.labels())
+            .unwrap();
+        let mut reference = SnapshotWriter::new();
+        reference.f64(config.window_secs);
+        reference.f64(config.overlap);
+        persist::write_forest_config(&mut reference, &config.forest);
+        reference.u64(config.seed);
+        reference.usize(config.incremental_block_size);
+        reference.u8(MODEL_INCREMENTAL);
+        reference.nested(&persist::trainer_to_bytes(
+            detector.incremental_trainer().unwrap(),
+        ));
+        assert_eq!(
+            detector.save_state(),
+            reference.finish(SnapshotKind::RealTimeDetector)
+        );
+
+        // Batch model: statistics + nested forest.
+        let mut batch = RealTimeDetector::new(config);
+        batch.train(&balanced).unwrap();
+        let mut reference = SnapshotWriter::new();
+        reference.f64(config.window_secs);
+        reference.f64(config.overlap);
+        persist::write_forest_config(&mut reference, &config.forest);
+        reference.u64(config.seed);
+        reference.usize(config.incremental_block_size);
+        reference.u8(MODEL_BATCH);
+        reference.slice_f64(&batch.feature_means);
+        reference.slice_f64(&batch.feature_stds);
+        reference.nested(&persist::forest_to_bytes(batch.flat_forest().unwrap()));
+        assert_eq!(
+            batch.save_state(),
+            reference.finish(SnapshotKind::RealTimeDetector)
+        );
+    }
+
+    #[test]
+    fn delta_saves_are_o_batch_and_resume_node_identically() {
+        let (record, truth) = record_and_truth(12);
+        let config = fast_config();
+        let mut detector = RealTimeDetector::new(config);
+        let training = detector
+            .build_training_windows(record.signal(), &truth)
+            .unwrap();
+        let balanced = detector.balance(&training).unwrap();
+        let nf = balanced.num_features();
+        let rows: Vec<f64> = balanced.features().iter().flatten().copied().collect();
+        let labels = balanced.labels();
+        // Grow most of the pool first so the append is batch-sized relative
+        // to it (the steady state the delta save exists for).
+        let cut = balanced.len() * 3 / 4;
+
+        // First save: a full base snapshot; nothing new afterwards: clean.
+        detector
+            .retrain_incremental(&rows[..cut * nf], nf, &labels[..cut])
+            .unwrap();
+        let base = match detector.save_delta() {
+            DeltaSave::Full(bytes) => bytes,
+            other => panic!("first delta save must be full, got {other:?}"),
+        };
+        assert_eq!(detector.save_delta(), DeltaSave::Clean);
+
+        // The per-seizure save is an O(batch) append, not an O(pool) write.
+        detector
+            .retrain_incremental(&rows[cut * nf..], nf, &labels[cut..])
+            .unwrap();
+        let journal = match detector.save_delta() {
+            DeltaSave::Append(bytes) => bytes,
+            other => panic!("steady-state delta save must append, got {other:?}"),
+        };
+        assert!(
+            journal.len() < base.len() / 2,
+            "append of {} bytes vs base of {}",
+            journal.len(),
+            base.len()
+        );
+        assert_eq!(detector.save_delta(), DeltaSave::Clean);
+
+        // Resume from base + journal: node-identical to the uninterrupted
+        // detector, and still learning (the next save appends again).
+        let (mut resumed, report) = RealTimeDetector::load_with_journal(&base, &journal).unwrap();
+        assert_eq!(report.entries_applied, 1);
+        assert_eq!(report.torn_bytes, 0);
+        assert_eq!(report.valid_len, journal.len());
+        assert_eq!(resumed.flat_forest(), detector.flat_forest());
+        assert_eq!(
+            resumed.incremental_trainer(),
+            detector.incremental_trainer()
+        );
+        assert_eq!(
+            resumed.detect(record.signal()).unwrap(),
+            detector.detect(record.signal()).unwrap()
+        );
+        resumed
+            .retrain_incremental(&rows[..cut * nf], nf, &labels[..cut])
+            .unwrap();
+        // A lenient policy pins the append outcome (under the default, a
+        // journal grown past half the base would legitimately compact).
+        let lenient = CompactionPolicy {
+            max_journal_fraction: 100.0,
+            ..CompactionPolicy::default()
+        };
+        assert!(matches!(
+            resumed.save_delta_with(lenient),
+            DeltaSave::Append(_)
+        ));
+    }
+
+    #[test]
+    fn torn_journal_tail_is_dropped_on_load() {
+        let (record, truth) = record_and_truth(13);
+        let mut detector = RealTimeDetector::new(fast_config());
+        let training = detector
+            .build_training_windows(record.signal(), &truth)
+            .unwrap();
+        let balanced = detector.balance(&training).unwrap();
+        let nf = balanced.num_features();
+        let rows: Vec<f64> = balanced.features().iter().flatten().copied().collect();
+        let labels = balanced.labels();
+        let cut = balanced.len() * 3 / 4;
+
+        detector
+            .retrain_incremental(&rows[..cut * nf], nf, &labels[..cut])
+            .unwrap();
+        let base = match detector.save_delta() {
+            DeltaSave::Full(bytes) => bytes,
+            other => panic!("{other:?}"),
+        };
+        let before_append = detector.clone();
+        detector
+            .retrain_incremental(&rows[cut * nf..], nf, &labels[cut..])
+            .unwrap();
+        let journal = match detector.save_delta() {
+            DeltaSave::Append(bytes) => bytes,
+            other => panic!("{other:?}"),
+        };
+
+        // Power fails halfway through the append: the torn entry is dropped
+        // and the detector is exactly the pre-append one.
+        let torn = &journal[..journal.len() / 2];
+        let (resumed, report) = RealTimeDetector::load_with_journal(&base, torn).unwrap();
+        assert_eq!(report.entries_applied, 0);
+        assert_eq!(report.valid_len, 0);
+        assert_eq!(report.torn_bytes, torn.len());
+        assert_eq!(resumed.flat_forest(), before_append.flat_forest());
+        assert_eq!(
+            resumed.incremental_trainer(),
+            before_append.incremental_trainer()
+        );
+
+        // Corruption that is not a tail tear stays a typed error.
+        let mut flipped = journal.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x08;
+        assert!(matches!(
+            RealTimeDetector::load_with_journal(&base, &flipped),
+            Err(CoreError::Persist(_))
+        ));
+        // A journal against the wrong base is rejected, not misapplied.
+        let mut other = RealTimeDetector::new(fast_config());
+        other
+            .retrain_incremental(&rows[..cut * nf], nf, &labels[..cut])
+            .unwrap();
+        other
+            .retrain_incremental(&rows[cut * nf..], nf, &labels[cut..])
+            .unwrap();
+        let other_base = match other.save_delta() {
+            DeltaSave::Full(bytes) => bytes,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(
+            RealTimeDetector::load_with_journal(&other_base, &journal),
+            Err(CoreError::Persist(_))
+        ));
+    }
+
+    #[test]
+    fn journal_compaction_folds_into_a_fresh_base() {
+        let (record, truth) = record_and_truth(14);
+        let mut detector = RealTimeDetector::new(fast_config());
+        let training = detector
+            .build_training_windows(record.signal(), &truth)
+            .unwrap();
+        let balanced = detector.balance(&training).unwrap();
+        let nf = balanced.num_features();
+        let rows: Vec<f64> = balanced.features().iter().flatten().copied().collect();
+        let labels = balanced.labels();
+        let cut = balanced.len() / 2;
+        detector
+            .retrain_incremental(&rows[..cut * nf], nf, &labels[..cut])
+            .unwrap();
+
+        // A policy that compacts as soon as any entry lands.
+        let eager = CompactionPolicy {
+            max_journal_fraction: 0.0,
+            min_journal_bytes: 0,
+        };
+        assert!(matches!(
+            detector.save_delta_with(eager),
+            DeltaSave::Full(_)
+        ));
+        detector
+            .retrain_incremental(&rows[cut * nf..], nf, &labels[cut..])
+            .unwrap();
+        let compacted = match detector.save_delta_with(eager) {
+            DeltaSave::Full(bytes) => bytes,
+            other => panic!("eager policy must compact, got {other:?}"),
+        };
+        // The fresh base resumes with an empty journal.
+        let (resumed, report) = RealTimeDetector::load_with_journal(&compacted, &[]).unwrap();
+        assert_eq!(report.entries_applied, 0);
+        assert_eq!(resumed.flat_forest(), detector.flat_forest());
+
+        // And a batch retrain invalidates delta state: the next save
+        // re-bases instead of appending to a journal of a dead pool.
+        detector.train(&balanced).unwrap();
+        assert!(matches!(detector.save_delta(), DeltaSave::Full(_)));
     }
 
     #[test]

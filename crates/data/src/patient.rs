@@ -207,13 +207,27 @@ mod tests {
     fn patient_two_is_the_hardest() {
         let cohort = PatientProfile::chb_mit_like_cohort();
         let difficulties: Vec<f64> = cohort.iter().map(PatientProfile::difficulty).collect();
+        // NaN-safe total order: `total_cmp` cannot panic the ranking the way
+        // the former `partial_cmp().unwrap()` did.
         let hardest = difficulties
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(cohort[hardest].id, 2);
+    }
+
+    /// Regression for the NaN-unsafe difficulty ranking: every profile's
+    /// difficulty must be finite, so the `total_cmp` ranking above is a
+    /// plain numeric order — a NaN creeping into `difficulty()` would make
+    /// the "hardest patient" pick meaningless (and used to panic the old
+    /// `partial_cmp().unwrap()` comparator outright).
+    #[test]
+    fn difficulty_is_finite_for_every_profile() {
+        for p in PatientProfile::chb_mit_like_cohort() {
+            assert!(p.difficulty().is_finite(), "patient {}", p.id);
+        }
     }
 
     #[test]

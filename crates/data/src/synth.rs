@@ -102,6 +102,15 @@ fn add_artifacts<R: Rng + ?Sized>(
     onsets
 }
 
+/// Sorts event times ascending under a NaN-safe total order (`total_cmp`,
+/// NaN last as the worst value). The placement arithmetic above only emits
+/// finite times today, but the former `partial_cmp().unwrap()` turned any
+/// future NaN into a panic inside record synthesis — taking a whole
+/// labeling experiment down with it.
+fn sort_onsets(onsets: &mut [f64]) {
+    onsets.sort_by(|a, b| a.total_cmp(b));
+}
+
 /// Applies one broadband high-amplitude burst starting at `start`.
 fn apply_burst<R: Rng + ?Sized>(
     channel: &mut [f64],
@@ -247,7 +256,7 @@ pub fn generate_record<R: Rng + ?Sized>(
     // Background artifacts across the whole record.
     let mut artifact_onsets = add_artifacts(&mut f7t3, profile, fs, rng);
     artifact_onsets.extend(add_artifacts(&mut f8t4, profile, fs, rng));
-    artifact_onsets.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sort_onsets(&mut artifact_onsets);
 
     // Optionally place a large confounding burst near the seizure. The burst is
     // long, strong and partly rhythmic (movement artifacts on scalp EEG often
@@ -443,6 +452,16 @@ mod tests {
             with_burst > 0 && with_burst < 40,
             "with_burst = {with_burst}"
         );
+    }
+
+    /// Regression for the NaN-unsafe onset sort: a NaN time must sort last
+    /// (worst) without panicking and without disturbing the finite order.
+    #[test]
+    fn onset_sorting_tolerates_nan_without_panicking() {
+        let mut onsets = vec![3.5, f64::NAN, 1.0, 2.5];
+        sort_onsets(&mut onsets);
+        assert_eq!(&onsets[..3], &[1.0, 2.5, 3.5]);
+        assert!(onsets[3].is_nan());
     }
 
     #[test]

@@ -121,8 +121,13 @@ pub fn percentile(data: &[f64], p: f64) -> Result<f64, DspError> {
             reason: format!("percentile must lie in [0, 100], got {p}"),
         });
     }
+    // `total_cmp` keeps the rank order deterministic when the signal carries
+    // NaN (sorted to the ends as the worst-ranked values); the former
+    // `Equal` fallback produced an arbitrarily mis-sorted buffer. A NaN
+    // still occupies a rank — top-end percentiles interpolate against it —
+    // but the finite samples now stay properly ordered.
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -313,6 +318,19 @@ mod tests {
         assert_eq!(percentile(&data, 25.0).unwrap(), 2.0);
         assert!(percentile(&data, -1.0).is_err());
         assert!(percentile(&data, 101.0).is_err());
+    }
+
+    /// Regression for the NaN-unsafe rank sort: a NaN sample must sort to
+    /// the worst (top) end deterministically — no panic, and the ranks of
+    /// the finite samples stay intact instead of being scrambled by the
+    /// former `Equal` fallback.
+    #[test]
+    fn percentile_tolerates_nan_samples() {
+        let data = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(median(&data).unwrap(), 2.5);
+        assert_eq!(percentile(&data, 0.0).unwrap(), 1.0);
+        assert!(percentile(&data, 100.0).unwrap().is_nan());
+        assert!(median(&[f64::NAN]).unwrap().is_nan());
     }
 
     #[test]

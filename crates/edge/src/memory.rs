@@ -105,6 +105,32 @@ impl MemoryModel {
         ENVELOPE + TRAINER_FIXED + pool + trees
     }
 
+    /// Exact size in bytes of one delta-journal entry (`seizure-ml`'s
+    /// `persist::journal::JournalWriter`) recording a retrain batch of
+    /// `batch_samples` rows of `num_features` features plus
+    /// `annotation_bytes` of caller state (0 for the detector's entries; 16
+    /// for the pipeline's, which annotates the produced seizure label).
+    /// Mirrors the entry layout term by term — envelope, base fingerprint,
+    /// pool position, feature count, bit-packed labels, the row matrix, the
+    /// annotation — so a wearable can budget the per-seizure Flash append
+    /// before writing it. Pinned to the real codec by
+    /// `tests/edge_platform.rs`, like
+    /// [`MemoryModel::trainer_snapshot_bytes`].
+    pub fn journal_entry_bytes(
+        &self,
+        batch_samples: usize,
+        num_features: usize,
+        annotation_bytes: usize,
+    ) -> usize {
+        // Envelope 28 + fingerprint 8 + pool length 8 + feature count 8 +
+        // three length prefixes (labels, rows, annotation) of 8 each.
+        const ENTRY_FIXED: usize = 28 + 24 + 3 * 8;
+        ENTRY_FIXED
+            + batch_samples.div_ceil(8)
+            + 8 * batch_samples * num_features
+            + annotation_bytes
+    }
+
     /// [`MemoryModel::budget`] with a persisted-state snapshot stored in
     /// Flash next to the history buffer: the snapshot bytes are added to the
     /// Flash-resident side of the budget, so `fits_flash` answers whether
@@ -124,6 +150,26 @@ impl MemoryModel {
         budget.history_bytes += snapshot_bytes;
         budget.fits_flash = budget.history_bytes <= self.spec.flash_bytes;
         Ok(budget)
+    }
+
+    /// [`MemoryModel::budget_with_snapshot`] for delta persistence: Flash
+    /// holds the history buffer, the base snapshot **and** the journal
+    /// region the per-seizure appends grow into. `journal_bytes` is the
+    /// journal region's size (e.g. the compaction policy's worst case:
+    /// `max_journal_fraction` of the base, or the sum of
+    /// [`MemoryModel::journal_entry_bytes`] over the expected batches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::InvalidParameter`] if the buffer duration is not
+    /// positive.
+    pub fn budget_with_journal(
+        &self,
+        buffer_secs: f64,
+        snapshot_bytes: usize,
+        journal_bytes: usize,
+    ) -> Result<MemoryBudget, EdgeError> {
+        self.budget_with_snapshot(buffer_secs, snapshot_bytes + journal_bytes)
     }
 
     /// Computes the memory budget for a history buffer of `buffer_secs`
@@ -232,5 +278,32 @@ mod tests {
         let too_big = model.budget_with_snapshot(3600.0, 200 * 1024).unwrap();
         assert!(!too_big.fits_flash); // 240 KB + 200 KB > 384 KB
         assert!(model.budget_with_snapshot(0.0, 1).is_err());
+    }
+
+    #[test]
+    fn journal_accounting_extends_the_snapshot_budget() {
+        let model = model();
+        // One balanced-seizure batch (~60 windows of 54 features) appends a
+        // few tens of KB — an order of magnitude under the paper-scale full
+        // snapshot it replaces.
+        let entry = model.journal_entry_bytes(60, 54, 16);
+        assert_eq!(entry, 76 + 60usize.div_ceil(8) + 8 * 60 * 54 + 16);
+        let full = model.trainer_snapshot_bytes(4096, 54, 30, 30 * 200);
+        assert!(entry * 5 < full);
+
+        // The journal region sits in Flash next to history + base snapshot.
+        let base = model.budget_with_snapshot(1200.0, 64 * 1024).unwrap();
+        let with = model
+            .budget_with_journal(1200.0, 64 * 1024, 32 * 1024)
+            .unwrap();
+        assert_eq!(with.history_bytes, base.history_bytes + 32 * 1024);
+        assert!(with.fits_flash); // 80 KB + 64 KB + 32 KB < 384 KB
+        assert!(
+            !model
+                .budget_with_journal(3600.0, 100 * 1024, 100 * 1024)
+                .unwrap()
+                .fits_flash
+        ); // 240 + 100 + 100 > 384
+        assert!(model.budget_with_journal(0.0, 1, 1).is_err());
     }
 }

@@ -9,6 +9,11 @@
 //! [`IncrementalTrainer`] state, so a device can power down mid-lifetime and
 //! resume retraining exactly where it left off.
 //!
+//! Full snapshots are O(pool) to write; the [`journal`] submodule layers an
+//! append-only delta journal of `retrain` batches on top, so the per-seizure
+//! Flash write of a self-learning wearable is O(batch) between full
+//! snapshots.
+//!
 //! # Envelope format
 //!
 //! Every snapshot is a byte string with the layout (all integers
@@ -90,6 +95,8 @@ use crate::training::{NodeArena, TrainingSet};
 use std::error::Error;
 use std::fmt;
 
+pub mod journal;
+
 /// Magic bytes opening every snapshot.
 pub const MAGIC: [u8; 8] = *b"SZRSNAP\0";
 
@@ -123,6 +130,9 @@ pub enum SnapshotKind {
     /// A `seizure-core` self-learning pipeline; the payload is encoded by
     /// that crate.
     SelfLearningPipeline = 5,
+    /// One delta-journal entry (a single `retrain` batch bound to its base
+    /// snapshot); see [`journal`].
+    JournalEntry = 6,
 }
 
 impl SnapshotKind {
@@ -133,6 +143,7 @@ impl SnapshotKind {
             3 => Some(Self::IncrementalTrainer),
             4 => Some(Self::RealTimeDetector),
             5 => Some(Self::SelfLearningPipeline),
+            6 => Some(Self::JournalEntry),
             _ => None,
         }
     }
@@ -222,38 +233,79 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Little-endian payload writer. Collects a payload, then
-/// [`SnapshotWriter::finish`] wraps it in the versioned, checksummed
-/// envelope.
-#[derive(Debug, Default)]
+/// Little-endian payload writer. The envelope header is laid down up front
+/// and the payload is written **directly behind it** in one buffer;
+/// [`SnapshotWriter::finish`] back-patches the kind and length fields and
+/// appends the checksum, so producing a snapshot never copies the payload.
+/// Compound snapshots nest children the same way: [`SnapshotWriter::begin_nested`] /
+/// [`SnapshotWriter::end_nested`] write the child envelope in place and
+/// back-patch its length prefix, length field and checksum, instead of
+/// materializing the child in its own buffer and memcpying it into the
+/// parent (which cost ~4 extra O(pool) copies per pipeline save).
+#[derive(Debug)]
 pub struct SnapshotWriter {
-    payload: Vec<u8>,
+    /// Envelope header followed by the payload written so far. The kind and
+    /// payload-length fields hold placeholders until `finish`.
+    buf: Vec<u8>,
+    /// Number of nested envelopes currently open — sealing is strictly
+    /// LIFO, so closing a handle out of order (which would checksum another
+    /// child's placeholder header) panics at write time instead of emitting
+    /// a corrupt snapshot.
+    open_nested: usize,
+}
+
+/// Handle for a nested envelope opened with [`SnapshotWriter::begin_nested`];
+/// must be closed with [`SnapshotWriter::end_nested`]. Nested envelopes may
+/// nest further, but handles must be closed innermost-first —
+/// `end_nested` panics on a handle closed out of order.
+#[derive(Debug)]
+#[must_use = "a nested envelope must be closed with end_nested"]
+pub struct NestedEnvelope {
+    /// Offset of the 8-byte nested length prefix.
+    prefix_at: usize,
+    /// Offset of the child envelope's first byte (its magic).
+    start: usize,
+    /// The kind back-patched into the child header on close.
+    kind: SnapshotKind,
+    /// Nesting depth at which this handle was opened (for the LIFO check).
+    depth: usize,
+}
+
+impl Default for SnapshotWriter {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SnapshotWriter {
-    /// Creates an empty writer.
+    /// Creates a writer with an empty payload.
     pub fn new() -> Self {
-        Self::default()
+        let mut buf = Vec::new();
+        push_envelope_header(&mut buf);
+        Self {
+            buf,
+            open_nested: 0,
+        }
     }
 
     /// Appends one byte.
     pub fn u8(&mut self, v: u8) {
-        self.payload.push(v);
+        self.buf.push(v);
     }
 
     /// Appends a little-endian `u16`.
     pub fn u16(&mut self, v: u16) {
-        self.payload.extend_from_slice(&v.to_le_bytes());
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a little-endian `u32`.
     pub fn u32(&mut self, v: u32) {
-        self.payload.extend_from_slice(&v.to_le_bytes());
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a little-endian `u64`.
     pub fn u64(&mut self, v: u64) {
-        self.payload.extend_from_slice(&v.to_le_bytes());
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a `usize` as a little-endian `u64` (the format is
@@ -298,36 +350,111 @@ impl SnapshotWriter {
         for (i, &b) in s.iter().enumerate() {
             byte |= (b as u8) << (i % 8);
             if i % 8 == 7 {
-                self.payload.push(byte);
+                self.buf.push(byte);
                 byte = 0;
             }
         }
         if !s.len().is_multiple_of(8) {
-            self.payload.push(byte);
+            self.buf.push(byte);
         }
     }
 
     /// Appends a length-prefixed opaque byte block — used to nest one
-    /// complete snapshot (envelope included) inside another, so compound
-    /// payloads get defense-in-depth validation of their parts.
+    /// complete pre-built snapshot (envelope included) inside another, so
+    /// compound payloads get defense-in-depth validation of their parts.
+    /// When the child is encoded by this crate prefer
+    /// [`SnapshotWriter::begin_nested`], which produces the same bytes
+    /// without materializing the child in its own buffer first.
     pub fn nested(&mut self, bytes: &[u8]) {
         self.usize(bytes.len());
-        self.payload.extend_from_slice(bytes);
+        self.buf.extend_from_slice(bytes);
     }
 
-    /// Wraps the collected payload in the envelope (magic, version, `kind`,
-    /// length, checksum) and returns the snapshot bytes.
-    pub fn finish(self, kind: SnapshotKind) -> Vec<u8> {
-        let mut out = Vec::with_capacity(ENVELOPE_LEN + self.payload.len());
-        out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-        out.extend_from_slice(&(kind as u16).to_le_bytes());
-        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&self.payload);
-        let checksum = fnv1a(&out);
-        out.extend_from_slice(&checksum.to_le_bytes());
-        out
+    /// Opens a nested child envelope **in place**: writes the length prefix
+    /// and the child header directly into this writer's buffer and returns a
+    /// handle. Everything written until the matching
+    /// [`SnapshotWriter::end_nested`] becomes the child's payload. The bytes
+    /// produced are identical to `self.nested(&child.finish(kind))` with a
+    /// separately built child writer — minus the extra payload-sized copies.
+    pub fn begin_nested(&mut self, kind: SnapshotKind) -> NestedEnvelope {
+        let prefix_at = self.buf.len();
+        self.buf.extend_from_slice(&0u64.to_le_bytes());
+        let start = self.buf.len();
+        push_envelope_header(&mut self.buf);
+        self.open_nested += 1;
+        NestedEnvelope {
+            prefix_at,
+            start,
+            kind,
+            depth: self.open_nested,
+        }
     }
+
+    /// Closes a nested child envelope: back-patches the child's kind and
+    /// payload-length fields, appends its checksum, and back-patches the
+    /// outer length prefix written by [`SnapshotWriter::begin_nested`].
+    ///
+    /// # Panics
+    ///
+    /// When `child` is not the innermost open envelope — sealing out of
+    /// order would checksum another child's placeholder header, emitting a
+    /// snapshot that only fails at decode time (or worse, after it reached
+    /// device Flash).
+    pub fn end_nested(&mut self, child: NestedEnvelope) {
+        let NestedEnvelope {
+            prefix_at,
+            start,
+            kind,
+            depth,
+        } = child;
+        assert_eq!(
+            depth, self.open_nested,
+            "nested envelopes must be closed innermost-first"
+        );
+        self.open_nested -= 1;
+        seal_envelope(&mut self.buf, start, kind);
+        let nested_len = (self.buf.len() - start) as u64;
+        self.buf[prefix_at..prefix_at + 8].copy_from_slice(&nested_len.to_le_bytes());
+    }
+
+    /// Seals the envelope: back-patches the `kind` and payload-length fields
+    /// of the header written at creation, appends the checksum, and returns
+    /// the snapshot bytes. The payload is never copied.
+    ///
+    /// # Panics
+    ///
+    /// When a nested envelope opened with [`SnapshotWriter::begin_nested`]
+    /// was never closed (its length and checksum fields still hold
+    /// placeholders).
+    pub fn finish(mut self, kind: SnapshotKind) -> Vec<u8> {
+        assert_eq!(
+            self.open_nested, 0,
+            "every nested envelope must be closed before finish"
+        );
+        seal_envelope(&mut self.buf, 0, kind);
+        self.buf
+    }
+}
+
+/// Appends an envelope header with placeholder kind and payload-length
+/// fields (back-patched by [`seal_envelope`]).
+fn push_envelope_header(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&0u16.to_le_bytes()); // kind, patched on seal
+    buf.extend_from_slice(&0u64.to_le_bytes()); // payload length, patched on seal
+}
+
+/// Seals the envelope starting at `start` (whose header was written by
+/// [`push_envelope_header`] and whose payload ends at the buffer's current
+/// end): back-patches kind and payload length, then appends the FNV-1a
+/// checksum of the envelope bytes.
+fn seal_envelope(buf: &mut Vec<u8>, start: usize, kind: SnapshotKind) {
+    let payload_len = (buf.len() - start - HEADER_LEN) as u64;
+    buf[start + 10..start + 12].copy_from_slice(&(kind as u16).to_le_bytes());
+    buf[start + 12..start + 20].copy_from_slice(&payload_len.to_le_bytes());
+    let checksum = fnv1a(&buf[start..]);
+    buf.extend_from_slice(&checksum.to_le_bytes());
 }
 
 /// Little-endian payload reader over a validated envelope.
@@ -709,9 +836,11 @@ fn check_nodes(
     Ok(())
 }
 
-/// Snapshots a [`FlatForest`].
-pub fn forest_to_bytes(forest: &FlatForest) -> Vec<u8> {
-    let mut w = SnapshotWriter::new();
+/// Writes the payload of a [`FlatForest`] snapshot into `w`. Public for the
+/// same reason as [`write_trainer_body`]: compound snapshots in
+/// `seizure-core` nest the forest in place instead of copying a separately
+/// finished child.
+pub fn write_forest_body(w: &mut SnapshotWriter, forest: &FlatForest) {
     w.usize(forest.num_features);
     w.slice_u32(&forest.roots);
     w.slice_u32(&forest.feature);
@@ -719,6 +848,12 @@ pub fn forest_to_bytes(forest: &FlatForest) -> Vec<u8> {
     w.slice_u32(&forest.left);
     w.slice_u32(&forest.right);
     w.slice_f64(&forest.leaf_prob);
+}
+
+/// Snapshots a [`FlatForest`].
+pub fn forest_to_bytes(forest: &FlatForest) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    write_forest_body(&mut w, forest);
     w.finish(SnapshotKind::FlatForest)
 }
 
@@ -794,27 +929,37 @@ pub fn training_set_from_bytes(bytes: &[u8]) -> Result<TrainingSet, PersistError
     Ok(set)
 }
 
-/// Snapshots the full state of an [`IncrementalTrainer`]: configuration,
-/// seed, the accumulated pool, every cached tree arena with its
-/// `(blocks_owned, pool_len)` draw-stream fingerprint, and the last refit
-/// count.
-pub fn trainer_to_bytes(trainer: &IncrementalTrainer) -> Vec<u8> {
+/// Writes the payload of an [`IncrementalTrainer`] snapshot into `w` —
+/// configuration, seed, the accumulated pool, every cached tree arena with
+/// its `(blocks_owned, pool_len)` draw-stream fingerprint, and the last
+/// refit count. Public so `seizure-core` can nest a trainer inside its own
+/// envelopes through [`SnapshotWriter::begin_nested`] without materializing
+/// the O(pool) payload in a separate buffer first.
+pub fn write_trainer_body(w: &mut SnapshotWriter, trainer: &IncrementalTrainer) {
     let (config, seed, set, trees, last_refit) = trainer.snapshot_parts();
-    let mut w = SnapshotWriter::new();
-    write_forest_config(&mut w, &config.forest);
+    write_forest_config(w, &config.forest);
     w.usize(config.block_size);
     w.u64(seed);
     w.usize(last_refit);
     w.bool(set.is_some());
     if let Some(set) = set {
-        write_training_set_body(&mut w, set);
+        write_training_set_body(w, set);
     }
     w.usize(trees.len());
     for t in trees {
         w.usize(t.blocks_owned);
         w.usize(t.pool_len);
-        write_arena(&mut w, &t.arena);
+        write_arena(w, &t.arena);
     }
+}
+
+/// Snapshots the full state of an [`IncrementalTrainer`]: configuration,
+/// seed, the accumulated pool, every cached tree arena with its
+/// `(blocks_owned, pool_len)` draw-stream fingerprint, and the last refit
+/// count.
+pub fn trainer_to_bytes(trainer: &IncrementalTrainer) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    write_trainer_body(&mut w, trainer);
     w.finish(SnapshotKind::IncrementalTrainer)
 }
 
@@ -1089,6 +1234,92 @@ mod tests {
                 .unwrap();
             assert_eq!(continued, reference, "n = {n}");
         }
+    }
+
+    /// The zero-copy nesting path (`begin_nested` / `end_nested` writing the
+    /// child payload straight into the parent buffer and back-patching
+    /// length + checksum) must emit exactly the bytes of the copying path
+    /// (`nested` over a separately finished child) — the compound snapshot
+    /// formats of `seizure-core` are pinned to that layout.
+    #[test]
+    fn in_place_nesting_is_byte_identical_to_the_copying_path() {
+        let trainer = small_trainer(60);
+
+        let mut copying = SnapshotWriter::new();
+        copying.u32(7);
+        copying.nested(&trainer_to_bytes(&trainer));
+        copying.u8(9);
+        let copying = copying.finish(SnapshotKind::RealTimeDetector);
+
+        let mut in_place = SnapshotWriter::new();
+        in_place.u32(7);
+        let child = in_place.begin_nested(SnapshotKind::IncrementalTrainer);
+        write_trainer_body(&mut in_place, &trainer);
+        in_place.end_nested(child);
+        in_place.u8(9);
+        let in_place = in_place.finish(SnapshotKind::RealTimeDetector);
+        assert_eq!(in_place, copying);
+
+        // The nested block still round-trips through the validating reader.
+        let mut r = SnapshotReader::open(&in_place, SnapshotKind::RealTimeDetector).unwrap();
+        assert_eq!(r.u32().unwrap(), 7);
+        let restored = trainer_from_bytes(r.nested().unwrap()).unwrap();
+        assert_eq!(restored, trainer);
+        assert_eq!(r.u8().unwrap(), 9);
+        r.finish().unwrap();
+    }
+
+    /// Two levels of in-place nesting (the pipeline > detector > trainer
+    /// shape) seal inner envelopes first and keep every checksum valid.
+    #[test]
+    fn doubly_nested_envelopes_seal_inside_out() {
+        let trainer = small_trainer(40);
+
+        let mut copying = SnapshotWriter::new();
+        let mut inner = SnapshotWriter::new();
+        inner.bool(true);
+        inner.nested(&trainer_to_bytes(&trainer));
+        copying.nested(&inner.finish(SnapshotKind::RealTimeDetector));
+        let copying = copying.finish(SnapshotKind::SelfLearningPipeline);
+
+        let mut w = SnapshotWriter::new();
+        let detector = w.begin_nested(SnapshotKind::RealTimeDetector);
+        w.bool(true);
+        let inner = w.begin_nested(SnapshotKind::IncrementalTrainer);
+        write_trainer_body(&mut w, &trainer);
+        w.end_nested(inner);
+        w.end_nested(detector);
+        let bytes = w.finish(SnapshotKind::SelfLearningPipeline);
+        assert_eq!(bytes, copying);
+
+        let mut outer = SnapshotReader::open(&bytes, SnapshotKind::SelfLearningPipeline).unwrap();
+        let detector_bytes = outer.nested().unwrap();
+        outer.finish().unwrap();
+        let mut mid = SnapshotReader::open(detector_bytes, SnapshotKind::RealTimeDetector).unwrap();
+        assert!(mid.bool().unwrap());
+        assert_eq!(trainer_from_bytes(mid.nested().unwrap()).unwrap(), trainer);
+        mid.finish().unwrap();
+    }
+
+    /// Sealing out of order would checksum the outer child's placeholder
+    /// header — the writer must refuse at write time, not hand corrupt
+    /// bytes to the device.
+    #[test]
+    #[should_panic(expected = "innermost-first")]
+    fn out_of_order_nested_closure_panics() {
+        let mut w = SnapshotWriter::new();
+        let outer = w.begin_nested(SnapshotKind::RealTimeDetector);
+        let inner = w.begin_nested(SnapshotKind::IncrementalTrainer);
+        w.end_nested(outer);
+        w.end_nested(inner);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be closed")]
+    fn unclosed_nested_envelope_panics_at_finish() {
+        let mut w = SnapshotWriter::new();
+        let _open = w.begin_nested(SnapshotKind::FlatForest);
+        let _ = w.finish(SnapshotKind::RealTimeDetector);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use seizure_ml::forest::{RandomForest, RandomForestConfig};
 use seizure_ml::incremental::{IncrementalTrainer, IncrementalTrainerConfig};
 use seizure_ml::kmeans::{KMeans, KMeansConfig};
 use seizure_ml::metrics::{geometric_mean, ConfusionMatrix};
+use seizure_ml::persist::journal::{replay, JournalWriter};
 use seizure_ml::persist::{trainer_from_bytes, trainer_to_bytes};
 use seizure_ml::split::{leave_one_group_out, stratified_split, train_test_split};
 use seizure_ml::training::{train_forest, train_forest_with_width, IdWidth, TrainingSet};
@@ -254,6 +255,84 @@ proptest! {
         let resumed = resumed.unwrap();
         prop_assert_eq!(&resumed, &uninterrupted);
         prop_assert_eq!(&resumed_forest.unwrap(), &forest.unwrap());
+    }
+
+    /// The delta-journal invariant: a base snapshot taken at **any** split
+    /// point of **any** grow schedule, plus the journal of the remaining
+    /// retrains truncated at **any** byte, replays to a trainer
+    /// node-identical to the uninterrupted trainer at the corresponding
+    /// step — a torn final entry is dropped at an entry boundary, never
+    /// misapplied.
+    #[test]
+    fn journal_replay_is_node_identical_at_any_truncation_point(
+        (rows, labels) in labeled_points(10..80),
+        seed in 0u64..30,
+        cuts_raw in prop::collection::vec(1usize..1000, 1..5),
+        split_raw in 0usize..1000,
+        trunc_raw in 0usize..1_000_000,
+    ) {
+        let n = rows.len();
+        let labels = cap_runs(labels, 8);
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let config = IncrementalTrainerConfig {
+            forest: RandomForestConfig { n_trees: 7, max_depth: 5, ..Default::default() },
+            block_size: 8,
+        };
+        let mut cuts: Vec<usize> = cuts_raw.iter().map(|c| 1 + c % n).collect();
+        cuts.push(n);
+        cuts.sort_unstable();
+        cuts.dedup();
+        let split = split_raw % cuts.len();
+
+        // Grow uninterrupted; snapshot at the split point, journal every
+        // retrain after it (flushing each entry into the simulated Flash
+        // region), and remember the trainer state at each entry boundary
+        // (what a truncated journal must replay to).
+        let mut trainer = IncrementalTrainer::new(config, seed);
+        let mut base: Option<Vec<u8>> = None;
+        let mut writer: Option<JournalWriter> = None;
+        let mut journal: Vec<u8> = Vec::new();
+        let mut states: Vec<IncrementalTrainer> = Vec::new();
+        let mut boundaries: Vec<usize> = Vec::new();
+        let mut prev = 0;
+        for (step, &cut) in cuts.iter().enumerate() {
+            let (r, l) = (&flat[prev * 3..cut * 3], &labels[prev..cut]);
+            trainer.retrain(r, 3, l).unwrap();
+            if let Some(w) = writer.as_mut() {
+                w.append_retrain(r, 3, l).unwrap();
+                journal.extend_from_slice(&w.take_unflushed());
+                states.push(trainer.clone());
+                boundaries.push(journal.len());
+            }
+            if step == split {
+                let bytes = trainer_to_bytes(&trainer);
+                writer = Some(JournalWriter::new(&bytes, trainer.num_samples()).unwrap());
+                base = Some(bytes);
+                states.push(trainer.clone());
+                boundaries.push(0);
+            }
+            prev = cut;
+        }
+        let base = base.unwrap();
+
+        // Truncate at an arbitrary byte and replay: the reconstruction must
+        // equal the uninterrupted trainer after the last complete entry.
+        let trunc = trunc_raw % (journal.len() + 1);
+        let replayed = replay(&base, &journal[..trunc]).unwrap();
+        let applied = boundaries.iter().filter(|&&b| b <= trunc).count() - 1;
+        prop_assert_eq!(replayed.report.entries_applied, applied);
+        prop_assert_eq!(replayed.report.valid_len, boundaries[applied]);
+        prop_assert_eq!(replayed.report.torn_bytes, trunc - boundaries[applied]);
+        let expected = &states[applied];
+        prop_assert_eq!(&replayed.trainer, expected);
+        prop_assert_eq!(
+            replayed.trainer.current_forest(),
+            expected.current_forest()
+        );
+        // The untruncated journal reconstructs the final trainer exactly.
+        let full = replay(&base, &journal).unwrap();
+        prop_assert_eq!(&full.trainer, states.last().unwrap());
+        prop_assert_eq!(full.report.torn_bytes, 0);
     }
 
     #[test]

@@ -143,3 +143,57 @@ fn snapshot_size_formula_matches_the_real_codec() {
             .fits_flash
     );
 }
+
+/// The edge memory model's journal-entry formula must agree byte for byte
+/// with what the delta journal actually appends — with and without an
+/// annotation — so the per-seizure Flash budgeting matches the write the
+/// device performs.
+#[test]
+fn journal_entry_size_formula_matches_the_real_codec() {
+    use selflearn_seizure::ml::persist::journal::JournalWriter;
+
+    let memory = MemoryModel::new(PlatformSpec::stm32l151_default());
+    let config = IncrementalTrainerConfig {
+        forest: RandomForestConfig {
+            n_trees: 5,
+            max_depth: 5,
+            ..RandomForestConfig::default()
+        },
+        block_size: 16,
+    };
+    let mut trainer = IncrementalTrainer::new(config, 9);
+    let n = 120;
+    let rows: Vec<f64> = (0..n * 2)
+        .map(|i| ((i * 37 + 11) % 101) as f64 / 7.0)
+        .collect();
+    let labels: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+    trainer.retrain(&rows, 2, &labels).unwrap();
+
+    let base = trainer_to_bytes(&trainer);
+    let mut writer = JournalWriter::new(&base, n).unwrap();
+
+    // A plain retrain entry (detector-level: no annotation).
+    let batch = 33;
+    let batch_rows: Vec<f64> = (0..batch * 2).map(|i| i as f64).collect();
+    let batch_labels: Vec<bool> = (0..batch).map(|i| i % 2 == 0).collect();
+    writer
+        .append_retrain(&batch_rows, 2, &batch_labels)
+        .unwrap();
+    assert_eq!(writer.len(), memory.journal_entry_bytes(batch, 2, 0));
+
+    // A pipeline-level entry annotating the 16-byte produced label.
+    let before = writer.len();
+    writer
+        .append_with(&batch_rows, 2, &batch_labels, &[0u8; 16])
+        .unwrap();
+    assert_eq!(
+        writer.len() - before,
+        memory.journal_entry_bytes(batch, 2, 16)
+    );
+
+    // Budget sanity at paper scale: a 10 % batch append is an order of
+    // magnitude below the full snapshot it replaces.
+    let full = memory.trainer_snapshot_bytes(4096, 54, 30, 30 * 200);
+    let entry = memory.journal_entry_bytes(410, 54, 16);
+    assert!(entry * 5 < full, "entry {entry} vs full {full}");
+}
