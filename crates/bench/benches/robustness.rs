@@ -1,0 +1,222 @@
+//! Robustness benchmark: detection quality under hostile recording
+//! conditions.
+//!
+//! A clean synthetic cohort flatters any detector: real wearables see
+//! electrode pops, mains hum, motion baseline wander, lead-off dropouts,
+//! amplifier saturation and gain drift. This bench trains two systems on
+//! *clean* seizures —
+//!
+//! * **detector**: the pipeline frozen after its first observed seizure
+//!   (the one-shot personalization a device ships with), and
+//! * **self-learning**: the same pipeline after the full a-posteriori
+//!   labeling loop over several missed seizures —
+//!
+//! then evaluates both on held-out records degraded by each
+//! [`HostileScenario`](seizure_data::synth::HostileScenario), reporting
+//! per-window sensitivity and specificity per scenario next to the clean
+//! baseline. Degradations are applied to the *signal only*; the ground-truth
+//! annotation stays where it was, so the metrics measure exactly what the
+//! interference costs.
+//!
+//! Before any reporting, correctness gates assert that every scenario
+//! evaluates without error and that the clean-baseline geometric mean clears
+//! the same bar the core tests hold the pipeline to. Results are printed and
+//! written to `BENCH_robustness.json` at the workspace root (skipped in
+//! `--quick` mode, which the CI smoke job uses).
+//!
+//! Run with: `cargo bench -p seizure-bench --bench robustness [-- --quick]`
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use seizure_core::pipeline::{LabelSource, SelfLearningPipeline};
+use seizure_core::realtime::RealTimeDetectorConfig;
+use seizure_core::LabelerConfig;
+use seizure_data::cohort::Cohort;
+use seizure_data::sampler::{EegRecord, SampleConfig};
+use seizure_data::synth::{apply_scenario, HostileScenario};
+use seizure_ml::forest::RandomForestConfig;
+
+struct ScenarioResult {
+    name: &'static str,
+    detector_sensitivity: f64,
+    detector_specificity: f64,
+    selflearn_sensitivity: f64,
+    selflearn_specificity: f64,
+}
+
+fn evaluate_pair(
+    detector: &SelfLearningPipeline,
+    selflearn: &SelfLearningPipeline,
+    records: &[EegRecord],
+    name: &'static str,
+) -> ScenarioResult {
+    let d = detector.evaluate_all(records).expect("detector evaluation");
+    let s = selflearn
+        .evaluate_all(records)
+        .expect("self-learning evaluation");
+    for value in [d.sensitivity, d.specificity, s.sensitivity, s.specificity] {
+        assert!(
+            (0.0..=1.0).contains(&value),
+            "{name}: metric {value} out of range"
+        );
+    }
+    ScenarioResult {
+        name,
+        detector_sensitivity: d.sensitivity,
+        detector_specificity: d.specificity,
+        selflearn_sensitivity: s.sensitivity,
+        selflearn_specificity: s.specificity,
+    }
+}
+
+/// Rebuilds each held-out record with its signal degraded by `scenario`;
+/// annotations, patient and seizure indices are preserved.
+fn degrade(records: &[EegRecord], scenario: HostileScenario, seed: u64) -> Vec<EegRecord> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    records
+        .iter()
+        .map(|record| {
+            let degraded =
+                apply_scenario(record.signal(), scenario, &mut rng).expect("scenario transform");
+            let (_, annotation, patient_id, seizure_index) = record.clone().into_parts();
+            EegRecord::new(degraded, annotation, patient_id, seizure_index)
+                .expect("degraded record")
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cohort = Cohort::chb_mit_like(29);
+    let patient = 8;
+    let config = if quick {
+        SampleConfig::new(150.0, 200.0, 64.0).expect("sample config")
+    } else {
+        SampleConfig::new(240.0, 300.0, 64.0).expect("sample config")
+    };
+    let train_seizures = if quick { 2 } else { 3 };
+    let held_out_count = if quick { 2 } else { 3 };
+    let w = cohort
+        .average_seizure_duration(patient)
+        .expect("seizure duration");
+    let detector_config = RealTimeDetectorConfig {
+        forest: RandomForestConfig {
+            n_trees: if quick { 8 } else { 20 },
+            max_depth: if quick { 6 } else { 8 },
+            ..RandomForestConfig::default()
+        },
+        ..RealTimeDetectorConfig::default()
+    };
+
+    // Train on clean seizures; freeze the one-seizure baseline along the way.
+    let mut pipeline = SelfLearningPipeline::new(LabelerConfig::default(), detector_config);
+    let mut baseline = None;
+    for seizure in 0..train_seizures {
+        let record = cohort
+            .sample_record(patient, seizure, &config, 7 + seizure as u64)
+            .expect("training record");
+        pipeline
+            .observe_missed_seizure(&record, w, LabelSource::Algorithm)
+            .expect("observe seizure");
+        if baseline.is_none() {
+            baseline = Some(pipeline.clone());
+        }
+    }
+    let baseline = baseline.expect("at least one training seizure");
+
+    // Held-out clean records: same patient, unseen sampling seeds.
+    let held_out: Vec<EegRecord> = (0..held_out_count)
+        .map(|i| {
+            cohort
+                .sample_record(patient, i, &config, 101 + i as u64)
+                .expect("held-out record")
+        })
+        .collect();
+
+    let mut results = vec![evaluate_pair(&baseline, &pipeline, &held_out, "clean")];
+    for (i, scenario) in HostileScenario::all().into_iter().enumerate() {
+        let degraded = degrade(&held_out, scenario, 0x5EED + i as u64);
+        results.push(evaluate_pair(
+            &baseline,
+            &pipeline,
+            &degraded,
+            scenario.name(),
+        ));
+    }
+
+    // Correctness gates: the clean baseline must clear the same bar the core
+    // pipeline tests hold, and every hostile scenario must have evaluated.
+    let clean = pipeline.evaluate_all(&held_out).expect("clean evaluation");
+    assert!(
+        clean.geometric_mean > 0.5,
+        "clean-baseline gmean {} too low — the robustness table would be noise",
+        clean.geometric_mean
+    );
+    assert_eq!(
+        results.len(),
+        1 + HostileScenario::all().len(),
+        "every scenario must produce a row"
+    );
+
+    println!(
+        "robustness bench ({} train seizures, {} held-out records, {} trees)",
+        train_seizures, held_out_count, detector_config.forest.n_trees
+    );
+    println!(
+        "  {:<16} {:>10} {:>10} {:>12} {:>12}",
+        "scenario", "det sens", "det spec", "learn sens", "learn spec"
+    );
+    for r in &results {
+        println!(
+            "  {:<16} {:>10.3} {:>10.3} {:>12.3} {:>12.3}",
+            r.name,
+            r.detector_sensitivity,
+            r.detector_specificity,
+            r.selflearn_sensitivity,
+            r.selflearn_specificity
+        );
+    }
+
+    if quick {
+        println!("--quick: skipping BENCH_robustness.json");
+        return;
+    }
+    let mut rows = String::new();
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        rows.push_str(&format!(
+            concat!(
+                "    {{\"scenario\": \"{}\", ",
+                "\"detector_sensitivity\": {:.4}, ",
+                "\"detector_specificity\": {:.4}, ",
+                "\"selflearn_sensitivity\": {:.4}, ",
+                "\"selflearn_specificity\": {:.4}}}{}\n"
+            ),
+            r.name,
+            r.detector_sensitivity,
+            r.detector_specificity,
+            r.selflearn_sensitivity,
+            r.selflearn_specificity,
+            comma,
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"robustness\",\n",
+            "  \"train_seizures\": {},\n",
+            "  \"held_out_records\": {},\n",
+            "  \"trees\": {},\n",
+            "  \"scenarios\": [\n",
+            "{}",
+            "  ]\n",
+            "}}\n"
+        ),
+        train_seizures, held_out_count, detector_config.forest.n_trees, rows,
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_robustness.json");
+    std::fs::write(&path, &json).expect("write BENCH_robustness.json");
+    println!("wrote {}", path.display());
+}

@@ -17,6 +17,7 @@ use seizure_ml::metrics::ConfusionMatrix;
 use seizure_ml::persist::journal::{
     self, CompactionPolicy, DeltaSave, DeltaState, JournalReplayReport, JournalWriter,
 };
+use seizure_ml::persist::store::{Flash, FlashGeometry, FlashStore, StoreSave};
 use seizure_ml::persist::{PersistError, SnapshotKind, SnapshotReader, SnapshotWriter};
 
 /// Where the seizure labels used for training come from.
@@ -402,6 +403,11 @@ impl SelfLearningPipeline {
         if let Some(save) = self.delta.as_mut().and_then(|d| d.save(policy)) {
             return save;
         }
+        self.rebase_delta()
+    }
+
+    /// Writes a fresh full base snapshot and arms an empty journal over it.
+    fn rebase_delta(&mut self) -> DeltaSave {
         let base = self.save();
         let writer = JournalWriter::new(&base, self.training_windows())
             .expect("save emits a valid envelope");
@@ -410,6 +416,78 @@ impl SelfLearningPipeline {
             base_len: base.len(),
         });
         DeltaSave::Full(base)
+    }
+
+    /// Formats `flash` as a crash-proof A/B [`FlashStore`], commits the
+    /// pipeline's current state as the first base and arms delta
+    /// persistence — the first-boot counterpart of
+    /// [`SelfLearningPipeline::resume_from_store`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Persist`] when the geometry does not fit the device or
+    /// the snapshot does not fit a slot.
+    pub fn init_store<F: Flash>(
+        &mut self,
+        flash: F,
+        geometry: FlashGeometry,
+    ) -> Result<FlashStore<F>, CoreError> {
+        let DeltaSave::Full(base) = self.rebase_delta() else {
+            unreachable!("rebase always yields a full snapshot");
+        };
+        Ok(FlashStore::format(flash, geometry, &base)?)
+    }
+
+    /// Persists the pipeline through a crash-proof [`FlashStore`], with the
+    /// same Clean / Append / A-B-compact state machine as
+    /// [`crate::realtime::RealTimeDetector::save_to_store`]; each learned
+    /// seizure costs one O(batch) journal append until the store's
+    /// capacity-derived policy folds the journal into the inactive slot.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Persist`] for store or Flash failures; after an error
+    /// recover by remounting and resuming, as a device would post-crash.
+    pub fn save_to_store<F: Flash>(
+        &mut self,
+        store: &mut FlashStore<F>,
+    ) -> Result<StoreSave, CoreError> {
+        match self.save_delta_with(store.compaction_policy()) {
+            DeltaSave::Clean => Ok(StoreSave::Clean),
+            DeltaSave::Full(base) => {
+                store.commit_base(&base)?;
+                Ok(StoreSave::Rebased)
+            }
+            DeltaSave::Append(entry) => {
+                if entry.len() <= store.journal_remaining() {
+                    store.append_journal(&entry)?;
+                    Ok(StoreSave::Appended)
+                } else {
+                    let DeltaSave::Full(base) = self.rebase_delta() else {
+                        unreachable!("rebase always yields a full snapshot");
+                    };
+                    store.commit_base(&base)?;
+                    Ok(StoreSave::Rebased)
+                }
+            }
+        }
+    }
+
+    /// Restores a pipeline from a mounted [`FlashStore`]: replays the
+    /// journal prefix the store arbitrated onto the committed base
+    /// (re-learning each journaled seizure) and arms delta persistence for
+    /// the next [`SelfLearningPipeline::save_to_store`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Persist`] under the same conditions as
+    /// [`SelfLearningPipeline::resume_with_journal`].
+    pub fn resume_from_store<F: Flash>(
+        store: &FlashStore<F>,
+    ) -> Result<(Self, JournalReplayReport), CoreError> {
+        let base = store.base()?;
+        let journal_bytes = store.journal()?;
+        Self::resume_with_journal(&base, &journal_bytes)
     }
 
     /// Restores a pipeline from a base snapshot plus its delta journal and
@@ -511,6 +589,7 @@ mod tests {
     use seizure_data::cohort::Cohort;
     use seizure_data::sampler::SampleConfig;
     use seizure_ml::forest::RandomForestConfig;
+    use seizure_ml::persist::store::{FaultyFlash, MemFlash};
 
     fn fast_detector_config() -> RealTimeDetectorConfig {
         RealTimeDetectorConfig {
@@ -922,5 +1001,157 @@ mod tests {
         let report = pipeline.evaluate_all(&held_out).unwrap();
         assert!(report.windows > 0);
         assert!((0.0..=1.0).contains(&report.geometric_mean));
+    }
+
+    #[test]
+    fn pipeline_store_round_trip_is_node_identical() {
+        let cohort = Cohort::chb_mit_like(29);
+        let config = small_sample_config();
+        let patient = 8;
+        let w = cohort.average_seizure_duration(patient).unwrap();
+        let mut pipeline =
+            SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+        let record = cohort.sample_record(patient, 0, &config, 51).unwrap();
+        pipeline
+            .observe_missed_seizure(&record, w, LabelSource::Algorithm)
+            .unwrap();
+
+        // Format: seizure 1 becomes the slot-A base; nothing pending after.
+        let base_len = pipeline.save().len();
+        let geometry = FlashGeometry::for_base(base_len * 6, base_len * 4);
+        let mut store = pipeline
+            .init_store(MemFlash::new(geometry.total_bytes()), geometry)
+            .unwrap();
+        assert_eq!(
+            pipeline.save_to_store(&mut store).unwrap(),
+            StoreSave::Clean
+        );
+
+        // Seizure 2 is one O(batch) journal append.
+        let second = cohort.sample_record(patient, 1, &config, 52).unwrap();
+        pipeline
+            .observe_missed_seizure(&second, w, LabelSource::Algorithm)
+            .unwrap();
+        assert_eq!(
+            pipeline.save_to_store(&mut store).unwrap(),
+            StoreSave::Appended
+        );
+
+        // Power cycle: labels, counters and the forest all come back.
+        let (store, report) = FlashStore::mount(store.into_flash(), geometry).unwrap();
+        assert_eq!(report.journal_entries, 1);
+        let (resumed, replay) = SelfLearningPipeline::resume_from_store(&store).unwrap();
+        assert_eq!(replay.entries_applied, 1);
+        assert_eq!(resumed.num_seizures_collected(), 2);
+        assert_eq!(resumed.produced_labels(), pipeline.produced_labels());
+        assert_eq!(
+            resumed.detector().flat_forest(),
+            pipeline.detector().flat_forest()
+        );
+        let held_out = cohort.sample_record(patient, 2, &config, 53).unwrap();
+        assert_eq!(
+            resumed.detector().detect(held_out.signal()).unwrap(),
+            pipeline.detector().detect(held_out.signal()).unwrap()
+        );
+        assert_eq!(resumed.save(), pipeline.save());
+    }
+
+    #[test]
+    fn pipeline_store_survives_crashes_mid_append_and_mid_commit() {
+        let cohort = Cohort::chb_mit_like(31);
+        let config = small_sample_config();
+        let patient = 8;
+        let w = cohort.average_seizure_duration(patient).unwrap();
+        let mut pipeline =
+            SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+        let first = cohort.sample_record(patient, 0, &config, 60).unwrap();
+        pipeline
+            .observe_missed_seizure(&first, w, LabelSource::Algorithm)
+            .unwrap();
+        let records: Vec<_> = (1..3)
+            .map(|s| {
+                cohort
+                    .sample_record(patient, s, &config, 60 + s as u64)
+                    .unwrap()
+            })
+            .collect();
+
+        // Probe one appended entry on a throwaway clone to size a journal
+        // region that takes the first entry and compacts on the second.
+        let lenient = CompactionPolicy {
+            max_journal_fraction: 100.0,
+            ..CompactionPolicy::default()
+        };
+        let mut probe = pipeline.clone();
+        probe.save_delta();
+        probe
+            .observe_missed_seizure(&records[0], w, LabelSource::Algorithm)
+            .unwrap();
+        let entry_len = match probe.save_delta_with(lenient) {
+            DeltaSave::Append(bytes) => bytes.len(),
+            other => panic!("probe must append, got {other:?}"),
+        };
+
+        let base_len = pipeline.save().len();
+        let geometry = FlashGeometry::for_base(base_len * 6, entry_len * 2);
+        let mut store = pipeline
+            .init_store(FaultyFlash::new(geometry.total_bytes()), geometry)
+            .unwrap();
+        let armed = pipeline.clone();
+        let image = store.flash().image().to_vec();
+        let format_bytes = store.flash().bytes_written();
+
+        // Fault-free reference pass: one append, then one A/B compaction.
+        let mut states = vec![pipeline.save()];
+        let mut op_end = Vec::new();
+        let mut outcomes = Vec::new();
+        for record in &records {
+            pipeline
+                .observe_missed_seizure(record, w, LabelSource::Algorithm)
+                .unwrap();
+            outcomes.push(pipeline.save_to_store(&mut store).unwrap());
+            states.push(pipeline.save());
+            op_end.push(store.flash().bytes_written() - format_bytes);
+        }
+        assert_eq!(
+            outcomes,
+            [StoreSave::Appended, StoreSave::Rebased],
+            "the cuts must target one append and one compaction"
+        );
+
+        // Cut each operation at 1/4, 1/2 and 3/4 of its write stream.
+        let mut cuts = Vec::new();
+        let mut start = 0;
+        for &end in &op_end {
+            for quarter in 1..4 {
+                cuts.push(start + (end - start) * quarter / 4);
+            }
+            start = end;
+        }
+        for cut in cuts {
+            let flash = FaultyFlash::from_image(image.clone()).power_loss_after(cut);
+            let mut live = armed.clone();
+            let mut store = FlashStore::mount(flash, geometry).map(|(s, _)| s).unwrap();
+            let mut died_at = None;
+            for (i, record) in records.iter().enumerate() {
+                live.observe_missed_seizure(record, w, LabelSource::Algorithm)
+                    .unwrap();
+                if live.save_to_store(&mut store).is_err() {
+                    died_at = Some(i);
+                    break;
+                }
+            }
+            let i = died_at.unwrap_or_else(|| panic!("cut {cut} must kill a save"));
+            let (store, _) = FlashStore::mount(store.into_flash().reboot(), geometry)
+                .unwrap_or_else(|e| panic!("cut {cut}: store lost: {e}"));
+            let (resumed, _) = SelfLearningPipeline::resume_from_store(&store)
+                .unwrap_or_else(|e| panic!("cut {cut}: resume failed: {e}"));
+            let observed = resumed.save();
+            assert!(
+                observed == states[i] || observed == states[i + 1],
+                "cut {cut}: crash during save {i} recovered neither the pre-save nor \
+                 the committed state"
+            );
+        }
     }
 }

@@ -20,6 +20,7 @@ use seizure_ml::metrics::ConfusionMatrix;
 use seizure_ml::persist::journal::{
     self, CompactionPolicy, DeltaSave, DeltaState, JournalEntry, JournalReplayReport, JournalWriter,
 };
+use seizure_ml::persist::store::{Flash, FlashGeometry, FlashStore, StoreSave};
 use seizure_ml::persist::{self, PersistError, SnapshotKind, SnapshotReader, SnapshotWriter};
 use seizure_ml::training::{train_forest, TrainingSet};
 
@@ -686,6 +687,86 @@ impl RealTimeDetector {
         DeltaSave::Full(base)
     }
 
+    /// Formats `flash` as a crash-proof A/B [`FlashStore`], commits the
+    /// detector's current state as the first base and arms delta
+    /// persistence — the first-boot counterpart of
+    /// [`RealTimeDetector::resume_from_store`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Persist`] when the geometry does not fit the device or
+    /// the snapshot does not fit a slot.
+    pub fn init_store<F: Flash>(
+        &mut self,
+        flash: F,
+        geometry: FlashGeometry,
+    ) -> Result<FlashStore<F>, CoreError> {
+        let DeltaSave::Full(base) = self.rebase_delta() else {
+            unreachable!("rebase always yields a full snapshot");
+        };
+        Ok(FlashStore::format(flash, geometry, &base)?)
+    }
+
+    /// Persists the detector through a crash-proof [`FlashStore`]: a clean
+    /// state writes nothing, new batches append one O(batch) journal entry,
+    /// and once the journal passes the store's capacity-derived
+    /// [`FlashStore::compaction_policy`] (or a single entry outgrows the
+    /// region) the state is compacted into the inactive base slot.
+    ///
+    /// A power loss at **any byte** of the underlying writes leaves the
+    /// previous state recoverable by [`FlashStore::mount`] +
+    /// [`RealTimeDetector::resume_from_store`] — the crash-injection suite
+    /// sweeps every offset.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Persist`] for store or Flash failures. After an error
+    /// the in-RAM delta bookkeeping may be ahead of the device; recover by
+    /// remounting and resuming, as a real device would after the crash.
+    pub fn save_to_store<F: Flash>(
+        &mut self,
+        store: &mut FlashStore<F>,
+    ) -> Result<StoreSave, CoreError> {
+        match self.save_delta_with(store.compaction_policy()) {
+            DeltaSave::Clean => Ok(StoreSave::Clean),
+            DeltaSave::Full(base) => {
+                store.commit_base(&base)?;
+                Ok(StoreSave::Rebased)
+            }
+            DeltaSave::Append(entry) => {
+                if entry.len() <= store.journal_remaining() {
+                    store.append_journal(&entry)?;
+                    Ok(StoreSave::Appended)
+                } else {
+                    // One batch outgrew the whole journal region: fold the
+                    // current state into a fresh base instead of failing.
+                    let DeltaSave::Full(base) = self.rebase_delta() else {
+                        unreachable!("rebase always yields a full snapshot");
+                    };
+                    store.commit_base(&base)?;
+                    Ok(StoreSave::Rebased)
+                }
+            }
+        }
+    }
+
+    /// Restores a detector from a mounted [`FlashStore`]: replays the
+    /// journal prefix the store arbitrated onto the committed base and arms
+    /// delta persistence for the next
+    /// [`RealTimeDetector::save_to_store`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Persist`] under the same conditions as
+    /// [`RealTimeDetector::load_with_journal`].
+    pub fn resume_from_store<F: Flash>(
+        store: &FlashStore<F>,
+    ) -> Result<(Self, JournalReplayReport), CoreError> {
+        let base = store.base()?;
+        let journal_bytes = store.journal()?;
+        Self::load_with_journal(&base, &journal_bytes)
+    }
+
     /// Restores a detector from a base snapshot plus its delta journal and
     /// arms delta persistence so the next
     /// [`RealTimeDetector::save_delta`] keeps appending to the same journal.
@@ -845,6 +926,7 @@ mod tests {
     use super::*;
     use seizure_data::cohort::Cohort;
     use seizure_data::sampler::SampleConfig;
+    use seizure_ml::persist::store::{FaultyFlash, MemFlash};
 
     fn record_and_truth(seed: u64) -> (seizure_data::sampler::EegRecord, SeizureLabel) {
         let cohort = Cohort::chb_mit_like(3);
@@ -1369,5 +1451,182 @@ mod tests {
             Err(CoreError::Persist(_))
         ));
         assert!(RealTimeDetector::load_state(b"not a snapshot, not even close").is_err());
+    }
+
+    /// A detector with most of its pool grown, plus the remaining balanced
+    /// rows split into `parts` retrain batches.
+    #[allow(clippy::type_complexity)]
+    fn detector_and_batches(
+        seed: u64,
+        parts: usize,
+    ) -> (RealTimeDetector, Vec<(Vec<f64>, Vec<bool>)>, usize) {
+        let (record, truth) = record_and_truth(seed);
+        let mut detector = RealTimeDetector::new(fast_config());
+        let training = detector
+            .build_training_windows(record.signal(), &truth)
+            .unwrap();
+        let balanced = detector.balance(&training).unwrap();
+        let nf = balanced.num_features();
+        let rows: Vec<f64> = balanced.features().iter().flatten().copied().collect();
+        let labels = balanced.labels();
+        let cut = balanced.len() / 2;
+        detector
+            .retrain_incremental(&rows[..cut * nf], nf, &labels[..cut])
+            .unwrap();
+        let per = (balanced.len() - cut).div_ceil(parts).max(1);
+        let mut batches = Vec::new();
+        let mut at = cut;
+        while at < balanced.len() {
+            let to = (at + per).min(balanced.len());
+            batches.push((rows[at * nf..to * nf].to_vec(), labels[at..to].to_vec()));
+            at = to;
+        }
+        (detector, batches, nf)
+    }
+
+    #[test]
+    fn store_round_trip_keeps_the_detector_node_identical() {
+        let (mut detector, batches, nf) = detector_and_batches(21, 2);
+        let base_capacity = detector.save_state().len() * 2;
+        let geometry = FlashGeometry::for_base(base_capacity, 64 * 1024);
+        let mut store = detector
+            .init_store(MemFlash::new(geometry.total_bytes()), geometry)
+            .unwrap();
+        assert_eq!(store.sequence(), 1);
+        assert_eq!(
+            detector.save_to_store(&mut store).unwrap(),
+            StoreSave::Clean
+        );
+
+        // Steady state: each batch costs one O(batch) journal append.
+        for (rows, labels) in &batches {
+            detector.retrain_incremental(rows, nf, labels).unwrap();
+            assert_eq!(
+                detector.save_to_store(&mut store).unwrap(),
+                StoreSave::Appended
+            );
+        }
+        assert_eq!(store.journal_entries(), batches.len());
+
+        // Power cycle: mount + resume is node-identical.
+        let geometry = *store.geometry();
+        let (store, report) = FlashStore::mount(store.into_flash(), geometry).unwrap();
+        assert_eq!(report.journal_entries, batches.len());
+        let (resumed, replay) = RealTimeDetector::resume_from_store(&store).unwrap();
+        assert_eq!(replay.entries_applied, batches.len());
+        assert_eq!(resumed.flat_forest(), detector.flat_forest());
+        assert_eq!(
+            resumed.incremental_trainer(),
+            detector.incremental_trainer()
+        );
+        assert_eq!(resumed.save_state(), detector.save_state());
+    }
+
+    /// Journal-entry size for one batch, measured on a throwaway clone.
+    fn probe_entry_len(
+        detector: &RealTimeDetector,
+        batch: &(Vec<f64>, Vec<bool>),
+        nf: usize,
+    ) -> usize {
+        let mut probe = detector.clone();
+        probe.save_delta();
+        probe.retrain_incremental(&batch.0, nf, &batch.1).unwrap();
+        match probe.save_delta() {
+            DeltaSave::Append(bytes) => bytes.len(),
+            other => panic!("probe save must append, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_compacts_into_the_inactive_slot_when_the_journal_fills() {
+        let (mut detector, batches, nf) = detector_and_batches(22, 4);
+        let base_capacity = detector.save_state().len() * 2;
+        // A journal region 2.5 entries wide: the store's capacity-derived
+        // policy must fold the state into the inactive slot mid-sequence.
+        let entry_len = probe_entry_len(&detector, &batches[0], nf);
+        let geometry = FlashGeometry::for_base(base_capacity, entry_len * 5 / 2);
+        let mut store = detector
+            .init_store(MemFlash::new(geometry.total_bytes()), geometry)
+            .unwrap();
+
+        let mut outcomes = Vec::new();
+        for (rows, labels) in &batches {
+            detector.retrain_incremental(rows, nf, labels).unwrap();
+            outcomes.push(detector.save_to_store(&mut store).unwrap());
+        }
+        assert!(
+            outcomes.contains(&StoreSave::Appended) && outcomes.contains(&StoreSave::Rebased),
+            "the sequence must exercise both paths, got {outcomes:?}"
+        );
+        assert!(store.sequence() > 1, "compaction must bump the sequence");
+        let (resumed, _) = RealTimeDetector::resume_from_store(&store).unwrap();
+        assert_eq!(resumed.save_state(), detector.save_state());
+    }
+
+    #[test]
+    fn store_crash_at_any_write_byte_recovers_pre_or_post_state() {
+        let (mut detector, batches, nf) = detector_and_batches(23, 3);
+        let base_capacity = detector.save_state().len() * 2;
+
+        // Fault-free reference pass, sized so the middle batch forces an A/B
+        // compaction: record the expected snapshot after every operation.
+        let entry_len = probe_entry_len(&detector, &batches[0], nf);
+        let geometry = FlashGeometry::for_base(base_capacity, entry_len * 5 / 2);
+        let mut store = detector
+            .init_store(FaultyFlash::new(geometry.total_bytes()), geometry)
+            .unwrap();
+        let armed = detector.clone();
+        let image = store.flash().image().to_vec();
+        let format_bytes = store.flash().bytes_written();
+        let mut states = vec![detector.save_state()];
+        let mut outcomes = Vec::new();
+        for (rows, labels) in &batches {
+            detector.retrain_incremental(rows, nf, labels).unwrap();
+            outcomes.push(detector.save_to_store(&mut store).unwrap());
+            states.push(detector.save_state());
+        }
+        let total_bytes = store.into_flash().bytes_written() - format_bytes;
+        assert!(
+            outcomes.contains(&StoreSave::Appended) && outcomes.contains(&StoreSave::Rebased),
+            "the sweep must cover both append and compaction, got {outcomes:?}"
+        );
+
+        // Sweep a power loss across the stream (strided — the byte-exact
+        // exhaustive sweep lives in seizure-ml's crash-injection suite).
+        let stride = (total_bytes / 40).max(1) | 1;
+        let mut cut = 0;
+        while cut <= total_bytes {
+            let flash = FaultyFlash::from_image(image.clone()).power_loss_after(cut);
+            let (mut live, mut store) = (
+                armed.clone(),
+                FlashStore::mount(flash, geometry).map(|(s, _)| s).unwrap(),
+            );
+            let mut died_at = None;
+            for (i, (rows, labels)) in batches.iter().enumerate() {
+                live.retrain_incremental(rows, nf, labels).unwrap();
+                if live.save_to_store(&mut store).is_err() {
+                    died_at = Some(i);
+                    break;
+                }
+            }
+            let (store, _) = FlashStore::mount(store.into_flash().reboot(), geometry)
+                .unwrap_or_else(|e| panic!("cut {cut}: store lost: {e}"));
+            let (resumed, _) = RealTimeDetector::resume_from_store(&store)
+                .unwrap_or_else(|e| panic!("cut {cut}: resume failed: {e}"));
+            let observed = resumed.save_state();
+            match died_at {
+                Some(i) => assert!(
+                    observed == states[i] || observed == states[i + 1],
+                    "cut {cut}: crash during save {i} recovered neither the pre-save nor \
+                     the committed state"
+                ),
+                None => assert_eq!(
+                    &observed,
+                    states.last().unwrap(),
+                    "cut {cut}: completed run must resume the final state"
+                ),
+            }
+            cut += stride;
+        }
     }
 }

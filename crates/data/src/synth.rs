@@ -87,8 +87,16 @@ fn add_artifacts<R: Rng + ?Sized>(
     let duration_hours = channel.len() as f64 / fs / 3600.0;
     let expected = profile.artifact_rate_per_hour * duration_hours;
     // Draw the artifact count from a Poisson-like distribution (normal approx
-    // clamped at zero is adequate here).
-    let count = (expected + randn(rng) * expected.sqrt()).round().max(0.0) as usize;
+    // is adequate here). The draw is clamped on both sides: hostile profiles
+    // can request absurd or non-finite rates, and an unbounded draw would try
+    // to place billions of bursts (or panic on a negative-rate NaN).
+    let draw = expected + randn(rng) * expected.sqrt();
+    let ceiling = (3.0 * expected + 10.0).min(channel.len() as f64).max(0.0);
+    let count = if draw.is_finite() {
+        draw.round().clamp(0.0, ceiling) as usize
+    } else {
+        0
+    };
     let mut onsets = Vec::with_capacity(count);
     for _ in 0..count {
         let burst_len = (rng.gen_range(0.4..2.0) * fs) as usize;
@@ -336,6 +344,203 @@ pub fn generate_background_record<R: Rng + ?Sized>(
     EegSignal::new(f7t3, f8t4, fs)
 }
 
+/// Hostile recording conditions a wearable sees in the field but a clean
+/// synthetic cohort never exercises.
+///
+/// Each variant is a *transform* applied on top of an already generated
+/// record ([`apply_scenario`]), so the ground-truth annotation stays valid:
+/// the seizure is still where it was, only the recording conditions degrade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostileScenario {
+    /// Electrode-contact pops: step discontinuities that decay back to
+    /// baseline over a fraction of a second, at many times the signal RMS.
+    ElectrodePop,
+    /// Mains interference at 50 Hz plus its first harmonic. At the low
+    /// sampling rates used on-wrist (e.g. 64 Hz) the hum aliases into the
+    /// detector's own passband, which is exactly what makes it hostile.
+    MainsHum,
+    /// Motion-induced baseline wander: a large slow oscillation plus a leaky
+    /// random walk, as from cable sway and skin-potential drift.
+    BaselineWander,
+    /// One channel flatlines for a long contiguous stretch (lead-off or a
+    /// broken wire), holding its last pre-dropout value.
+    ChannelDropout,
+    /// Amplifier saturation: the front-end gain is too high and the signal
+    /// clips against the rails, flattening every large deflection.
+    Saturation,
+    /// Per-channel gain drift: electrode impedance changes over the record,
+    /// ramping each channel's effective gain up or down independently.
+    GainDrift,
+}
+
+impl HostileScenario {
+    /// Every scenario, in a fixed order (useful for benchmark sweeps).
+    pub fn all() -> [HostileScenario; 6] {
+        [
+            HostileScenario::ElectrodePop,
+            HostileScenario::MainsHum,
+            HostileScenario::BaselineWander,
+            HostileScenario::ChannelDropout,
+            HostileScenario::Saturation,
+            HostileScenario::GainDrift,
+        ]
+    }
+
+    /// Stable snake_case identifier (used as the key in benchmark reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            HostileScenario::ElectrodePop => "electrode_pop",
+            HostileScenario::MainsHum => "mains_hum",
+            HostileScenario::BaselineWander => "baseline_wander",
+            HostileScenario::ChannelDropout => "channel_dropout",
+            HostileScenario::Saturation => "saturation",
+            HostileScenario::GainDrift => "gain_drift",
+        }
+    }
+}
+
+/// RMS of a channel, floored away from zero so it can scale interference.
+fn channel_rms(channel: &[f64]) -> f64 {
+    let n = channel.len().max(1) as f64;
+    (channel.iter().map(|v| v * v).sum::<f64>() / n)
+        .sqrt()
+        .max(1e-9)
+}
+
+/// Adds step discontinuities with exponential recovery (electrode pops).
+fn add_electrode_pops<R: Rng + ?Sized>(channel: &mut [f64], fs: f64, rng: &mut R) {
+    let scale = channel_rms(channel);
+    let count = rng.gen_range(3..=8);
+    for _ in 0..count {
+        if channel.is_empty() {
+            return;
+        }
+        let start = rng.gen_range(0..channel.len());
+        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        let step = sign * scale * rng.gen_range(8.0..20.0);
+        let tau = rng.gen_range(0.1..0.8) * fs;
+        for (i, sample) in channel.iter_mut().enumerate().skip(start) {
+            let decay = (-((i - start) as f64) / tau).exp();
+            if decay < 1e-3 {
+                break;
+            }
+            *sample += step * decay;
+        }
+    }
+}
+
+/// Adds 50 Hz mains hum plus a weaker 100 Hz harmonic.
+fn add_mains_hum<R: Rng + ?Sized>(channel: &mut [f64], fs: f64, rng: &mut R) {
+    let amp = channel_rms(channel) * rng.gen_range(1.0..2.5);
+    let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    for (i, x) in channel.iter_mut().enumerate() {
+        let t = i as f64 / fs;
+        *x += amp
+            * ((std::f64::consts::TAU * 50.0 * t + phase).sin()
+                + 0.3 * (std::f64::consts::TAU * 100.0 * t + 2.0 * phase).sin());
+    }
+}
+
+/// Adds slow sinusoidal wander plus a leaky random walk (motion baseline).
+fn add_baseline_wander<R: Rng + ?Sized>(channel: &mut [f64], fs: f64, rng: &mut R) {
+    let scale = channel_rms(channel);
+    let amp = scale * rng.gen_range(3.0..6.0);
+    let freq = rng.gen_range(0.2..0.5);
+    let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    let mut walk = 0.0;
+    for (i, x) in channel.iter_mut().enumerate() {
+        let t = i as f64 / fs;
+        walk = 0.999 * walk + 0.05 * scale * randn(rng);
+        *x += amp * (std::f64::consts::TAU * freq * t + phase).sin() + walk;
+    }
+}
+
+/// Flatlines a contiguous stretch of the channel at its last live value.
+fn add_dropout<R: Rng + ?Sized>(channel: &mut [f64], rng: &mut R) {
+    if channel.len() < 4 {
+        return;
+    }
+    let len = (channel.len() as f64 * rng.gen_range(0.25..0.5)) as usize;
+    let start = rng.gen_range(0..channel.len() - len);
+    let level = channel[start];
+    channel[start..start + len].fill(level);
+}
+
+/// Over-amplifies the channel and clips it against the rails.
+fn add_saturation<R: Rng + ?Sized>(channel: &mut [f64], rng: &mut R) {
+    let rail = channel_rms(channel) * rng.gen_range(1.5..2.5);
+    let gain = rng.gen_range(2.0..4.0);
+    for x in channel.iter_mut() {
+        *x = (*x * gain).clamp(-rail, rail);
+    }
+}
+
+/// Ramps the channel gain linearly from 1.0 to a drifted endpoint.
+fn add_gain_drift<R: Rng + ?Sized>(channel: &mut [f64], rng: &mut R) {
+    let end_gain = if rng.gen_bool(0.5) {
+        rng.gen_range(0.25..0.6)
+    } else {
+        rng.gen_range(1.6..3.0)
+    };
+    let n = channel.len().max(2) as f64;
+    for (i, x) in channel.iter_mut().enumerate() {
+        let gain = 1.0 + (end_gain - 1.0) * i as f64 / (n - 1.0);
+        *x *= gain;
+    }
+}
+
+/// Applies one [`HostileScenario`] to a signal, returning the degraded copy.
+///
+/// Lengths, the sampling rate — and therefore any seizure annotation made
+/// against the original — are preserved. The transform parameters (pop
+/// positions, hum phase, dropout window, drift direction…) are drawn from
+/// `rng`, so the same seed reproduces the same degradation.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidParameter`] only if the input signal itself
+/// violates [`EegSignal`]'s invariants (it cannot when built by this module).
+pub fn apply_scenario<R: Rng + ?Sized>(
+    signal: &EegSignal,
+    scenario: HostileScenario,
+    rng: &mut R,
+) -> Result<EegSignal, DataError> {
+    let fs = signal.sampling_frequency();
+    let mut f7t3 = signal.f7t3().to_vec();
+    let mut f8t4 = signal.f8t4().to_vec();
+    match scenario {
+        HostileScenario::ElectrodePop => {
+            add_electrode_pops(&mut f7t3, fs, rng);
+            add_electrode_pops(&mut f8t4, fs, rng);
+        }
+        HostileScenario::MainsHum => {
+            add_mains_hum(&mut f7t3, fs, rng);
+            add_mains_hum(&mut f8t4, fs, rng);
+        }
+        HostileScenario::BaselineWander => {
+            add_baseline_wander(&mut f7t3, fs, rng);
+            add_baseline_wander(&mut f8t4, fs, rng);
+        }
+        HostileScenario::ChannelDropout => {
+            // Lead-off hits one side; the other channel keeps recording.
+            if rng.gen_bool(0.5) {
+                add_dropout(&mut f7t3, rng);
+            } else {
+                add_dropout(&mut f8t4, rng);
+            }
+        }
+        HostileScenario::Saturation => {
+            add_saturation(&mut f7t3, rng);
+            add_saturation(&mut f8t4, rng);
+        }
+        HostileScenario::GainDrift => {
+            add_gain_drift(&mut f7t3, rng);
+            add_gain_drift(&mut f8t4, rng);
+        }
+    }
+    EegSignal::new(f7t3, f8t4, fs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,6 +667,117 @@ mod tests {
         sort_onsets(&mut onsets);
         assert_eq!(&onsets[..3], &[1.0, 2.5, 3.5]);
         assert!(onsets[3].is_nan());
+    }
+
+    /// Boundary behaviour of the clamped Poisson normal-approx draw: an
+    /// absurd rate must not place more bursts than there are samples, and a
+    /// negative (NaN-producing) rate must degrade to zero, not panic.
+    #[test]
+    fn artifact_count_draw_is_clamped_at_both_ends() {
+        let fs = 64.0;
+        let mut hostile = profile();
+        hostile.artifact_rate_per_hour = 1e12;
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut channel = vec![0.0; 256];
+        let onsets = add_artifacts(&mut channel, &hostile, fs, &mut rng);
+        assert!(
+            onsets.len() <= channel.len(),
+            "placed {} bursts in {} samples",
+            onsets.len(),
+            channel.len()
+        );
+
+        let mut negative = profile();
+        negative.artifact_rate_per_hour = -1000.0;
+        let mut channel = vec![0.0; 256];
+        let onsets = add_artifacts(&mut channel, &negative, fs, &mut rng);
+        assert!(onsets.is_empty());
+        assert!(channel.iter().all(|v| *v == 0.0));
+
+        // A zero rate draws zero artifacts (sqrt(0) kills the noise term).
+        let mut silent = profile();
+        silent.artifact_rate_per_hour = 0.0;
+        let onsets = add_artifacts(&mut vec![0.0; 256], &silent, fs, &mut rng);
+        assert!(onsets.is_empty());
+    }
+
+    #[test]
+    fn hostile_scenarios_preserve_shape_and_degrade_the_signal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let rec = generate_record(&profile(), 90.0, 30.0, 20.0, 64.0, &mut rng).unwrap();
+        let mut names = std::collections::BTreeSet::new();
+        for scenario in HostileScenario::all() {
+            names.insert(scenario.name());
+            let mut rng = ChaCha8Rng::seed_from_u64(10);
+            let degraded = apply_scenario(&rec.signal, scenario, &mut rng).unwrap();
+            assert_eq!(degraded.len(), rec.signal.len(), "{}", scenario.name());
+            assert_eq!(
+                degraded.sampling_frequency(),
+                rec.signal.sampling_frequency()
+            );
+            assert_ne!(degraded, rec.signal, "{} must change data", scenario.name());
+            assert!(
+                degraded
+                    .f7t3()
+                    .iter()
+                    .chain(degraded.f8t4())
+                    .all(|v| v.is_finite()),
+                "{} produced non-finite samples",
+                scenario.name()
+            );
+        }
+        assert_eq!(names.len(), 6, "scenario names must be distinct");
+    }
+
+    #[test]
+    fn scenario_application_is_deterministic_given_a_seed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let rec = generate_record(&profile(), 90.0, 30.0, 20.0, 64.0, &mut rng).unwrap();
+        let mut rng1 = ChaCha8Rng::seed_from_u64(12);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(12);
+        let a = apply_scenario(&rec.signal, HostileScenario::ElectrodePop, &mut rng1).unwrap();
+        let b = apply_scenario(&rec.signal, HostileScenario::ElectrodePop, &mut rng2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dropout_flatlines_one_channel_only() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let rec = generate_record(&profile(), 90.0, 30.0, 20.0, 64.0, &mut rng).unwrap();
+        let degraded =
+            apply_scenario(&rec.signal, HostileScenario::ChannelDropout, &mut rng).unwrap();
+        let longest_run = |xs: &[f64]| {
+            let (mut best, mut run) = (0usize, 1usize);
+            for w in xs.windows(2) {
+                run = if w[0] == w[1] { run + 1 } else { 1 };
+                best = best.max(run);
+            }
+            best
+        };
+        let runs = [longest_run(degraded.f7t3()), longest_run(degraded.f8t4())];
+        let quarter = degraded.len() / 4;
+        assert!(
+            runs.iter().filter(|r| **r >= quarter).count() == 1,
+            "exactly one channel must flatline, runs = {runs:?}"
+        );
+    }
+
+    #[test]
+    fn saturation_clips_against_symmetric_rails() {
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let rec = generate_record(&profile(), 90.0, 30.0, 20.0, 64.0, &mut rng).unwrap();
+        let degraded = apply_scenario(&rec.signal, HostileScenario::Saturation, &mut rng).unwrap();
+        for (channel, original) in [
+            (degraded.f7t3(), rec.signal.f7t3()),
+            (degraded.f8t4(), rec.signal.f8t4()),
+        ] {
+            let peak = channel.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let original_peak = original.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            assert!(peak < original_peak, "clipping must cap the peaks");
+            // The rail is hit from both sides: many samples sit exactly on it.
+            let on_rail = channel.iter().filter(|v| v.abs() == peak).count();
+            assert!(on_rail > 10, "only {on_rail} samples on the rail");
+        }
     }
 
     #[test]

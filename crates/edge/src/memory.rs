@@ -172,6 +172,42 @@ impl MemoryModel {
         self.budget_with_snapshot(buffer_secs, snapshot_bytes + journal_bytes)
     }
 
+    /// Exact Flash footprint of `seizure-ml`'s crash-proof A/B store
+    /// (`persist::store::FlashStore`) holding base snapshots up to
+    /// `base_capacity` bytes next to a `journal_bytes` journal region: two
+    /// alternating slots, each a 40-byte header plus the base capacity, and
+    /// one journal region. Pinned to the real layout
+    /// (`FlashGeometry::total_bytes`) by `tests/edge_platform.rs`.
+    pub fn dual_slot_store_bytes(&self, base_capacity: usize, journal_bytes: usize) -> usize {
+        // Slot header: magic 8 + sequence 8 + base length 8 + base
+        // fingerprint 8 + header checksum 8.
+        const SLOT_HEADER: usize = 40;
+        2 * (SLOT_HEADER + base_capacity) + journal_bytes
+    }
+
+    /// [`MemoryModel::budget_with_journal`] for the crash-proof A/B store:
+    /// Flash holds the history buffer plus the full dual-slot image —
+    /// **two** base slots (so compaction can write the fresh snapshot beside
+    /// the committed one instead of over it) and the journal region.
+    /// Crash-proofing doubles the base-snapshot reservation; `fits_flash`
+    /// answers whether the platform affords that insurance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::InvalidParameter`] if the buffer duration is not
+    /// positive.
+    pub fn budget_with_ab_store(
+        &self,
+        buffer_secs: f64,
+        base_capacity: usize,
+        journal_bytes: usize,
+    ) -> Result<MemoryBudget, EdgeError> {
+        self.budget_with_snapshot(
+            buffer_secs,
+            self.dual_slot_store_bytes(base_capacity, journal_bytes),
+        )
+    }
+
     /// Computes the memory budget for a history buffer of `buffer_secs`
     /// seconds (the paper uses one hour, the maximum delay between a missed
     /// seizure and the patient's confirmation).
@@ -305,5 +341,34 @@ mod tests {
                 .fits_flash
         ); // 240 + 100 + 100 > 384
         assert!(model.budget_with_journal(0.0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn ab_store_accounting_doubles_the_base_reservation() {
+        let model = model();
+        // Layout arithmetic: two (header + base) slots plus the journal.
+        assert_eq!(model.dual_slot_store_bytes(0, 0), 80);
+        assert_eq!(
+            model.dual_slot_store_bytes(64 * 1024, 32 * 1024),
+            2 * (40 + 64 * 1024) + 32 * 1024
+        );
+
+        // Versus single-slot delta persistence the A/B store costs exactly
+        // one more slot: the price of never overwriting the committed base.
+        let single = model
+            .budget_with_journal(1200.0, 64 * 1024, 32 * 1024)
+            .unwrap();
+        let ab = model
+            .budget_with_ab_store(1200.0, 64 * 1024, 32 * 1024)
+            .unwrap();
+        assert_eq!(ab.history_bytes, single.history_bytes + 2 * 40 + 64 * 1024);
+        assert!(ab.fits_flash); // 80 KB history + 160 KB store < 384 KB
+        assert!(
+            !model
+                .budget_with_ab_store(3600.0, 64 * 1024, 32 * 1024)
+                .unwrap()
+                .fits_flash
+        ); // 240 KB history + 160 KB store > 384 KB
+        assert!(model.budget_with_ab_store(0.0, 1, 1).is_err());
     }
 }

@@ -96,6 +96,7 @@ use std::error::Error;
 use std::fmt;
 
 pub mod journal;
+pub mod store;
 
 /// Magic bytes opening every snapshot.
 pub const MAGIC: [u8; 8] = *b"SZRSNAP\0";
@@ -189,6 +190,14 @@ pub enum PersistError {
         /// Description of the inconsistency.
         detail: String,
     },
+    /// Neither base slot of a dual-slot Flash store holds a committed
+    /// snapshot — the store cannot mount (see [`store::FlashStore::mount`]).
+    NoValidSlot {
+        /// Why slot A was rejected.
+        slot_a: String,
+        /// Why slot B was rejected.
+        slot_b: String,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -216,6 +225,10 @@ impl fmt::Display for PersistError {
                 "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
             ),
             PersistError::Corrupted { detail } => write!(f, "corrupted snapshot: {detail}"),
+            PersistError::NoValidSlot { slot_a, slot_b } => write!(
+                f,
+                "no valid base slot: slot A rejected ({slot_a}); slot B rejected ({slot_b})"
+            ),
         }
     }
 }

@@ -28,6 +28,7 @@ use selflearn_seizure::edge::platform::PlatformSpec;
 use selflearn_seizure::edge::timing::TimingModel;
 use selflearn_seizure::ml::forest::RandomForestConfig;
 use selflearn_seizure::ml::persist::journal::{CompactionPolicy, DeltaSave};
+use selflearn_seizure::ml::persist::store::{FaultyFlash, FlashGeometry, FlashStore, StoreSave};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = PlatformSpec::stm32l151_default();
@@ -237,18 +238,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "day 3: torn entry detected ({} bytes dropped), journal truncated to {} bytes",
         report.torn_bytes, report.valid_len
     );
-    let mut journal = std::fs::read(&journal_path)?;
-    journal.truncate(report.valid_len);
+    // Truncate the journal *file* to the valid prefix — the same `set_len`
+    // a device performs on its Flash-backed file before appending anything
+    // new, so the torn bytes can never alias a future entry.
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&journal_path)?
+        .set_len(report.valid_len as u64)?;
     let record = cohort.sample_record(patient, 1, &sample, 2)?;
     day3.observe_missed_seizure(&record, w, LabelSource::Algorithm)?;
     let entry_bytes = match day3.save_delta_with(policy) {
         DeltaSave::Append(entry) => {
-            journal.extend_from_slice(&entry);
-            std::fs::write(&journal_path, &journal)?;
+            use std::io::Write;
+            std::fs::OpenOptions::new()
+                .append(true)
+                .open(&journal_path)?
+                .write_all(&entry)?;
             entry.len()
         }
         other => panic!("the re-learned seizure must append, got {other:?}"),
     };
+    let journal = std::fs::read(&journal_path)?;
+    assert_eq!(
+        journal.len(),
+        report.valid_len + entry_bytes,
+        "the truncated file plus the clean append is the whole journal"
+    );
 
     // A final power cycle proves the recovered journal holds both seizures:
     // the resumed device equals the uninterrupted reference.
@@ -282,5 +297,80 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(with_journal.fits_flash);
     std::fs::remove_file(&base_path)?;
     std::fs::remove_file(&journal_path)?;
+
+    // Crash-proof A/B store: the same pipeline, but saves go to a dual-slot
+    // Flash image whose commit protocol survives power loss at *any* byte
+    // (the file-based journal above trusts the filesystem for that). The
+    // FaultyFlash device lets the demo actually pull the plug.
+    println!("\ncrash-proof A/B flash store (power loss mid-save -> reboot -> resume)");
+    let mut device = SelfLearningPipeline::new(LabelerConfig::default(), detector_config);
+    let record = cohort.sample_record(patient, 0, &sample, 1)?;
+    device.observe_missed_seizure(&record, w, LabelSource::Algorithm)?;
+    let geometry = FlashGeometry::for_base(device.save().len() * 4, 64 * 1024);
+    let mut store = device.init_store(FaultyFlash::new(geometry.total_bytes()), geometry)?;
+    let record = cohort.sample_record(patient, 1, &sample, 2)?;
+    device.observe_missed_seizure(&record, w, LabelSource::Algorithm)?;
+    let save = device.save_to_store(&mut store)?;
+    assert_eq!(
+        save,
+        StoreSave::Appended,
+        "one seizure -> one journal entry"
+    );
+    println!(
+        "seizure 2 saved ({save:?}): slot {:?} seq {}, {} journal entries",
+        store.active_slot(),
+        store.sequence(),
+        store.journal_entries()
+    );
+
+    // Pull the plug 100 bytes into the next save. The write fails…
+    let committed = device.save();
+    let crashing = FaultyFlash::from_image(store.flash().image().to_vec()).power_loss_after(100);
+    let (mut crashed_store, _) = FlashStore::mount(crashing, geometry)?;
+    let record = cohort.sample_record(patient, 2, &sample, 3)?;
+    device.observe_missed_seizure(&record, w, LabelSource::Algorithm)?;
+    let died = device.save_to_store(&mut crashed_store);
+    assert!(died.is_err(), "the armed power loss must kill the save");
+
+    // …but the next boot mounts the committed state as if nothing happened:
+    // the in-flight seizure is re-learned from the hour buffer, saved, and a
+    // final power cycle confirms all three seizures are durable.
+    let (store, mount) = FlashStore::mount(crashed_store.into_flash().reboot(), geometry)?;
+    let (mut resumed, _) = SelfLearningPipeline::resume_from_store(&store)?;
+    assert_eq!(
+        resumed.save(),
+        committed,
+        "resume must be the pre-save state"
+    );
+    println!(
+        "rebooted: slot {:?} seq {} intact, {} seizures resumed (fell back: {})",
+        mount.active_slot,
+        mount.sequence,
+        resumed.num_seizures_collected(),
+        mount.fell_back
+    );
+    let mut store = store;
+    resumed.observe_missed_seizure(&record, w, LabelSource::Algorithm)?;
+    resumed.save_to_store(&mut store)?;
+    let (store, _) = FlashStore::mount(store.into_flash().reboot(), geometry)?;
+    let (survivor, _) = SelfLearningPipeline::resume_from_store(&store)?;
+    assert_eq!(survivor.num_seizures_collected(), 3);
+
+    // Crash-proofing costs a second slot on the edge platform's Flash: the
+    // day-1 base affords it, this 3-seizure pool no longer does — the budget
+    // model is where a device draws its pool-growth line *before* a
+    // compaction fails on a full part.
+    let ab_grown = memory.budget_with_ab_store(1200.0, store.base_len(), geometry.journal_bytes)?;
+    let ab_day1 = memory.budget_with_ab_store(1200.0, snapshot_bytes, geometry.journal_bytes)?;
+    assert!(ab_day1.fits_flash);
+    println!(
+        "3 seizures durable; A/B store doubles the base slot: day-1 base {:.1} KB \
+         crash-proofed fits the 384 KB part: {}; this {:.1} KB pool fits: {} — \
+         budget_with_ab_store draws the pool-growth line before flash runs out",
+        snapshot_bytes as f64 / 1024.0,
+        ab_day1.fits_flash,
+        store.base_len() as f64 / 1024.0,
+        ab_grown.fits_flash
+    );
     Ok(())
 }

@@ -197,3 +197,50 @@ fn journal_entry_size_formula_matches_the_real_codec() {
     let entry = memory.journal_entry_bytes(410, 54, 16);
     assert!(entry * 5 < full, "entry {entry} vs full {full}");
 }
+
+/// The edge memory model's dual-slot store formula must agree byte for byte
+/// with the crash-proof A/B store's real layout — slot-header size included —
+/// so the Flash budget a wearable plans around covers exactly the image
+/// `FlashStore::format` writes.
+#[test]
+fn dual_slot_store_formula_matches_the_real_layout() {
+    use selflearn_seizure::ml::persist::store::{FlashGeometry, SLOT_HEADER_LEN};
+
+    let memory = MemoryModel::new(PlatformSpec::stm32l151_default());
+    // The formula's baked-in header size is the store's, not a copy that can
+    // drift silently.
+    assert_eq!(memory.dual_slot_store_bytes(0, 0), 2 * SLOT_HEADER_LEN);
+    for (base, journal) in [(0usize, 0usize), (64 * 1024, 32 * 1024), (7, 13)] {
+        assert_eq!(
+            memory.dual_slot_store_bytes(base, journal),
+            FlashGeometry::for_base(base, journal).total_bytes()
+        );
+    }
+
+    // Paper-scale budgeting: a compact personalized base (held twice for
+    // crash-proof compaction) plus a two-seizure journal region fits the
+    // 384 KB part next to a 20-minute history buffer…
+    let journal_bytes = 2 * memory.journal_entry_bytes(60, 54, 16);
+    let compact_base = memory.trainer_snapshot_bytes(128, 54, 30, 30 * 64);
+    let budget = memory
+        .budget_with_ab_store(1200.0, compact_base, journal_bytes)
+        .unwrap();
+    assert!(budget.fits_flash, "{} bytes", budget.history_bytes);
+
+    // …but the 256-window pool that fits a *single*-slot budget does not
+    // survive being doubled: crash-proofing has a real, visible Flash price,
+    // and the model tells the device where that line is.
+    let few_seizures = memory.trainer_snapshot_bytes(256, 54, 30, 30 * 128);
+    assert!(
+        memory
+            .budget_with_snapshot(1200.0, few_seizures)
+            .unwrap()
+            .fits_flash
+    );
+    assert!(
+        !memory
+            .budget_with_ab_store(1200.0, few_seizures, journal_bytes)
+            .unwrap()
+            .fits_flash
+    );
+}
