@@ -3,86 +3,119 @@
 //!
 //! A clean synthetic cohort flatters any detector: real wearables see
 //! electrode pops, mains hum, motion baseline wander, lead-off dropouts,
-//! amplifier saturation and gain drift. This bench trains two systems on
+//! amplifier saturation and gain drift. This bench trains three systems on
 //! *clean* seizures —
 //!
-//! * **detector**: the pipeline frozen after its first observed seizure
-//!   (the one-shot personalization a device ships with), and
-//! * **self-learning**: the same pipeline after the full a-posteriori
-//!   labeling loop over several missed seizures —
+//! * **detector**: the ungated pipeline frozen after its first observed
+//!   seizure (the one-shot personalization a device ships with),
+//! * **self-learning**: the same ungated pipeline after the full
+//!   a-posteriori labeling loop over several missed seizures, and
+//! * **gated**: the self-learning pipeline with the signal-quality gate
+//!   enabled — per-window artifact verdicts suppress alarms on `Reject`
+//!   windows and the slow gain correction re-references drifted amplitudes —
 //!
-//! then evaluates both on held-out records degraded by each
-//! [`HostileScenario`](seizure_data::synth::HostileScenario), reporting
-//! per-window sensitivity and specificity per scenario next to the clean
-//! baseline. Degradations are applied to the *signal only*; the ground-truth
-//! annotation stays where it was, so the metrics measure exactly what the
-//! interference costs.
+//! then evaluates all three on held-out records degraded by each
+//! [`HostileScenario`](seizure_data::synth::HostileScenario) (plus one
+//! [`MixedScenario`](seizure_data::synth::MixedScenario) overlay), reporting
+//! per-window sensitivity, specificity and geometric mean per scenario next
+//! to the clean baseline. Degradations are applied to the *signal only*; the
+//! ground-truth annotation stays where it was, so the metrics measure
+//! exactly what the interference costs.
 //!
-//! Before any reporting, correctness gates assert that every scenario
-//! evaluates without error and that the clean-baseline geometric mean clears
-//! the same bar the core tests hold the pipeline to. Results are printed and
-//! written to `BENCH_robustness.json` at the workspace root (skipped in
-//! `--quick` mode, which the CI smoke job uses).
+//! A second experiment poisons the self-learning loop itself: hostile
+//! records are reported as "missed seizures" to a gated and an ungated
+//! pipeline. The gated pipeline quarantines them before the a-posteriori
+//! labeler runs; the ungated one labels garbage and learns from it. The
+//! clean-record specificity of both afterwards quantifies the damage.
+//!
+//! Before any reporting, correctness gates assert (in quick *and* full
+//! mode) that the clean-baseline geometric mean clears the bar the core
+//! tests hold the pipeline to, that the gated detector's specificity on
+//! every hostile scenario stays above a pinned floor, that the gate costs
+//! at most one percentage point of clean sensitivity, and that the
+//! quarantined loop does not collapse. Results are printed and written to
+//! `BENCH_robustness.json` at the workspace root (skipped in `--quick`
+//! mode, which the CI smoke job uses).
 //!
 //! Run with: `cargo bench -p seizure-bench --bench robustness [-- --quick]`
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use seizure_core::pipeline::{LabelSource, SelfLearningPipeline};
+use seizure_core::pipeline::{LabelSource, SelfLearningPipeline, SelfLearningReport};
 use seizure_core::realtime::RealTimeDetectorConfig;
 use seizure_core::LabelerConfig;
 use seizure_data::cohort::Cohort;
 use seizure_data::sampler::{EegRecord, SampleConfig};
-use seizure_data::synth::{apply_scenario, HostileScenario};
+use seizure_data::signal::EegSignal;
+use seizure_data::synth::{apply_scenario, HostileScenario, MixedScenario};
 use seizure_ml::forest::RandomForestConfig;
 
+/// Specificity floor the gated detector must hold on every hostile
+/// scenario. The quick configuration trains a smaller forest on fewer
+/// seizures, so its floor is slightly lower than the full run's.
+const GATED_SPECIFICITY_FLOOR_FULL: f64 = 0.80;
+const GATED_SPECIFICITY_FLOOR_QUICK: f64 = 0.75;
+/// Maximum clean-record sensitivity the gate may cost vs the ungated
+/// self-learning pipeline.
+const GATE_SENSITIVITY_TOLERANCE: f64 = 0.01;
+
 struct ScenarioResult {
-    name: &'static str,
-    detector_sensitivity: f64,
-    detector_specificity: f64,
-    selflearn_sensitivity: f64,
-    selflearn_specificity: f64,
+    name: String,
+    detector: SelfLearningReport,
+    selflearn: SelfLearningReport,
+    gated: SelfLearningReport,
 }
 
-fn evaluate_pair(
+fn evaluate_triplet(
     detector: &SelfLearningPipeline,
     selflearn: &SelfLearningPipeline,
+    gated: &SelfLearningPipeline,
     records: &[EegRecord],
-    name: &'static str,
+    name: String,
 ) -> ScenarioResult {
     let d = detector.evaluate_all(records).expect("detector evaluation");
     let s = selflearn
         .evaluate_all(records)
         .expect("self-learning evaluation");
-    for value in [d.sensitivity, d.specificity, s.sensitivity, s.specificity] {
-        assert!(
-            (0.0..=1.0).contains(&value),
-            "{name}: metric {value} out of range"
-        );
+    let g = gated.evaluate_all(records).expect("gated evaluation");
+    for r in [&d, &s, &g] {
+        for value in [r.sensitivity, r.specificity] {
+            assert!(
+                (0.0..=1.0).contains(&value),
+                "{name}: metric {value} out of range"
+            );
+        }
     }
     ScenarioResult {
         name,
-        detector_sensitivity: d.sensitivity,
-        detector_specificity: d.specificity,
-        selflearn_sensitivity: s.sensitivity,
-        selflearn_specificity: s.specificity,
+        detector: d,
+        selflearn: s,
+        gated: g,
     }
 }
 
-/// Rebuilds each held-out record with its signal degraded by `scenario`;
-/// annotations, patient and seizure indices are preserved.
-fn degrade(records: &[EegRecord], scenario: HostileScenario, seed: u64) -> Vec<EegRecord> {
+/// Rebuilds each held-out record with its signal degraded; annotations,
+/// patient and seizure indices are preserved.
+fn degrade_with<F>(records: &[EegRecord], seed: u64, mut transform: F) -> Vec<EegRecord>
+where
+    F: FnMut(&EegRecord, &mut ChaCha8Rng) -> EegSignal,
+{
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     records
         .iter()
         .map(|record| {
-            let degraded =
-                apply_scenario(record.signal(), scenario, &mut rng).expect("scenario transform");
+            let degraded = transform(record, &mut rng);
             let (_, annotation, patient_id, seizure_index) = record.clone().into_parts();
             EegRecord::new(degraded, annotation, patient_id, seizure_index)
                 .expect("degraded record")
         })
         .collect()
+}
+
+fn degrade(records: &[EegRecord], scenario: HostileScenario, seed: u64) -> Vec<EegRecord> {
+    degrade_with(records, seed, |record, rng| {
+        apply_scenario(record.signal(), scenario, rng).expect("scenario transform")
+    })
 }
 
 fn main() {
@@ -99,17 +132,27 @@ fn main() {
     let w = cohort
         .average_seizure_duration(patient)
         .expect("seizure duration");
-    let detector_config = RealTimeDetectorConfig {
-        forest: RandomForestConfig {
-            n_trees: if quick { 8 } else { 20 },
-            max_depth: if quick { 6 } else { 8 },
-            ..RandomForestConfig::default()
-        },
+    let forest = RandomForestConfig {
+        n_trees: if quick { 8 } else { 20 },
+        max_depth: if quick { 6 } else { 8 },
+        ..RandomForestConfig::default()
+    };
+    let ungated_config = RealTimeDetectorConfig {
+        forest,
+        quality_gate: false,
+        ..RealTimeDetectorConfig::default()
+    };
+    let gated_config = RealTimeDetectorConfig {
+        forest,
+        quality_gate: true,
         ..RealTimeDetectorConfig::default()
     };
 
-    // Train on clean seizures; freeze the one-seizure baseline along the way.
-    let mut pipeline = SelfLearningPipeline::new(LabelerConfig::default(), detector_config);
+    // Train on clean seizures; freeze the one-seizure ungated baseline along
+    // the way. The gated pipeline sees the same records in the same order,
+    // calibrating its amplitude reference as it learns.
+    let mut pipeline = SelfLearningPipeline::new(LabelerConfig::default(), ungated_config);
+    let mut gated = SelfLearningPipeline::new(LabelerConfig::default(), gated_config);
     let mut baseline = None;
     for seizure in 0..train_seizures {
         let record = cohort
@@ -118,6 +161,10 @@ fn main() {
         pipeline
             .observe_missed_seizure(&record, w, LabelSource::Algorithm)
             .expect("observe seizure");
+        gated
+            .observe_missed_seizure(&record, w, LabelSource::Algorithm)
+            .expect("observe seizure (gated)")
+            .expect("clean training records must not be quarantined");
         if baseline.is_none() {
             baseline = Some(pipeline.clone());
         }
@@ -133,52 +180,158 @@ fn main() {
         })
         .collect();
 
-    let mut results = vec![evaluate_pair(&baseline, &pipeline, &held_out, "clean")];
+    let mut results = vec![evaluate_triplet(
+        &baseline,
+        &pipeline,
+        &gated,
+        &held_out,
+        "clean".to_string(),
+    )];
     for (i, scenario) in HostileScenario::all().into_iter().enumerate() {
         let degraded = degrade(&held_out, scenario, 0x5EED + i as u64);
-        results.push(evaluate_pair(
+        results.push(evaluate_triplet(
             &baseline,
             &pipeline,
+            &gated,
             &degraded,
-            scenario.name(),
+            scenario.name().to_string(),
         ));
     }
+    // One compound degradation through the Mixed compositor: motion wander
+    // with mains pickup riding on it, the classic "walking past a power
+    // cable" field condition.
+    let mixed = MixedScenario {
+        first: HostileScenario::BaselineWander,
+        second: HostileScenario::MainsHum,
+    };
+    let mixed_records = degrade_with(&held_out, 0x5EED + 100, |record, rng| {
+        mixed
+            .apply(record.signal(), 1.0, rng)
+            .expect("mixed transform")
+    });
+    results.push(evaluate_triplet(
+        &baseline,
+        &pipeline,
+        &gated,
+        &mixed_records,
+        mixed.name(),
+    ));
 
-    // Correctness gates: the clean baseline must clear the same bar the core
-    // pipeline tests hold, and every hostile scenario must have evaluated.
-    let clean = pipeline.evaluate_all(&held_out).expect("clean evaluation");
+    // Poisoned self-learning loop: hostile records reported as "missed
+    // seizures". The gated pipeline must quarantine them before the
+    // a-posteriori labeler runs; the ungated one labels garbage and learns
+    // from it.
+    let mut poisoned_ungated = pipeline.clone();
+    let mut poisoned_gated = gated.clone();
+    let poison_scenarios = [
+        HostileScenario::Saturation,
+        HostileScenario::MainsHum,
+        HostileScenario::BaselineWander,
+    ];
+    for (i, scenario) in poison_scenarios.into_iter().enumerate() {
+        let record = cohort
+            .sample_record(patient, i % train_seizures, &config, 501 + i as u64)
+            .expect("poison record");
+        let hostile = degrade(&[record], scenario, 0xBAD + i as u64);
+        poisoned_ungated
+            .observe_missed_seizure(&hostile[0], w, LabelSource::Algorithm)
+            .expect("poisoned observe");
+        poisoned_gated
+            .observe_missed_seizure(&hostile[0], w, LabelSource::Algorithm)
+            .expect("poisoned observe (gated)");
+    }
+    let poisoned_ungated_report = poisoned_ungated
+        .evaluate_all(&held_out)
+        .expect("poisoned ungated evaluation");
+    let poisoned_gated_report = poisoned_gated
+        .evaluate_all(&held_out)
+        .expect("poisoned gated evaluation");
+
+    // Correctness gates, enforced in quick and full mode alike: CI runs the
+    // quick configuration as its robustness smoke.
+    let floor = if quick {
+        GATED_SPECIFICITY_FLOOR_QUICK
+    } else {
+        GATED_SPECIFICITY_FLOOR_FULL
+    };
+    let clean = &results[0];
     assert!(
-        clean.geometric_mean > 0.5,
+        clean.selflearn.geometric_mean > 0.5,
         "clean-baseline gmean {} too low — the robustness table would be noise",
-        clean.geometric_mean
+        clean.selflearn.geometric_mean
+    );
+    assert!(
+        clean.gated.sensitivity >= clean.selflearn.sensitivity - GATE_SENSITIVITY_TOLERANCE,
+        "the quality gate costs clean sensitivity: gated {} vs ungated {}",
+        clean.gated.sensitivity,
+        clean.selflearn.sensitivity
+    );
+    for r in results.iter().skip(1) {
+        assert!(
+            r.gated.specificity >= floor,
+            "{}: gated specificity {:.3} under the {floor} floor",
+            r.name,
+            r.gated.specificity
+        );
+    }
+    assert!(
+        poisoned_gated.num_quarantined() > 0,
+        "the gate quarantined none of the hostile records"
+    );
+    assert!(
+        poisoned_gated_report.specificity >= floor,
+        "quarantined self-learning collapsed: clean specificity {:.3} after hostile records",
+        poisoned_gated_report.specificity
     );
     assert_eq!(
         results.len(),
-        1 + HostileScenario::all().len(),
+        2 + HostileScenario::all().len(),
         "every scenario must produce a row"
     );
 
     println!(
         "robustness bench ({} train seizures, {} held-out records, {} trees)",
-        train_seizures, held_out_count, detector_config.forest.n_trees
+        train_seizures,
+        held_out_count,
+        gated.detector().config().forest.n_trees
     );
     println!(
-        "  {:<16} {:>10} {:>10} {:>12} {:>12}",
-        "scenario", "det sens", "det spec", "learn sens", "learn spec"
+        "  {:<28} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "scenario",
+        "det sens",
+        "det spec",
+        "sl sens",
+        "sl spec",
+        "gate sens",
+        "gate spec",
+        "gate gm"
     );
     for r in &results {
         println!(
-            "  {:<16} {:>10.3} {:>10.3} {:>12.3} {:>12.3}",
+            "  {:<28} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
             r.name,
-            r.detector_sensitivity,
-            r.detector_specificity,
-            r.selflearn_sensitivity,
-            r.selflearn_specificity
+            r.detector.sensitivity,
+            r.detector.specificity,
+            r.selflearn.sensitivity,
+            r.selflearn.specificity,
+            r.gated.sensitivity,
+            r.gated.specificity,
+            r.gated.geometric_mean
         );
     }
+    println!(
+        "  poisoned loop: ungated sens/spec {:.3}/{:.3} | gated sens/spec {:.3}/{:.3} \
+         ({} of {} records quarantined)",
+        poisoned_ungated_report.sensitivity,
+        poisoned_ungated_report.specificity,
+        poisoned_gated_report.sensitivity,
+        poisoned_gated_report.specificity,
+        poisoned_gated.num_quarantined(),
+        poison_scenarios.len()
+    );
 
     if quick {
-        println!("--quick: skipping BENCH_robustness.json");
+        println!("--quick: gates passed, skipping BENCH_robustness.json");
         return;
     }
     let mut rows = String::new();
@@ -189,14 +342,24 @@ fn main() {
                 "    {{\"scenario\": \"{}\", ",
                 "\"detector_sensitivity\": {:.4}, ",
                 "\"detector_specificity\": {:.4}, ",
+                "\"detector_gmean\": {:.4}, ",
                 "\"selflearn_sensitivity\": {:.4}, ",
-                "\"selflearn_specificity\": {:.4}}}{}\n"
+                "\"selflearn_specificity\": {:.4}, ",
+                "\"selflearn_gmean\": {:.4}, ",
+                "\"gated_sensitivity\": {:.4}, ",
+                "\"gated_specificity\": {:.4}, ",
+                "\"gated_gmean\": {:.4}}}{}\n"
             ),
             r.name,
-            r.detector_sensitivity,
-            r.detector_specificity,
-            r.selflearn_sensitivity,
-            r.selflearn_specificity,
+            r.detector.sensitivity,
+            r.detector.specificity,
+            r.detector.geometric_mean,
+            r.selflearn.sensitivity,
+            r.selflearn.specificity,
+            r.selflearn.geometric_mean,
+            r.gated.sensitivity,
+            r.gated.specificity,
+            r.gated.geometric_mean,
             comma,
         ));
     }
@@ -207,12 +370,31 @@ fn main() {
             "  \"train_seizures\": {},\n",
             "  \"held_out_records\": {},\n",
             "  \"trees\": {},\n",
+            "  \"gated_specificity_floor\": {:.2},\n",
+            "  \"poisoned_loop\": {{\n",
+            "    \"hostile_records\": {},\n",
+            "    \"quarantined\": {},\n",
+            "    \"ungated_sensitivity\": {:.4},\n",
+            "    \"ungated_specificity\": {:.4},\n",
+            "    \"gated_sensitivity\": {:.4},\n",
+            "    \"gated_specificity\": {:.4}\n",
+            "  }},\n",
             "  \"scenarios\": [\n",
             "{}",
             "  ]\n",
             "}}\n"
         ),
-        train_seizures, held_out_count, detector_config.forest.n_trees, rows,
+        train_seizures,
+        held_out_count,
+        gated.detector().config().forest.n_trees,
+        floor,
+        poison_scenarios.len(),
+        poisoned_gated.num_quarantined(),
+        poisoned_ungated_report.sensitivity,
+        poisoned_ungated_report.specificity,
+        poisoned_gated_report.sensitivity,
+        poisoned_gated_report.specificity,
+        rows,
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

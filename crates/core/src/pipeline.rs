@@ -10,7 +10,7 @@ use crate::algorithm::{DetectorConfig, Implementation};
 use crate::error::CoreError;
 use crate::label::SeizureLabel;
 use crate::labeler::{LabelerConfig, PosterioriLabeler};
-use crate::realtime::{balanced_indices, RealTimeDetector, RealTimeDetectorConfig};
+use crate::realtime::{balanced_indices, QualityVerdict, RealTimeDetector, RealTimeDetectorConfig};
 use crate::workspace::FeatureWorkspace;
 use seizure_data::sampler::EegRecord;
 use seizure_ml::metrics::ConfusionMatrix;
@@ -102,6 +102,10 @@ pub struct SelfLearningPipeline {
     batch_rows: Vec<f64>,
     batch_labels: Vec<bool>,
     num_seizures: usize,
+    /// Records the quality gate refused to learn from (too many `Reject`
+    /// windows, or a whole class rejected): they never reach the labeler or
+    /// the incremental pool.
+    num_quarantined: usize,
     produced_labels: Vec<SeizureLabel>,
     /// Extraction state reused across every record the pipeline touches.
     workspace: FeatureWorkspace,
@@ -114,31 +118,59 @@ pub struct SelfLearningPipeline {
     delta: Option<DeltaState>,
 }
 
-/// Length of the per-entry annotation: the produced label's onset and
-/// offset as two little-endian `f64`s.
-const LABEL_ANNOTATION_LEN: usize = 16;
+/// Fraction of `Reject` windows above which a reported record is quarantined
+/// outright instead of being labeled and learned from. A quarter of the
+/// record is far beyond what transient artifacts produce on acceptable
+/// signal, while records degraded by sustained artifact (saturation, severe
+/// wander, electrode dropout) reject the majority of their windows.
+pub const QUARANTINE_REJECT_FRACTION: f64 = 0.25;
 
-fn encode_label(label: &SeizureLabel) -> [u8; LABEL_ANNOTATION_LEN] {
+/// Length of the per-entry annotation: the produced label's onset and offset
+/// plus the quality gate's post-record amplitude reference (two per-channel
+/// log-std references and the calibration weight), five little-endian `f64`s
+/// in total. Carrying the gate reference per entry keeps a journal-replayed
+/// resume state-identical to the pipeline that never powered down even
+/// though gate calibration advances with every learned record.
+const LABEL_ANNOTATION_LEN: usize = 40;
+
+fn encode_annotation(
+    label: &SeizureLabel,
+    gate_ref: [f64; 2],
+    gate_weight: f64,
+) -> [u8; LABEL_ANNOTATION_LEN] {
     let mut bytes = [0u8; LABEL_ANNOTATION_LEN];
     bytes[..8].copy_from_slice(&label.onset_secs().to_le_bytes());
-    bytes[8..].copy_from_slice(&label.offset_secs().to_le_bytes());
+    bytes[8..16].copy_from_slice(&label.offset_secs().to_le_bytes());
+    bytes[16..24].copy_from_slice(&gate_ref[0].to_le_bytes());
+    bytes[24..32].copy_from_slice(&gate_ref[1].to_le_bytes());
+    bytes[32..].copy_from_slice(&gate_weight.to_le_bytes());
     bytes
 }
 
-fn decode_label(annotation: &[u8], index: usize) -> Result<SeizureLabel, PersistError> {
+fn decode_annotation(
+    annotation: &[u8],
+    index: usize,
+) -> Result<(SeizureLabel, [f64; 2], f64), PersistError> {
     let bytes: [u8; LABEL_ANNOTATION_LEN] =
         annotation.try_into().map_err(|_| PersistError::Corrupted {
             detail: format!(
                 "journal entry {index} annotates {} bytes, expected a {LABEL_ANNOTATION_LEN}-byte \
-                 seizure label",
+                 seizure label plus gate reference",
                 annotation.len()
             ),
         })?;
-    let onset = f64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
-    let offset = f64::from_le_bytes(bytes[8..].try_into().expect("8 bytes"));
-    SeizureLabel::new(onset, offset).map_err(|e| PersistError::Corrupted {
+    let f = |at: usize| f64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+    let label = SeizureLabel::new(f(0), f(8)).map_err(|e| PersistError::Corrupted {
         detail: format!("journal entry {index} annotates a label that does not reconstruct: {e}"),
-    })
+    })?;
+    let gate_ref = [f(16), f(24)];
+    let gate_weight = f(32);
+    if !gate_ref.iter().all(|v| v.is_finite()) || !gate_weight.is_finite() || gate_weight < 0.0 {
+        return Err(PersistError::Corrupted {
+            detail: format!("journal entry {index} annotates a non-finite gate reference"),
+        });
+    }
+    Ok((label, gate_ref, gate_weight))
 }
 
 impl SelfLearningPipeline {
@@ -150,6 +182,7 @@ impl SelfLearningPipeline {
             batch_rows: Vec::new(),
             batch_labels: Vec::new(),
             num_seizures: 0,
+            num_quarantined: 0,
             produced_labels: Vec::new(),
             workspace: FeatureWorkspace::new(),
             delta: None,
@@ -171,6 +204,14 @@ impl SelfLearningPipeline {
         self.num_seizures
     }
 
+    /// Number of reported records the quality gate quarantined instead of
+    /// learning from: their per-window verdicts contained too many `Reject`
+    /// windows (hostile signal), so they never reached the a-posteriori
+    /// labeler or the incremental training pool.
+    pub fn num_quarantined(&self) -> usize {
+        self.num_quarantined
+    }
+
     /// Size of the accumulated personalized training set, in windows.
     pub fn training_windows(&self) -> usize {
         self.detector
@@ -186,7 +227,13 @@ impl SelfLearningPipeline {
     /// Processes one missed seizure: labels the record (with the algorithm or
     /// with the expert annotation, depending on `source`), adds a balanced set
     /// of windows to the personalized training set and retrains the real-time
-    /// detector. Returns the label that was used.
+    /// detector. Returns the label that was used, or `None` when the
+    /// detector's quality gate quarantined the record **before the labeler
+    /// ran**: a record whose fraction of `Reject` windows exceeds
+    /// [`QUARANTINE_REJECT_FRACTION`] carries artifact, not brain signal, and
+    /// letting the a-posteriori labeler loose on it would poison the
+    /// personalized training set. Quarantined records count in
+    /// [`SelfLearningPipeline::num_quarantined`] and change nothing else.
     ///
     /// # Errors
     ///
@@ -196,15 +243,19 @@ impl SelfLearningPipeline {
         record: &EegRecord,
         average_seizure_secs: f64,
         source: LabelSource,
-    ) -> Result<SeizureLabel, CoreError> {
+    ) -> Result<Option<SeizureLabel>, CoreError> {
+        if self.quarantine_check(record)? {
+            self.num_quarantined += 1;
+            return Ok(None);
+        }
         let label = match source {
             LabelSource::Algorithm => self.labeler.label_record(record, average_seizure_secs)?,
             LabelSource::Expert => {
                 SeizureLabel::new(record.annotation().onset(), record.annotation().offset())?
             }
         };
-        self.add_training_record(record, &label)?;
-        Ok(label)
+        self.learn_record(record, &label)?;
+        Ok(Some(label))
     }
 
     /// Adds one labeled record to the personalized training set and retrains
@@ -229,6 +280,14 @@ impl SelfLearningPipeline {
     /// no-op, not an error, so external label producers can stream
     /// uncurated labels through this entry point.
     ///
+    /// Like [`SelfLearningPipeline::observe_missed_seizure`], this entry
+    /// point is quarantine-aware: a record the quality gate rejects outright
+    /// is counted in [`SelfLearningPipeline::num_quarantined`] and learned
+    /// from not at all, and individual `Reject` windows of an accepted
+    /// record are excluded from the balanced selection. With the gate
+    /// disabled in the detector's configuration, behavior is exactly the
+    /// pre-gate pipeline's.
+    ///
     /// # Errors
     ///
     /// Propagates feature-extraction and training failures.
@@ -237,6 +296,38 @@ impl SelfLearningPipeline {
         record: &EegRecord,
         label: &SeizureLabel,
     ) -> Result<(), CoreError> {
+        if self.quarantine_check(record)? {
+            self.num_quarantined += 1;
+            return Ok(());
+        }
+        self.learn_record(record, label)
+    }
+
+    /// Assesses the record's per-window quality into the workspace (gate
+    /// enabled only) and reports whether the record as a whole must be
+    /// quarantined. On `Ok(false)` with the gate enabled, the workspace's
+    /// quality matrix and verdicts are left filled for this record, ready
+    /// for [`SelfLearningPipeline::learn_record`].
+    fn quarantine_check(&mut self, record: &EegRecord) -> Result<bool, CoreError> {
+        if !self.detector.config().quality_gate {
+            return Ok(false);
+        }
+        self.detector
+            .assess_quality_into(record.signal(), &mut self.workspace)?;
+        let verdicts = &self.workspace.verdicts;
+        if verdicts.is_empty() {
+            return Ok(false);
+        }
+        let rejected = verdicts
+            .iter()
+            .filter(|&&v| v == QualityVerdict::Reject)
+            .count();
+        Ok(rejected as f64 > QUARANTINE_REJECT_FRACTION * verdicts.len() as f64)
+    }
+
+    /// The staging and retraining core shared by the two public entry
+    /// points, run after the record has passed the quarantine check.
+    fn learn_record(&mut self, record: &EegRecord, label: &SeizureLabel) -> Result<(), CoreError> {
         let labels = self.detector.build_training_windows_with(
             record.signal(),
             label,
@@ -245,7 +336,35 @@ impl SelfLearningPipeline {
         if !labels.iter().any(|&l| l) {
             return Ok(());
         }
-        let selected = balanced_indices(&labels)?;
+        // The quarantine check left this record's verdicts in the workspace
+        // (feature extraction fills only the feature matrix); the gate both
+        // calibrates its amplitude reference from the record's clean
+        // seizure-free windows and strikes `Reject` windows from the
+        // balanced selection below.
+        let gated =
+            self.detector.config().quality_gate && self.workspace.verdicts.len() == labels.len();
+        if gated {
+            self.detector.calibrate_from_quality(
+                &self.workspace.quality,
+                &self.workspace.verdicts,
+                &labels,
+            );
+        }
+        let eligible: Vec<usize> = if gated {
+            (0..labels.len())
+                .filter(|&w| self.workspace.verdicts[w] != QualityVerdict::Reject)
+                .collect()
+        } else {
+            (0..labels.len()).collect()
+        };
+        let eligible_labels: Vec<bool> = eligible.iter().map(|&w| labels[w]).collect();
+        if gated && (!eligible_labels.iter().any(|&l| l) || eligible_labels.iter().all(|&l| l)) {
+            // The gate struck out one whole class: there is nothing balanced
+            // left to learn, so the record is quarantined rather than erroring.
+            self.num_quarantined += 1;
+            return Ok(());
+        }
+        let selected = balanced_indices(&eligible_labels)?;
         let matrix = self.workspace.matrix();
         let num_features = matrix.num_features();
         self.batch_rows.clear();
@@ -257,7 +376,7 @@ impl SelfLearningPipeline {
         // the incremental pool with one class. Spreading the smaller class
         // evenly through the larger keeps single-class runs at the class
         // ratio instead of the full class size, so blocks stay mixed.
-        let num_pos = labels.iter().filter(|&&l| l).count();
+        let num_pos = eligible_labels.iter().filter(|&&l| l).count();
         let (pos, neg) = selected.split_at(num_pos.min(selected.len()));
         let (mut p, mut n) = (0usize, 0usize);
         while p < pos.len() || n < neg.len() {
@@ -270,22 +389,27 @@ impl SelfLearningPipeline {
                 n += 1;
                 neg[n - 1]
             };
-            self.batch_rows.extend_from_slice(matrix.row(i));
-            self.batch_labels.push(labels[i]);
+            self.batch_rows.extend_from_slice(matrix.row(eligible[i]));
+            self.batch_labels.push(eligible_labels[i]);
         }
         self.detector
             .retrain_incremental(&self.batch_rows, num_features, &self.batch_labels)?;
         self.num_seizures += 1;
         self.produced_labels.push(*label);
         // With delta persistence armed, journal the staged batch together
-        // with the produced label, so the next `save_delta` appends O(batch)
-        // bytes and a resume also restores the counter and label history.
+        // with the produced label and the gate's post-record amplitude
+        // reference, so the next `save_delta` appends O(batch) bytes and a
+        // resume restores the counter, the label history and the gate
+        // calibration.
         if let Some(delta) = &mut self.delta {
+            let gate = self.detector.quality_gate();
+            let annotation =
+                encode_annotation(label, gate.reference_log_std(), gate.calibration_weight());
             delta.writer.append_with(
                 &self.batch_rows,
                 num_features,
                 &self.batch_labels,
-                &encode_label(label),
+                &annotation,
             )?;
         }
         Ok(())
@@ -316,6 +440,7 @@ impl SelfLearningPipeline {
         self.detector.write_state_body(&mut w);
         w.end_nested(child);
         w.usize(self.num_seizures);
+        w.usize(self.num_quarantined);
         w.usize(self.produced_labels.len());
         for label in &self.produced_labels {
             w.f64(label.onset_secs());
@@ -353,6 +478,7 @@ impl SelfLearningPipeline {
         let normalize = r.bool()?;
         let detector = RealTimeDetector::load_state(r.nested()?)?;
         let num_seizures = r.usize()?;
+        let num_quarantined = r.usize()?;
         let num_labels = r.usize()?;
         let mut produced_labels = Vec::with_capacity(num_labels.min(1024));
         for _ in 0..num_labels {
@@ -380,6 +506,7 @@ impl SelfLearningPipeline {
             batch_rows: Vec::new(),
             batch_labels: Vec::new(),
             num_seizures,
+            num_quarantined,
             produced_labels,
             workspace: FeatureWorkspace::new(),
             delta: None,
@@ -494,9 +621,13 @@ impl SelfLearningPipeline {
     /// arms delta persistence for the next
     /// [`SelfLearningPipeline::save_delta`]. Each journal entry re-applies
     /// its balanced batch through the incremental trainer **and** restores
-    /// the produced label and seizure counter from its annotation, so the
-    /// resumed pipeline is state-identical to the one that never powered
-    /// down. A torn final entry (power loss mid-append) is dropped; the
+    /// the produced label, the seizure counter and the quality gate's
+    /// amplitude reference from its annotation, so the resumed pipeline is
+    /// state-identical to the one that never powered down. (The quarantine
+    /// counter is the one best-effort field: quarantined records train
+    /// nothing and therefore journal nothing, so quarantines that happened
+    /// after the base snapshot are not recounted on replay.) A torn final
+    /// entry (power loss mid-append) is dropped; the
     /// report's `valid_len` says where to truncate the journal file before
     /// appending again.
     ///
@@ -514,10 +645,16 @@ impl SelfLearningPipeline {
         let fingerprint = journal::base_fingerprint(base)?;
         let scan = journal::scan_journal(journal_bytes)?;
         for (i, entry) in scan.entries.iter().enumerate() {
-            let label = decode_label(&entry.annotation, i)?;
+            let (label, gate_ref, gate_weight) = decode_annotation(&entry.annotation, i)?;
             pipeline
                 .detector
                 .apply_journal_entry(entry, fingerprint, i)?;
+            // Each entry carries the gate reference as it stood after that
+            // record was learned; restoring it per entry keeps the replayed
+            // pipeline state-identical to the one that never powered down.
+            pipeline
+                .detector
+                .restore_gate_reference(gate_ref, gate_weight);
             pipeline.num_seizures += 1;
             pipeline.produced_labels.push(label);
         }
@@ -620,7 +757,8 @@ mod tests {
             let record = cohort.sample_record(patient, seizure, &config, 7).unwrap();
             let label = pipeline
                 .observe_missed_seizure(&record, w, LabelSource::Algorithm)
-                .unwrap();
+                .unwrap()
+                .expect("clean records must not be quarantined");
             assert!(label.duration_secs() > 0.0);
         }
         assert_eq!(pipeline.num_seizures_collected(), 2);
@@ -667,6 +805,103 @@ mod tests {
         assert!(trainer.last_refit_count() <= trainer.num_trees());
     }
 
+    /// Rebuild a record with its signal degraded by `scenario`, keeping the
+    /// annotation — the shape the bench uses for its hostile sweeps.
+    fn degraded_record(
+        record: &seizure_data::sampler::EegRecord,
+        scenario: seizure_data::synth::HostileScenario,
+        seed: u64,
+    ) -> seizure_data::sampler::EegRecord {
+        let hostile =
+            seizure_data::synth::degrade_signal(record.signal(), scenario, 1.0, seed).unwrap();
+        seizure_data::sampler::EegRecord::new(
+            hostile,
+            *record.annotation(),
+            record.patient_id(),
+            record.seizure_index(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hostile_records_are_quarantined_before_the_labeler() {
+        let cohort = Cohort::chb_mit_like(33);
+        let config = small_sample_config();
+        let patient = 8;
+        let w = cohort.average_seizure_duration(patient).unwrap();
+        let mut pipeline =
+            SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+        let record = cohort.sample_record(patient, 0, &config, 71).unwrap();
+
+        // A hum-swamped record must be turned away at the gate: no label is
+        // produced, nothing reaches the trainer, and the detector's model is
+        // untouched.
+        let hostile = degraded_record(
+            &record,
+            seizure_data::synth::HostileScenario::MainsHum,
+            0xBAD,
+        );
+        let outcome = pipeline
+            .observe_missed_seizure(&hostile, w, LabelSource::Algorithm)
+            .unwrap();
+        assert!(outcome.is_none(), "hum-swamped record must be quarantined");
+        assert_eq!(pipeline.num_quarantined(), 1);
+        assert_eq!(pipeline.num_seizures_collected(), 0);
+        assert_eq!(pipeline.training_windows(), 0);
+        assert!(pipeline.produced_labels().is_empty());
+        assert!(!pipeline.detector().is_trained());
+
+        // The externally-labeled path quarantines on the same criterion.
+        let truth = crate::label::SeizureLabel::new(
+            record.annotation().onset(),
+            record.annotation().offset(),
+        )
+        .unwrap();
+        pipeline.add_training_record(&hostile, &truth).unwrap();
+        assert_eq!(pipeline.num_quarantined(), 2);
+        assert_eq!(pipeline.training_windows(), 0);
+
+        // The same record without the damage trains normally afterwards.
+        pipeline
+            .observe_missed_seizure(&record, w, LabelSource::Algorithm)
+            .unwrap()
+            .expect("clean record must pass the gate");
+        assert_eq!(pipeline.num_seizures_collected(), 1);
+        assert!(pipeline.training_windows() > 0);
+        assert!(pipeline.detector().is_trained());
+    }
+
+    #[test]
+    fn quarantine_counter_round_trips_through_save_and_resume() {
+        let cohort = Cohort::chb_mit_like(34);
+        let config = small_sample_config();
+        let patient = 8;
+        let w = cohort.average_seizure_duration(patient).unwrap();
+        let mut pipeline =
+            SelfLearningPipeline::new(LabelerConfig::default(), fast_detector_config());
+
+        let clean = cohort.sample_record(patient, 0, &config, 81).unwrap();
+        pipeline
+            .observe_missed_seizure(&clean, w, LabelSource::Algorithm)
+            .unwrap()
+            .expect("clean record must pass the gate");
+        let hostile = degraded_record(
+            &cohort.sample_record(patient, 1, &config, 82).unwrap(),
+            seizure_data::synth::HostileScenario::Saturation,
+            0xBAD2,
+        );
+        assert!(pipeline
+            .observe_missed_seizure(&hostile, w, LabelSource::Algorithm)
+            .unwrap()
+            .is_none());
+        assert_eq!(pipeline.num_quarantined(), 1);
+
+        let resumed = SelfLearningPipeline::resume(&pipeline.save()).unwrap();
+        assert_eq!(resumed.num_quarantined(), 1);
+        assert_eq!(resumed.num_seizures_collected(), 1);
+        assert_eq!(resumed.save(), pipeline.save());
+    }
+
     #[test]
     fn expert_labels_can_be_used_as_a_baseline() {
         let cohort = Cohort::chb_mit_like(22);
@@ -678,7 +913,8 @@ mod tests {
         let record = cohort.sample_record(patient, 0, &config, 1).unwrap();
         let label = pipeline
             .observe_missed_seizure(&record, w, LabelSource::Expert)
-            .unwrap();
+            .unwrap()
+            .expect("clean records must not be quarantined");
         // Expert labels coincide exactly with the ground-truth annotation.
         assert_eq!(label.onset_secs(), record.annotation().onset());
         assert_eq!(label.offset_secs(), record.annotation().offset());
@@ -944,6 +1180,7 @@ mod tests {
         reference.bool(labeler.detector.normalize);
         reference.nested(&pipeline.detector.save_state());
         reference.usize(pipeline.num_seizures);
+        reference.usize(pipeline.num_quarantined);
         reference.usize(pipeline.produced_labels.len());
         for label in &pipeline.produced_labels {
             reference.f64(label.onset_secs());

@@ -12,6 +12,10 @@ use crate::workspace::FeatureWorkspace;
 use seizure_data::signal::EegSignal;
 use seizure_features::extractor::{FeatureExtractor, RichFeatureSet, SlidingWindowConfig};
 use seizure_features::matrix::FeatureMatrix;
+use seizure_features::quality::{
+    self, QualityExtractor, IDX_DISAGREEMENT, IDX_DRIFT_RATIO, IDX_FLAT_RUN_FRAC, IDX_HUM_RATIO,
+    IDX_LOG_STD, IDX_MAX_JUMP_SIGMA, IDX_RAILED_FRAC,
+};
 use seizure_ml::dataset::Dataset;
 use seizure_ml::flat::FlatForest;
 use seizure_ml::forest::RandomForestConfig;
@@ -46,6 +50,12 @@ pub struct RealTimeDetectorConfig {
     /// Ownership-block size of the incremental retraining engine (see
     /// [`IncrementalTrainerConfig::block_size`]).
     pub incremental_block_size: usize,
+    /// Runs the signal-quality gate ahead of the forest: per-window
+    /// [`QualityVerdict`]s with hysteresis, alarm suppression on `Reject`
+    /// windows and (once calibrated) slow gain correction. Disable to get
+    /// the raw fail-open detector the robustness bench uses as its
+    /// before-gating baseline.
+    pub quality_gate: bool,
 }
 
 impl Default for RealTimeDetectorConfig {
@@ -60,6 +70,147 @@ impl Default for RealTimeDetectorConfig {
             },
             seed: 0,
             incremental_block_size: IncrementalTrainerConfig::default().block_size,
+            quality_gate: true,
+        }
+    }
+}
+
+/// Per-window verdict of the signal-quality gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QualityVerdict {
+    /// The window looks like physiological EEG; classify normally.
+    Clean,
+    /// Mildly degraded: classified, but flagged (and held in `Reject` by the
+    /// hysteresis if the previous window was rejected).
+    Suspect,
+    /// Artifact-dominated: the forest's alarm is suppressed and the window
+    /// is barred from the self-learning pool.
+    Reject,
+}
+
+/// Reject / hold / release thresholds of the quality gate's Schmitt
+/// trigger, per indicator. One set of constants (not per-detector state)
+/// so the persisted gate stays a fixed-size block.
+mod gate_thresholds {
+    /// Railed-sample fraction (clean windows sit at ~2/n ≈ 0.008).
+    pub const RAILED: (f64, f64) = (0.05, 0.02);
+    /// Longest flat-run fraction (dropouts hold one value for the window).
+    pub const FLAT: (f64, f64) = (0.25, 0.10);
+    /// Aliased mains-hum tone ratio.
+    pub const HUM: (f64, f64) = (0.22, 0.10);
+    /// Sub-1 Hz + DC share of window energy (baseline wander). Measured on
+    /// the synthetic cohort at 64 Hz: clean windows top out at ~0.89 while
+    /// wander pushes the median past 0.98, so the trigger sits between.
+    pub const DRIFT: (f64, f64) = (0.93, 0.87);
+    /// Largest sample step in robust sigmas (electrode pops). Clean windows
+    /// (seizures included) stay under ~20; pops land at 40–80.
+    pub const JUMP: (f64, f64) = (25.0, 12.0);
+    /// Cross-channel log-amplitude disagreement.
+    pub const DISAGREE: (f64, f64) = (2.6, 1.9);
+}
+
+/// Log-gain deviation (vs the calibrated reference) below which the slow
+/// gain correction stays exactly unity, so clean records run bit-identical
+/// to an ungated detector.
+const AGC_DEADBAND: f64 = 0.45;
+/// Clamp of the per-sample gain correction factor.
+const AGC_MAX_CORRECTION: f64 = 4.0;
+/// Minimum number of non-rejected windows before a gain fit is attempted.
+const AGC_MIN_WINDOWS: usize = 8;
+
+/// Calibrated state of the signal-quality gate: the per-channel reference
+/// log-amplitude the slow gain correction pulls hostile records back
+/// towards. Verdict thresholds are compile-time constants; only this
+/// reference is learned (from `Clean` non-seizure windows of training
+/// records) and persisted.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QualityGate {
+    ref_log_std: [f64; 2],
+    ref_weight: f64,
+}
+
+impl QualityGate {
+    /// `true` once at least one clean window has calibrated the reference.
+    pub fn is_calibrated(&self) -> bool {
+        self.ref_weight > 0.0
+    }
+
+    /// The calibrated per-channel reference log standard deviation
+    /// (F7T3, F8T4); meaningless until [`QualityGate::is_calibrated`].
+    pub fn reference_log_std(&self) -> [f64; 2] {
+        self.ref_log_std
+    }
+
+    /// Number of clean windows folded into the reference so far.
+    pub fn calibration_weight(&self) -> f64 {
+        self.ref_weight
+    }
+
+    /// Folds one clean non-seizure window's per-channel log-std into the
+    /// running reference mean.
+    fn calibrate(&mut self, log_std_a: f64, log_std_b: f64) {
+        let w = self.ref_weight;
+        self.ref_log_std[0] = (self.ref_log_std[0] * w + log_std_a) / (w + 1.0);
+        self.ref_log_std[1] = (self.ref_log_std[1] * w + log_std_b) / (w + 1.0);
+        self.ref_weight = w + 1.0;
+    }
+
+    /// Severity of one quality row against the constant thresholds:
+    /// 2 = beyond a reject threshold, 1 = beyond a hold/suspect threshold,
+    /// 0 = clean. Per-channel indicators trip on their worst channel.
+    fn raw_level(row: &[f64]) -> u8 {
+        let per_channel = [
+            (IDX_RAILED_FRAC, gate_thresholds::RAILED),
+            (IDX_FLAT_RUN_FRAC, gate_thresholds::FLAT),
+            (IDX_HUM_RATIO, gate_thresholds::HUM),
+            (IDX_DRIFT_RATIO, gate_thresholds::DRIFT),
+            (IDX_MAX_JUMP_SIGMA, gate_thresholds::JUMP),
+        ];
+        let mut level = 0u8;
+        for (idx, (reject, suspect)) in per_channel {
+            for channel in 0..2 {
+                let v = row[quality::channel_column(channel, idx)];
+                if v >= reject {
+                    return 2;
+                }
+                if v >= suspect {
+                    level = 1;
+                }
+            }
+        }
+        let disagree = row[IDX_DISAGREEMENT];
+        if disagree >= gate_thresholds::DISAGREE.0 {
+            return 2;
+        }
+        if disagree >= gate_thresholds::DISAGREE.1 {
+            level = 1;
+        }
+        level
+    }
+
+    /// Turns the per-window quality rows into verdicts with hysteresis
+    /// (Schmitt trigger over the window sequence):
+    ///
+    /// * beyond a reject threshold → `Reject`;
+    /// * beyond a suspect threshold → `Suspect`, or `Reject` if the
+    ///   previous window was rejected (the gate holds until the signal is
+    ///   fully clean);
+    /// * clean → `Clean`, or `Suspect` for one cool-down window right
+    ///   after a rejection.
+    pub fn verdicts_into(quality: &FeatureMatrix, out: &mut Vec<QualityVerdict>) {
+        out.clear();
+        out.reserve(quality.num_windows());
+        let mut prev = QualityVerdict::Clean;
+        for row in quality.rows() {
+            let verdict = match (Self::raw_level(row), prev) {
+                (2, _) => QualityVerdict::Reject,
+                (1, QualityVerdict::Reject) => QualityVerdict::Reject,
+                (1, _) => QualityVerdict::Suspect,
+                (_, QualityVerdict::Reject) => QualityVerdict::Suspect,
+                _ => QualityVerdict::Clean,
+            };
+            out.push(verdict);
+            prev = verdict;
         }
     }
 }
@@ -108,6 +259,9 @@ pub struct RealTimeDetector {
     /// [`RealTimeDetector::load_with_journal`]; `None` while the detector
     /// persists through full snapshots only.
     delta: Option<DeltaState>,
+    /// Calibrated signal-quality gate state (always present; only consulted
+    /// when [`RealTimeDetectorConfig::quality_gate`] is on).
+    gate: QualityGate,
 }
 
 impl RealTimeDetector {
@@ -120,7 +274,23 @@ impl RealTimeDetector {
             feature_stds: Vec::new(),
             incremental: None,
             delta: None,
+            gate: QualityGate::default(),
         }
+    }
+
+    /// The signal-quality gate's calibrated state.
+    pub fn quality_gate(&self) -> &QualityGate {
+        &self.gate
+    }
+
+    /// Overwrites the gate's calibrated amplitude reference — used by the
+    /// pipeline's journal replay, where each entry carries the reference as
+    /// it stood after that record was learned.
+    pub(crate) fn restore_gate_reference(&mut self, ref_log_std: [f64; 2], ref_weight: f64) {
+        self.gate = QualityGate {
+            ref_log_std,
+            ref_weight,
+        };
     }
 
     /// The detector's configuration.
@@ -450,16 +620,228 @@ impl RealTimeDetector {
         workspace: &mut FeatureWorkspace,
     ) -> Result<usize, CoreError> {
         let forest = self.require_flat()?;
-        self.extract_feature_matrix_with(signal, workspace)?;
-        let num_features = workspace.matrix.num_features();
-        self.scale_matrix_in_place(workspace.matrix.data_mut());
+        let fs = signal.sampling_frequency();
+        let window = self.window_config(fs)?;
+        if self.config.quality_gate {
+            self.assess_quality_into(signal, workspace)?;
+            self.apply_gain_correction(signal, &window, workspace);
+        } else {
+            workspace.verdicts.clear();
+            workspace.corrected_f7t3.clear();
+            workspace.corrected_f8t4.clear();
+        }
+        let extractor = RichFeatureSet::new(fs)?;
         let FeatureWorkspace {
             matrix,
+            pool,
             predictions,
+            verdicts,
+            corrected_f7t3,
+            corrected_f8t4,
             ..
         } = workspace;
+        let (f7t3, f8t4) = if corrected_f7t3.is_empty() {
+            (signal.f7t3(), signal.f8t4())
+        } else {
+            (&corrected_f7t3[..], &corrected_f8t4[..])
+        };
+        extractor.extract_batch_into(f7t3, f8t4, &window, pool, matrix)?;
+        let num_features = matrix.num_features();
+        self.scale_matrix_in_place(matrix.data_mut());
         forest.predict_batch_into(matrix.data(), num_features, predictions)?;
+        if self.config.quality_gate {
+            // Fail closed: an artifact-dominated window never raises an alarm.
+            for (p, v) in predictions.iter_mut().zip(verdicts.iter()) {
+                if *v == QualityVerdict::Reject {
+                    *p = false;
+                }
+            }
+        } else {
+            // Keep the verdict buffer aligned with the predictions so
+            // `detect_with_quality` stays well-defined on ungated detectors.
+            verdicts.clear();
+            verdicts.resize(predictions.len(), QualityVerdict::Clean);
+        }
         Ok(predictions.len())
+    }
+
+    /// Gated detect that also surfaces the per-window quality verdicts:
+    /// returns `(predictions, verdicts)` borrowed from the workspace, one
+    /// entry per analysis window. With the gate enabled, every `Reject`
+    /// window's prediction is forced to `false`; with it disabled all
+    /// verdicts read `Clean`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RealTimeDetector::detect`].
+    pub fn detect_with_quality<'w>(
+        &self,
+        signal: &EegSignal,
+        workspace: &'w mut FeatureWorkspace,
+    ) -> Result<(&'w [bool], &'w [QualityVerdict]), CoreError> {
+        self.detect_into(signal, workspace)?;
+        Ok((&workspace.predictions, &workspace.verdicts))
+    }
+
+    /// Fills the workspace's quality matrix and verdict buffer for `signal`
+    /// without touching the model: the per-window indicators of
+    /// [`seizure_features::quality`] plus the gate's hysteresis verdicts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates window-configuration and extraction failures.
+    pub(crate) fn assess_quality_into(
+        &self,
+        signal: &EegSignal,
+        workspace: &mut FeatureWorkspace,
+    ) -> Result<(), CoreError> {
+        let fs = signal.sampling_frequency();
+        let window = self.window_config(fs)?;
+        let extractor = QualityExtractor::new(fs)?;
+        extractor.extract_batch_into(
+            signal.f7t3(),
+            signal.f8t4(),
+            &window,
+            &mut workspace.quality,
+        )?;
+        QualityGate::verdicts_into(&workspace.quality, &mut workspace.verdicts);
+        Ok(())
+    }
+
+    /// Slow automatic gain correction: fits a robust (Theil–Sen) line to
+    /// each channel's per-window log-std over the non-rejected windows and,
+    /// when the fitted log-gain leaves the calibrated reference by more
+    /// than [`AGC_DEADBAND`] anywhere in the record, rescales a copy of the
+    /// channel towards the reference envelope before feature extraction.
+    /// Inside the deadband the buffers stay empty and the detector is
+    /// bit-identical to an ungated one — clean records never pay for the
+    /// correction.
+    fn apply_gain_correction(
+        &self,
+        signal: &EegSignal,
+        window: &SlidingWindowConfig,
+        workspace: &mut FeatureWorkspace,
+    ) {
+        workspace.corrected_f7t3.clear();
+        workspace.corrected_f8t4.clear();
+        if !self.gate.is_calibrated() {
+            return;
+        }
+        let mut fits = [None, None];
+        for (channel, fit) in fits.iter_mut().enumerate() {
+            let column = quality::channel_column(channel, IDX_LOG_STD);
+            let series: Vec<(f64, f64)> = workspace
+                .verdicts
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| **v != QualityVerdict::Reject)
+                .map(|(w, _)| (w as f64, workspace.quality.get(w, column)))
+                .collect();
+            if series.len() < AGC_MIN_WINDOWS {
+                continue;
+            }
+            let (slope, intercept) = theil_sen(&series);
+            // Deviation of the fitted envelope from the reference across
+            // the whole record; inside the deadband nothing happens.
+            let last = (workspace.verdicts.len() - 1) as f64;
+            let dev0 = intercept - self.gate.ref_log_std[channel];
+            let dev1 = slope * last + intercept - self.gate.ref_log_std[channel];
+            if dev0.abs() <= AGC_DEADBAND && dev1.abs() <= AGC_DEADBAND {
+                continue;
+            }
+            *fit = Some((slope, intercept - self.gate.ref_log_std[channel]));
+        }
+        if fits.iter().all(Option::is_none) {
+            return;
+        }
+        let half_window = window.window_samples() as f64 / 2.0;
+        let step = window.step_samples() as f64;
+        let limit = (workspace.verdicts.len().max(1) - 1) as f64;
+        for (channel, raw) in [signal.f7t3(), signal.f8t4()].into_iter().enumerate() {
+            let out = if channel == 0 {
+                &mut workspace.corrected_f7t3
+            } else {
+                &mut workspace.corrected_f8t4
+            };
+            out.reserve(raw.len());
+            match fits[channel] {
+                None => out.extend_from_slice(raw),
+                Some((slope, offset)) => {
+                    for (s, &x) in raw.iter().enumerate() {
+                        // Continuous window coordinate of this sample,
+                        // clamped to the fitted range.
+                        let w = ((s as f64 - half_window) / step).clamp(0.0, limit);
+                        let correction = (-(slope * w + offset))
+                            .exp()
+                            .clamp(1.0 / AGC_MAX_CORRECTION, AGC_MAX_CORRECTION);
+                        out.push(x * correction);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Calibrates the quality gate's amplitude reference from a record with
+    /// a known seizure position: every `Clean`-verdict non-seizure window
+    /// folds its per-channel log-std into the running reference mean. The
+    /// self-learning pipeline calls this for each training record it
+    /// accepts, so the gate's idea of "normal amplitude" is personalized
+    /// alongside the forest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction and window-labeling failures.
+    pub fn calibrate_quality(
+        &mut self,
+        signal: &EegSignal,
+        label: &SeizureLabel,
+    ) -> Result<(), CoreError> {
+        let mut ws = FeatureWorkspace::new();
+        self.calibrate_quality_with(signal, label, &mut ws)
+    }
+
+    /// Workspace-reusing twin of [`RealTimeDetector::calibrate_quality`]
+    /// (leaves the quality matrix and verdicts readable in the workspace).
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction and window-labeling failures.
+    pub fn calibrate_quality_with(
+        &mut self,
+        signal: &EegSignal,
+        label: &SeizureLabel,
+        workspace: &mut FeatureWorkspace,
+    ) -> Result<(), CoreError> {
+        let fs = signal.sampling_frequency();
+        let window = self.window_config(fs)?;
+        self.assess_quality_into(signal, workspace)?;
+        let truth = window_labels(
+            label,
+            workspace.verdicts.len(),
+            window.window_seconds(),
+            window.step_seconds(),
+        )?;
+        self.calibrate_from_quality(&workspace.quality, &workspace.verdicts, &truth);
+        Ok(())
+    }
+
+    /// Calibration core shared with the pipeline (which already holds the
+    /// record's quality matrix and verdicts in its workspace): folds every
+    /// `Clean` non-seizure window into the gate's amplitude reference.
+    pub(crate) fn calibrate_from_quality(
+        &mut self,
+        quality_matrix: &FeatureMatrix,
+        verdicts: &[QualityVerdict],
+        truth: &[bool],
+    ) {
+        for (w, (&seizure, verdict)) in truth.iter().zip(verdicts.iter()).enumerate() {
+            if !seizure && *verdict == QualityVerdict::Clean {
+                self.gate.calibrate(
+                    quality_matrix.get(w, quality::channel_column(0, IDX_LOG_STD)),
+                    quality_matrix.get(w, quality::channel_column(1, IDX_LOG_STD)),
+                );
+            }
+        }
     }
 
     fn require_flat(&self) -> Result<&FlatForest, CoreError> {
@@ -545,6 +927,13 @@ impl RealTimeDetector {
         persist::write_forest_config(w, &self.config.forest);
         w.u64(self.config.seed);
         w.usize(self.config.incremental_block_size);
+        // Quality-gate block (format version 2): enable flag plus the
+        // calibrated amplitude reference. Fixed 25 bytes, so the edge
+        // memory model can budget it as a constant.
+        w.bool(self.config.quality_gate);
+        w.f64(self.gate.ref_log_std[0]);
+        w.f64(self.gate.ref_log_std[1]);
+        w.f64(self.gate.ref_weight);
         match (&self.incremental, &self.flat) {
             (Some(trainer), _) => {
                 w.u8(MODEL_INCREMENTAL);
@@ -583,14 +972,30 @@ impl RealTimeDetector {
         let forest_config = persist::read_forest_config(&mut r)?;
         let seed = r.u64()?;
         let incremental_block_size = r.usize()?;
+        let quality_gate = r.bool()?;
+        let ref_a = r.f64()?;
+        let ref_b = r.f64()?;
+        let ref_weight = r.f64()?;
+        if !(ref_a.is_finite() && ref_b.is_finite() && ref_weight.is_finite() && ref_weight >= 0.0)
+        {
+            return Err(PersistError::Corrupted {
+                detail: "quality-gate calibration is not finite".to_string(),
+            }
+            .into());
+        }
         let config = RealTimeDetectorConfig {
             window_secs,
             overlap,
             forest: forest_config,
             seed,
             incremental_block_size,
+            quality_gate,
         };
         let mut detector = Self::new(config);
+        detector.gate = QualityGate {
+            ref_log_std: [ref_a, ref_b],
+            ref_weight,
+        };
         match r.u8()? {
             MODEL_UNTRAINED => {}
             MODEL_BATCH => {
@@ -910,6 +1315,36 @@ pub fn balanced_indices(labels: &[bool]) -> Result<Vec<usize>, CoreError> {
     Ok(selected)
 }
 
+/// Deterministic Theil–Sen line fit `y ≈ slope · x + intercept`: median of
+/// all pairwise slopes, then median of the per-point intercepts under that
+/// slope. Robust up to ~29 % outliers — enough to fit a record's amplitude
+/// envelope through its seizure windows.
+fn theil_sen(points: &[(f64, f64)]) -> (f64, f64) {
+    debug_assert!(points.len() >= 2);
+    let mut slopes = Vec::with_capacity(points.len() * (points.len() - 1) / 2);
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        for &(xj, yj) in &points[i + 1..] {
+            if xj != xi {
+                slopes.push((yj - yi) / (xj - xi));
+            }
+        }
+    }
+    let slope = median_in_place(&mut slopes).unwrap_or(0.0);
+    let mut intercepts: Vec<f64> = points.iter().map(|&(x, y)| y - slope * x).collect();
+    let intercept = median_in_place(&mut intercepts).unwrap_or(0.0);
+    (slope, intercept)
+}
+
+/// Median by sorting in place (lower median for even lengths — a real data
+/// point, and deterministic).
+fn median_in_place(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    Some(values[(values.len() - 1) / 2])
+}
+
 /// Standardizes a flat row-major matrix in place: `(x - mean) / std` per
 /// column, skipping the division for zero-variance columns.
 fn scale_flat(data: &mut [f64], means: &[f64], stds: &[f64]) {
@@ -1225,6 +1660,10 @@ mod tests {
         persist::write_forest_config(&mut reference, &config.forest);
         reference.u64(config.seed);
         reference.usize(config.incremental_block_size);
+        reference.bool(config.quality_gate);
+        reference.f64(detector.quality_gate().reference_log_std()[0]);
+        reference.f64(detector.quality_gate().reference_log_std()[1]);
+        reference.f64(detector.quality_gate().calibration_weight());
         reference.u8(MODEL_INCREMENTAL);
         reference.nested(&persist::trainer_to_bytes(
             detector.incremental_trainer().unwrap(),
@@ -1243,6 +1682,10 @@ mod tests {
         persist::write_forest_config(&mut reference, &config.forest);
         reference.u64(config.seed);
         reference.usize(config.incremental_block_size);
+        reference.bool(config.quality_gate);
+        reference.f64(batch.quality_gate().reference_log_std()[0]);
+        reference.f64(batch.quality_gate().reference_log_std()[1]);
+        reference.f64(batch.quality_gate().calibration_weight());
         reference.u8(MODEL_BATCH);
         reference.slice_f64(&batch.feature_means);
         reference.slice_f64(&batch.feature_stds);

@@ -7,6 +7,7 @@
 //! records — an evaluation sweep, a labeling experiment, the self-learning
 //! training loop — runs on one matrix allocation and one pooled scratch set.
 
+use crate::realtime::QualityVerdict;
 use seizure_features::matrix::FeatureMatrix;
 use seizure_features::scratch::FeatureScratchPool;
 
@@ -46,6 +47,18 @@ pub struct FeatureWorkspace {
     /// Flat staging buffer for row-vector prediction inputs
     /// ([`RealTimeDetector::predict_rows_with`](crate::realtime::RealTimeDetector::predict_rows_with)).
     pub(crate) row_buf: Vec<f64>,
+    /// Per-window quality indicator matrix of the last gated detect /
+    /// calibration call (separate from `matrix` so the quality columns
+    /// survive the feature extraction that follows them).
+    pub(crate) quality: FeatureMatrix,
+    /// Per-window quality verdicts aligned with `predictions`.
+    pub(crate) verdicts: Vec<QualityVerdict>,
+    /// Gain-corrected channel copies produced by the quality gate's slow
+    /// AGC; left empty whenever the correction is exactly unity, so the
+    /// clean path never copies the signal.
+    pub(crate) corrected_f7t3: Vec<f64>,
+    /// See `corrected_f7t3`.
+    pub(crate) corrected_f8t4: Vec<f64>,
 }
 
 impl FeatureWorkspace {
@@ -67,5 +80,21 @@ impl FeatureWorkspace {
     /// or `predict_rows_with` call that used this workspace.
     pub fn predictions(&self) -> &[bool] {
         &self.predictions
+    }
+
+    /// The per-window quality verdicts of the last
+    /// [`RealTimeDetector::detect_into`](crate::realtime::RealTimeDetector::detect_into)
+    /// call routed through this workspace. Aligned with
+    /// [`FeatureWorkspace::predictions`] when the detector's quality gate is
+    /// enabled; empty when it is off.
+    pub fn verdicts(&self) -> &[QualityVerdict] {
+        &self.verdicts
+    }
+
+    /// The per-window quality indicator matrix of the last gated detect or
+    /// calibration call (see [`seizure_features::quality`] for the column
+    /// layout).
+    pub fn quality(&self) -> &FeatureMatrix {
+        &self.quality
     }
 }

@@ -408,7 +408,7 @@ fn channel_rms(channel: &[f64]) -> f64 {
 }
 
 /// Adds step discontinuities with exponential recovery (electrode pops).
-fn add_electrode_pops<R: Rng + ?Sized>(channel: &mut [f64], fs: f64, rng: &mut R) {
+fn add_electrode_pops<R: Rng + ?Sized>(channel: &mut [f64], fs: f64, severity: f64, rng: &mut R) {
     let scale = channel_rms(channel);
     let count = rng.gen_range(3..=8);
     for _ in 0..count {
@@ -417,7 +417,7 @@ fn add_electrode_pops<R: Rng + ?Sized>(channel: &mut [f64], fs: f64, rng: &mut R
         }
         let start = rng.gen_range(0..channel.len());
         let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-        let step = sign * scale * rng.gen_range(8.0..20.0);
+        let step = sign * scale * rng.gen_range(8.0..20.0) * severity;
         let tau = rng.gen_range(0.1..0.8) * fs;
         for (i, sample) in channel.iter_mut().enumerate().skip(start) {
             let decay = (-((i - start) as f64) / tau).exp();
@@ -430,8 +430,8 @@ fn add_electrode_pops<R: Rng + ?Sized>(channel: &mut [f64], fs: f64, rng: &mut R
 }
 
 /// Adds 50 Hz mains hum plus a weaker 100 Hz harmonic.
-fn add_mains_hum<R: Rng + ?Sized>(channel: &mut [f64], fs: f64, rng: &mut R) {
-    let amp = channel_rms(channel) * rng.gen_range(1.0..2.5);
+fn add_mains_hum<R: Rng + ?Sized>(channel: &mut [f64], fs: f64, severity: f64, rng: &mut R) {
+    let amp = channel_rms(channel) * rng.gen_range(1.0..2.5) * severity;
     let phase = rng.gen_range(0.0..std::f64::consts::TAU);
     for (i, x) in channel.iter_mut().enumerate() {
         let t = i as f64 / fs;
@@ -442,46 +442,60 @@ fn add_mains_hum<R: Rng + ?Sized>(channel: &mut [f64], fs: f64, rng: &mut R) {
 }
 
 /// Adds slow sinusoidal wander plus a leaky random walk (motion baseline).
-fn add_baseline_wander<R: Rng + ?Sized>(channel: &mut [f64], fs: f64, rng: &mut R) {
+fn add_baseline_wander<R: Rng + ?Sized>(channel: &mut [f64], fs: f64, severity: f64, rng: &mut R) {
     let scale = channel_rms(channel);
-    let amp = scale * rng.gen_range(3.0..6.0);
+    let amp = scale * rng.gen_range(3.0..6.0) * severity;
     let freq = rng.gen_range(0.2..0.5);
     let phase = rng.gen_range(0.0..std::f64::consts::TAU);
     let mut walk = 0.0;
     for (i, x) in channel.iter_mut().enumerate() {
         let t = i as f64 / fs;
         walk = 0.999 * walk + 0.05 * scale * randn(rng);
-        *x += amp * (std::f64::consts::TAU * freq * t + phase).sin() + walk;
+        *x += amp * (std::f64::consts::TAU * freq * t + phase).sin() + walk * severity;
     }
 }
 
 /// Flatlines a contiguous stretch of the channel at its last live value.
-fn add_dropout<R: Rng + ?Sized>(channel: &mut [f64], rng: &mut R) {
+fn add_dropout<R: Rng + ?Sized>(channel: &mut [f64], severity: f64, rng: &mut R) {
     if channel.len() < 4 {
         return;
     }
-    let len = (channel.len() as f64 * rng.gen_range(0.25..0.5)) as usize;
+    // The base draw covers 25–50 % of the record; severity scales the
+    // flatlined fraction (clamped so the stretch always fits).
+    let fraction = (rng.gen_range(0.25..0.5) * severity).clamp(0.0, 0.9);
+    let len = (channel.len() as f64 * fraction) as usize;
+    if len == 0 {
+        return;
+    }
     let start = rng.gen_range(0..channel.len() - len);
     let level = channel[start];
     channel[start..start + len].fill(level);
 }
 
 /// Over-amplifies the channel and clips it against the rails.
-fn add_saturation<R: Rng + ?Sized>(channel: &mut [f64], rng: &mut R) {
-    let rail = channel_rms(channel) * rng.gen_range(1.5..2.5);
-    let gain = rng.gen_range(2.0..4.0);
+fn add_saturation<R: Rng + ?Sized>(channel: &mut [f64], severity: f64, rng: &mut R) {
+    let rail_factor = rng.gen_range(1.5..2.5);
+    let full_gain = rng.gen_range(2.0..4.0);
+    if severity <= 0.0 {
+        return;
+    }
+    // Severity interpolates the over-amplification towards unity and pushes
+    // the rails outwards, so 0 is the identity and 1 the full clip.
+    let gain = 1.0 + (full_gain - 1.0) * severity;
+    let rail = channel_rms(channel) * rail_factor * gain / full_gain / severity;
     for x in channel.iter_mut() {
         *x = (*x * gain).clamp(-rail, rail);
     }
 }
 
 /// Ramps the channel gain linearly from 1.0 to a drifted endpoint.
-fn add_gain_drift<R: Rng + ?Sized>(channel: &mut [f64], rng: &mut R) {
-    let end_gain = if rng.gen_bool(0.5) {
+fn add_gain_drift<R: Rng + ?Sized>(channel: &mut [f64], severity: f64, rng: &mut R) {
+    let full_end_gain = if rng.gen_bool(0.5) {
         rng.gen_range(0.25..0.6)
     } else {
         rng.gen_range(1.6..3.0)
     };
+    let end_gain = 1.0 + (full_end_gain - 1.0) * severity;
     let n = channel.len().max(2) as f64;
     for (i, x) in channel.iter_mut().enumerate() {
         let gain = 1.0 + (end_gain - 1.0) * i as f64 / (n - 1.0);
@@ -489,7 +503,8 @@ fn add_gain_drift<R: Rng + ?Sized>(channel: &mut [f64], rng: &mut R) {
     }
 }
 
-/// Applies one [`HostileScenario`] to a signal, returning the degraded copy.
+/// Applies one [`HostileScenario`] to a signal at full severity, returning
+/// the degraded copy. Equivalent to [`apply_scenario_with`] at severity 1.0.
 ///
 /// Lengths, the sampling rate — and therefore any seizure annotation made
 /// against the original — are preserved. The transform parameters (pop
@@ -505,40 +520,123 @@ pub fn apply_scenario<R: Rng + ?Sized>(
     scenario: HostileScenario,
     rng: &mut R,
 ) -> Result<EegSignal, DataError> {
+    apply_scenario_with(signal, scenario, 1.0, rng)
+}
+
+/// [`apply_scenario`] with a severity knob.
+///
+/// `severity` scales the degradation's magnitude: 1.0 reproduces
+/// [`apply_scenario`] exactly (same RNG stream, byte-identical output for
+/// the same seed), 0.0 degenerates to (near-)identity, and values above 1.0
+/// are harsher than the stock scenario. The annotation-preservation
+/// guarantee is severity-independent: lengths and the sampling rate never
+/// change.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidParameter`] if `severity` is negative or not
+/// finite, or if the input signal violates [`EegSignal`]'s invariants.
+pub fn apply_scenario_with<R: Rng + ?Sized>(
+    signal: &EegSignal,
+    scenario: HostileScenario,
+    severity: f64,
+    rng: &mut R,
+) -> Result<EegSignal, DataError> {
+    if !severity.is_finite() || severity < 0.0 {
+        return Err(DataError::InvalidParameter {
+            name: "severity",
+            reason: format!("severity must be finite and non-negative, got {severity}"),
+        });
+    }
     let fs = signal.sampling_frequency();
     let mut f7t3 = signal.f7t3().to_vec();
     let mut f8t4 = signal.f8t4().to_vec();
     match scenario {
         HostileScenario::ElectrodePop => {
-            add_electrode_pops(&mut f7t3, fs, rng);
-            add_electrode_pops(&mut f8t4, fs, rng);
+            add_electrode_pops(&mut f7t3, fs, severity, rng);
+            add_electrode_pops(&mut f8t4, fs, severity, rng);
         }
         HostileScenario::MainsHum => {
-            add_mains_hum(&mut f7t3, fs, rng);
-            add_mains_hum(&mut f8t4, fs, rng);
+            add_mains_hum(&mut f7t3, fs, severity, rng);
+            add_mains_hum(&mut f8t4, fs, severity, rng);
         }
         HostileScenario::BaselineWander => {
-            add_baseline_wander(&mut f7t3, fs, rng);
-            add_baseline_wander(&mut f8t4, fs, rng);
+            add_baseline_wander(&mut f7t3, fs, severity, rng);
+            add_baseline_wander(&mut f8t4, fs, severity, rng);
         }
         HostileScenario::ChannelDropout => {
             // Lead-off hits one side; the other channel keeps recording.
             if rng.gen_bool(0.5) {
-                add_dropout(&mut f7t3, rng);
+                add_dropout(&mut f7t3, severity, rng);
             } else {
-                add_dropout(&mut f8t4, rng);
+                add_dropout(&mut f8t4, severity, rng);
             }
         }
         HostileScenario::Saturation => {
-            add_saturation(&mut f7t3, rng);
-            add_saturation(&mut f8t4, rng);
+            add_saturation(&mut f7t3, severity, rng);
+            add_saturation(&mut f8t4, severity, rng);
         }
         HostileScenario::GainDrift => {
-            add_gain_drift(&mut f7t3, rng);
-            add_gain_drift(&mut f8t4, rng);
+            add_gain_drift(&mut f7t3, severity, rng);
+            add_gain_drift(&mut f8t4, severity, rng);
         }
     }
     EegSignal::new(f7t3, f8t4, fs)
+}
+
+/// Seeded convenience wrapper around [`apply_scenario_with`] for callers
+/// without their own RNG (examples, quick probes): the degradation is fully
+/// determined by `(scenario, severity, seed)`.
+///
+/// # Errors
+///
+/// Same conditions as [`apply_scenario_with`].
+pub fn degrade_signal(
+    signal: &EegSignal,
+    scenario: HostileScenario,
+    severity: f64,
+    seed: u64,
+) -> Result<EegSignal, DataError> {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    apply_scenario_with(signal, scenario, severity, &mut rng)
+}
+
+/// Two [`HostileScenario`]s overlaid on one record — the field reality where
+/// degradations compound (a wander-swamped walk with mains pickup, a
+/// saturating front end while an electrode pops loose).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixedScenario {
+    /// Applied first, to the pristine signal.
+    pub first: HostileScenario,
+    /// Applied second, on top of the output of `first` (its interference is
+    /// scaled by the *degraded* signal's RMS, compounding the damage).
+    pub second: HostileScenario,
+}
+
+impl MixedScenario {
+    /// Stable `snake_case+snake_case` identifier for benchmark reports.
+    pub fn name(self) -> String {
+        format!("{}+{}", self.first.name(), self.second.name())
+    }
+
+    /// Overlays both scenarios on `signal` at the given severity, drawing
+    /// every transform parameter from `rng` — deterministic for a fixed
+    /// (seed, severity) pair, and annotation-preserving like
+    /// [`apply_scenario_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`apply_scenario_with`].
+    pub fn apply<R: Rng + ?Sized>(
+        self,
+        signal: &EegSignal,
+        severity: f64,
+        rng: &mut R,
+    ) -> Result<EegSignal, DataError> {
+        let once = apply_scenario_with(signal, self.first, severity, rng)?;
+        apply_scenario_with(&once, self.second, severity, rng)
+    }
 }
 
 #[cfg(test)]
@@ -727,6 +825,86 @@ mod tests {
             );
         }
         assert_eq!(names.len(), 6, "scenario names must be distinct");
+    }
+
+    #[test]
+    fn severity_one_reproduces_the_stock_scenario_byte_for_byte() {
+        let mut rng = ChaCha8Rng::seed_from_u64(20);
+        let rec = generate_record(&profile(), 90.0, 30.0, 20.0, 64.0, &mut rng).unwrap();
+        for scenario in HostileScenario::all() {
+            let mut rng1 = ChaCha8Rng::seed_from_u64(21);
+            let mut rng2 = ChaCha8Rng::seed_from_u64(21);
+            let stock = apply_scenario(&rec.signal, scenario, &mut rng1).unwrap();
+            let full = apply_scenario_with(&rec.signal, scenario, 1.0, &mut rng2).unwrap();
+            assert_eq!(stock, full, "{}", scenario.name());
+        }
+    }
+
+    #[test]
+    fn severity_zero_is_identity_and_severity_scales_the_damage() {
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let rec = generate_record(&profile(), 90.0, 30.0, 20.0, 64.0, &mut rng).unwrap();
+        let distance = |a: &EegSignal, b: &EegSignal| {
+            a.f7t3()
+                .iter()
+                .chain(a.f8t4())
+                .zip(b.f7t3().iter().chain(b.f8t4()))
+                .map(|(x, y)| (x - y).abs())
+                .sum::<f64>()
+        };
+        for scenario in HostileScenario::all() {
+            let mut rng0 = ChaCha8Rng::seed_from_u64(23);
+            let none = apply_scenario_with(&rec.signal, scenario, 0.0, &mut rng0).unwrap();
+            assert!(
+                distance(&none, &rec.signal) < 1e-9 * rec.signal.len() as f64,
+                "{} at severity 0 must be (near-)identity",
+                scenario.name()
+            );
+            let mut rng_mild = ChaCha8Rng::seed_from_u64(23);
+            let mut rng_full = ChaCha8Rng::seed_from_u64(23);
+            let mild = apply_scenario_with(&rec.signal, scenario, 0.3, &mut rng_mild).unwrap();
+            let full = apply_scenario_with(&rec.signal, scenario, 1.0, &mut rng_full).unwrap();
+            assert!(
+                distance(&mild, &rec.signal) < distance(&full, &rec.signal),
+                "{}: mild severity must damage less than full",
+                scenario.name()
+            );
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(24);
+        assert!(
+            apply_scenario_with(&rec.signal, HostileScenario::MainsHum, -0.5, &mut rng).is_err()
+        );
+        assert!(
+            apply_scenario_with(&rec.signal, HostileScenario::MainsHum, f64::NAN, &mut rng)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn mixed_scenarios_compose_deterministically_and_preserve_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(25);
+        let rec = generate_record(&profile(), 90.0, 30.0, 20.0, 64.0, &mut rng).unwrap();
+        let mixed = MixedScenario {
+            first: HostileScenario::BaselineWander,
+            second: HostileScenario::MainsHum,
+        };
+        assert_eq!(mixed.name(), "baseline_wander+mains_hum");
+        let mut rng1 = ChaCha8Rng::seed_from_u64(26);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(26);
+        let a = mixed.apply(&rec.signal, 1.0, &mut rng1).unwrap();
+        let b = mixed.apply(&rec.signal, 1.0, &mut rng2).unwrap();
+        assert_eq!(a, b, "mixed application must be deterministic");
+        assert_eq!(a.len(), rec.signal.len());
+        assert_eq!(a.sampling_frequency(), rec.signal.sampling_frequency());
+        assert_ne!(a, rec.signal);
+        // The overlay equals applying the two scenarios in sequence on the
+        // same RNG stream — the compositor adds no hidden transform.
+        let mut rng3 = ChaCha8Rng::seed_from_u64(26);
+        let once =
+            apply_scenario_with(&rec.signal, HostileScenario::BaselineWander, 1.0, &mut rng3)
+                .unwrap();
+        let twice = apply_scenario_with(&once, HostileScenario::MainsHum, 1.0, &mut rng3).unwrap();
+        assert_eq!(a, twice);
     }
 
     #[test]

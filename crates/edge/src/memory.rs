@@ -40,6 +40,19 @@ pub struct MemoryModel {
 /// per-hour figure scaled by the buffer duration.
 pub const PAPER_HISTORY_BYTES_PER_HOUR: usize = 240 * 1024;
 
+/// Exact size in bytes of the quality gate's calibration block inside a
+/// persisted detector snapshot (`seizure-core`'s `RealTimeDetector`): a
+/// presence flag plus the two per-channel reference log-amplitudes and
+/// their accumulated weight. Pinned against the real codec by
+/// `tests/edge_platform.rs`.
+pub const GATE_STATE_BYTES: usize = 1 + 3 * 8;
+
+/// Per-window quality indicators of `seizure-features`' quality module
+/// (seven per channel plus the cross-channel disagreement). Kept as a local
+/// constant so the edge crate stays free of the feature crate's machinery;
+/// `tests/edge_platform.rs` pins it to the real layout.
+const QUALITY_FEATURES: usize = 15;
+
 impl MemoryModel {
     /// Creates a memory model for the given platform.
     pub fn new(spec: PlatformSpec) -> Self {
@@ -108,8 +121,9 @@ impl MemoryModel {
     /// Exact size in bytes of one delta-journal entry (`seizure-ml`'s
     /// `persist::journal::JournalWriter`) recording a retrain batch of
     /// `batch_samples` rows of `num_features` features plus
-    /// `annotation_bytes` of caller state (0 for the detector's entries; 16
-    /// for the pipeline's, which annotates the produced seizure label).
+    /// `annotation_bytes` of caller state (0 for the detector's entries; 40
+    /// for the pipeline's, which annotates the produced seizure label and
+    /// the gate calibration reached after the record).
     /// Mirrors the entry layout term by term — envelope, base fingerprint,
     /// pool position, feature count, bit-packed labels, the row matrix, the
     /// annotation — so a wearable can budget the per-seizure Flash append
@@ -206,6 +220,49 @@ impl MemoryModel {
             buffer_secs,
             self.dual_slot_store_bytes(base_capacity, journal_bytes),
         )
+    }
+
+    /// RAM scratch of the signal-quality front end over a `buffer_secs`
+    /// history buffer: one live `f64` row of [`QUALITY_FEATURES`] indicators
+    /// (windows are assessed streaming, so only the current row is resident),
+    /// a one-byte verdict per analysis step (one step per second, matching
+    /// the detector's 4 s windows at 75 % overlap — the full verdict ribbon
+    /// is kept so the a-posteriori labeler can quarantine history windows),
+    /// and one two-channel 4-second window copy the slow gain correction
+    /// rewrites in place.
+    pub fn quality_scratch_bytes(&self, buffer_secs: f64) -> usize {
+        if buffer_secs <= 0.0 || buffer_secs.is_nan() {
+            return 0;
+        }
+        let verdict_rows = buffer_secs.ceil() as usize;
+        let corrected_window = (4.0 * self.spec.eeg_sampling_hz) as usize * self.spec.num_channels;
+        QUALITY_FEATURES * std::mem::size_of::<f64>()
+            + verdict_rows
+            + corrected_window * std::mem::size_of::<f64>()
+    }
+
+    /// [`MemoryModel::budget_with_snapshot`] for a quality-gated detector:
+    /// Flash additionally holds the gate's [`GATE_STATE_BYTES`] calibration
+    /// block next to the snapshot, and the RAM side grows by
+    /// [`MemoryModel::quality_scratch_bytes`] — the per-window indicator
+    /// rows, verdicts, and the gain-correction window copy. `fits_ram` and
+    /// `fits_flash` answer whether artifact rejection is affordable on the
+    /// platform at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::InvalidParameter`] if the buffer duration is not
+    /// positive.
+    pub fn budget_with_quality_gate(
+        &self,
+        buffer_secs: f64,
+        snapshot_bytes: usize,
+    ) -> Result<MemoryBudget, EdgeError> {
+        let mut budget =
+            self.budget_with_snapshot(buffer_secs, snapshot_bytes + GATE_STATE_BYTES)?;
+        budget.working_bytes += self.quality_scratch_bytes(buffer_secs);
+        budget.fits_ram = budget.working_bytes <= self.spec.ram_bytes;
+        Ok(budget)
     }
 
     /// Computes the memory budget for a history buffer of `buffer_secs`
@@ -341,6 +398,33 @@ mod tests {
                 .fits_flash
         ); // 240 + 100 + 100 > 384
         assert!(model.budget_with_journal(0.0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn quality_gate_accounting_extends_both_sides_of_the_budget() {
+        let model = model();
+        // Scratch formula: one live indicator row + a verdict byte per
+        // second, plus one 4 s two-channel f64 window for the gain
+        // correction.
+        let scratch = model.quality_scratch_bytes(1200.0);
+        assert_eq!(scratch, 15 * 8 + 1200 + 4 * 256 * 2 * 8);
+        assert_eq!(model.quality_scratch_bytes(0.0), 0);
+        assert_eq!(model.quality_scratch_bytes(f64::NAN), 0);
+
+        // Flash grows by exactly the gate block, RAM by the scratch — and
+        // the 20-minute gated budget still fits the platform.
+        let base = model.budget_with_snapshot(1200.0, 64 * 1024).unwrap();
+        let gated = model.budget_with_quality_gate(1200.0, 64 * 1024).unwrap();
+        assert_eq!(gated.history_bytes, base.history_bytes + GATE_STATE_BYTES);
+        assert_eq!(gated.working_bytes, base.working_bytes + scratch);
+        assert!(gated.fits_flash);
+        assert!(gated.fits_ram);
+        assert!(model.budget_with_quality_gate(0.0, 1).is_err());
+
+        // Even the full-hour buffer affords the gate: the scratch stays a
+        // modest slice of the 48 KB RAM next to the labeler's working set.
+        let hour = model.budget_with_quality_gate(3600.0, 0).unwrap();
+        assert!(hour.fits_ram, "{} bytes", hour.working_bytes);
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod extractor;
 pub mod hjorth;
 pub mod matrix;
 pub mod normalize;
+pub mod quality;
 pub mod scratch;
 pub mod selection;
 pub mod statistics;
@@ -68,4 +69,5 @@ pub mod waveform;
 pub use error::FeatureError;
 pub use extractor::{FeatureExtractor, PaperFeatureSet, RichFeatureSet, SlidingWindowConfig};
 pub use matrix::FeatureMatrix;
+pub use quality::QualityExtractor;
 pub use scratch::{FeatureScratch, FeatureScratchPool};

@@ -103,7 +103,9 @@ pub const MAGIC: [u8; 8] = *b"SZRSNAP\0";
 
 /// Current snapshot format version. Bumped on any layout change; readers
 /// accept exactly this version (see the module docs for the policy).
-pub const FORMAT_VERSION: u16 = 1;
+/// Version 2 added the real-time detector's quality-gate block (enable flag
+/// plus calibrated amplitude reference) ahead of the model marker.
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Size of the envelope header (magic + version + kind + payload length).
 const HEADER_LEN: usize = 8 + 2 + 2 + 8;
@@ -1365,12 +1367,17 @@ mod tests {
         let mut bytes = trainer_to_bytes(&small_trainer(40));
         // Bump the version field and re-sign the envelope, emulating a
         // snapshot from a future build whose checksum is itself valid.
-        bytes[8] = 2;
+        bytes[8..10].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
         let body_end = bytes.len() - 8;
         let checksum = fnv1a(&bytes[..body_end]).to_le_bytes();
         bytes[body_end..].copy_from_slice(&checksum);
         let err = trainer_from_bytes(&bytes).unwrap_err();
-        assert_eq!(err, PersistError::UnsupportedVersion { found: 2 });
+        assert_eq!(
+            err,
+            PersistError::UnsupportedVersion {
+                found: FORMAT_VERSION + 1
+            }
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("--- training with {source:?} labels ---");
         for seizure in 0..training_seizures {
             let record = cohort.sample_record(patient, seizure, &config, seizure as u64)?;
-            let label = pipeline.observe_missed_seizure(&record, w, source)?;
+            let label = pipeline
+                .observe_missed_seizure(&record, w, source)?
+                .expect("clean synthetic records must pass the quality gate");
             println!(
                 "missed seizure {} labeled as [{:6.1}, {:6.1}] s (truth [{:6.1}, {:6.1}] s); training windows: {}",
                 seizure + 1,

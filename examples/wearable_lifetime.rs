@@ -19,9 +19,11 @@
 
 use selflearn_seizure::core::labeler::LabelerConfig;
 use selflearn_seizure::core::pipeline::{LabelSource, SelfLearningPipeline};
-use selflearn_seizure::core::realtime::RealTimeDetectorConfig;
+use selflearn_seizure::core::realtime::{QualityVerdict, RealTimeDetectorConfig};
+use selflearn_seizure::core::workspace::FeatureWorkspace;
 use selflearn_seizure::data::cohort::Cohort;
-use selflearn_seizure::data::sampler::SampleConfig;
+use selflearn_seizure::data::sampler::{EegRecord, SampleConfig};
+use selflearn_seizure::data::synth::{degrade_signal, HostileScenario};
 use selflearn_seizure::edge::energy::{EnergyModel, OperatingMode};
 use selflearn_seizure::edge::memory::MemoryModel;
 use selflearn_seizure::edge::platform::PlatformSpec;
@@ -371,6 +373,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ab_day1.fits_flash,
         store.base_len() as f64 / 1024.0,
         ab_grown.fits_flash
+    );
+
+    // Signal-quality gate: run one hostile segment end to end. A mains-hum-
+    // swamped record is rejected window by window — alarms are suppressed
+    // instead of flooding the caregiver — and the same record is turned away
+    // from the self-learning pool before it can poison the personalized model.
+    println!("\nsignal-quality gate (hostile segment -> suppressed alarms, quarantined learning)");
+    let mut survivor = survivor;
+    let hostile = EegRecord::new(
+        degrade_signal(held_out.signal(), HostileScenario::MainsHum, 1.0, 0xBAD)?,
+        *held_out.annotation(),
+        held_out.patient_id(),
+        held_out.seizure_index(),
+    )?;
+    let mut workspace = FeatureWorkspace::new();
+    let (predictions, _) = survivor
+        .detector()
+        .detect_with_quality(held_out.signal(), &mut workspace)?;
+    let clean_alarms = predictions.iter().filter(|&&p| p).count();
+    let (predictions, verdicts) = survivor
+        .detector()
+        .detect_with_quality(hostile.signal(), &mut workspace)?;
+    let hostile_alarms = predictions.iter().filter(|&&p| p).count();
+    let rejected = verdicts
+        .iter()
+        .filter(|&&v| v == QualityVerdict::Reject)
+        .count();
+    println!(
+        "hum-swamped segment: {}/{} windows rejected, {} alarm windows \
+         (the clean segment raises {})",
+        rejected,
+        verdicts.len(),
+        hostile_alarms,
+        clean_alarms
+    );
+    assert!(rejected > verdicts.len() / 2);
+    assert!(hostile_alarms < clean_alarms);
+
+    // The same record offered to the self-learning loop is quarantined before
+    // the a-posteriori labeler ever sees it.
+    let pool_before = survivor.training_windows();
+    let outcome = survivor.observe_missed_seizure(&hostile, w, LabelSource::Algorithm)?;
+    assert!(outcome.is_none(), "the hostile record must be quarantined");
+    assert_eq!(survivor.training_windows(), pool_before);
+    println!(
+        "self-learning: hostile record quarantined ({} quarantined so far), \
+         training pool untouched at {} windows",
+        survivor.num_quarantined(),
+        survivor.training_windows()
     );
     Ok(())
 }

@@ -181,21 +181,64 @@ fn journal_entry_size_formula_matches_the_real_codec() {
         .unwrap();
     assert_eq!(writer.len(), memory.journal_entry_bytes(batch, 2, 0));
 
-    // A pipeline-level entry annotating the 16-byte produced label.
+    // A pipeline-level entry annotating the 40-byte produced label + gate
+    // calibration block.
     let before = writer.len();
     writer
-        .append_with(&batch_rows, 2, &batch_labels, &[0u8; 16])
+        .append_with(&batch_rows, 2, &batch_labels, &[0u8; 40])
         .unwrap();
     assert_eq!(
         writer.len() - before,
-        memory.journal_entry_bytes(batch, 2, 16)
+        memory.journal_entry_bytes(batch, 2, 40)
     );
 
     // Budget sanity at paper scale: a 10 % batch append is an order of
     // magnitude below the full snapshot it replaces.
     let full = memory.trainer_snapshot_bytes(4096, 54, 30, 30 * 200);
-    let entry = memory.journal_entry_bytes(410, 54, 16);
+    let entry = memory.journal_entry_bytes(410, 54, 40);
     assert!(entry * 5 < full, "entry {entry} vs full {full}");
+}
+
+/// The edge memory model's quality-gate budget must agree byte for byte with
+/// the real layouts it mirrors: the gate's persisted calibration block inside
+/// a detector snapshot, and the indicator-row width of the feature crate's
+/// quality module.
+#[test]
+fn quality_gate_budget_matches_the_real_snapshot_and_feature_layout() {
+    use selflearn_seizure::core::realtime::{RealTimeDetector, RealTimeDetectorConfig};
+    use selflearn_seizure::edge::memory::GATE_STATE_BYTES;
+    use selflearn_seizure::features::quality::NUM_QUALITY_FEATURES;
+
+    let memory = MemoryModel::new(PlatformSpec::stm32l151_default());
+
+    // An untrained detector snapshot is the 28-byte envelope, the config
+    // block (window + overlap + 41-byte forest config + seed + incremental
+    // block size), the gate's calibration block and the "no model" marker.
+    // Pinning the whole length keeps GATE_STATE_BYTES honest: a gate-block
+    // format change moves this number.
+    let untrained = RealTimeDetector::new(RealTimeDetectorConfig::default()).save_state();
+    const ENVELOPE: usize = 28;
+    const CONFIG_BYTES: usize = 8 + 8 + 41 + 8 + 8;
+    assert_eq!(
+        untrained.len(),
+        ENVELOPE + CONFIG_BYTES + GATE_STATE_BYTES + 1
+    );
+
+    // The scratch formula's feature count is the quality module's, not a
+    // copy that can drift; spelled out: one live f64 indicator row, one
+    // verdict byte per second, one corrected 4 s two-channel f64 window.
+    let scratch = memory.quality_scratch_bytes(1200.0);
+    assert_eq!(scratch, NUM_QUALITY_FEATURES * 8 + 1200 + 4 * 256 * 2 * 8);
+
+    // Gated budget = snapshot budget + gate block in Flash + scratch in RAM,
+    // and a 20-minute gated wearable still fits the STM32L151 outright.
+    let snapshot = memory.trainer_snapshot_bytes(256, 54, 30, 30 * 128);
+    let base = memory.budget_with_snapshot(1200.0, snapshot).unwrap();
+    let gated = memory.budget_with_quality_gate(1200.0, snapshot).unwrap();
+    assert_eq!(gated.history_bytes, base.history_bytes + GATE_STATE_BYTES);
+    assert_eq!(gated.working_bytes, base.working_bytes + scratch);
+    assert!(gated.fits_flash);
+    assert!(gated.fits_ram);
 }
 
 /// The edge memory model's dual-slot store formula must agree byte for byte
