@@ -614,6 +614,7 @@ impl RealTimeDetector {
     /// # Errors
     ///
     /// Same conditions as [`RealTimeDetector::detect`].
+    // lint: hot-path
     pub fn detect_into(
         &self,
         signal: &EegSignal,
@@ -1341,7 +1342,10 @@ fn median_in_place(values: &mut [f64]) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    // `total_cmp`, not `partial_cmp().expect(...)`: a NaN slope (possible when
+    // a poisoned window reaches the AGC fit) sorts to the top instead of
+    // panicking mid-detect, and the lower median stays a real data point.
+    values.sort_by(f64::total_cmp);
     Some(values[(values.len() - 1) / 2])
 }
 
@@ -1381,6 +1385,18 @@ mod tests {
             },
             ..RealTimeDetectorConfig::default()
         }
+    }
+
+    #[test]
+    fn median_ranks_nan_worst_instead_of_panicking() {
+        // Regression for the NaN-unsafe Theil–Sen sort: the former
+        // `partial_cmp().expect("finite values")` comparator panicked on a
+        // NaN slope; `total_cmp` sorts it last, so the lower median is still
+        // a real data point.
+        let mut values = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(median_in_place(&mut values), Some(2.0));
+        let mut all_nan = [f64::NAN, f64::NAN];
+        assert!(median_in_place(&mut all_nan).unwrap().is_nan());
     }
 
     #[test]

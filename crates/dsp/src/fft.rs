@@ -194,7 +194,7 @@ pub fn real_fft(signal: &[f64]) -> Result<Vec<Complex>, DspError> {
 /// let peak = mag
 ///     .iter()
 ///     .enumerate()
-///     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+///     .max_by(|a, b| a.1.total_cmp(b.1))
 ///     .map(|(i, _)| i)
 ///     .unwrap();
 /// assert_eq!(peak, 8);
@@ -802,10 +802,34 @@ mod tests {
             .iter()
             .take(n / 2)
             .enumerate()
-            .max_by(|a, b| a.1.magnitude().partial_cmp(&b.1.magnitude()).unwrap())
+            .max_by(|a, b| a.1.magnitude().total_cmp(&b.1.magnitude()))
             .unwrap()
             .0;
         assert_eq!(peak, k0);
+    }
+
+    #[test]
+    fn total_cmp_peak_selection_survives_nan_bins() {
+        // Regression for the NaN-unsafe peak argmax this test file used to
+        // carry: with `total_cmp` a NaN magnitude ranks above every finite
+        // bin (it is selected, not silently scrambled), and removing it
+        // restores the true peak — no comparator panic either way.
+        let mags = [1.0, 5.0, f64::NAN, 3.0];
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(peak, 2);
+        let finite_peak = mags
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_finite())
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(finite_peak, 1);
     }
 
     #[test]

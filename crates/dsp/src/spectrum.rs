@@ -535,9 +535,23 @@ mod tests {
             .power()
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap();
         assert!((psd.freqs()[idx] - 20.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn psd_peak_selection_is_nan_safe() {
+        // Regression companion to the `total_cmp` sweep: the peak-bin idiom
+        // used across these tests must not panic or scramble when a power
+        // bin is poisoned with NaN — NaN ranks above all finite bins.
+        let power = [0.1, 2.0, f64::NAN, 0.4];
+        let (idx, _) = power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        assert_eq!(idx, 2);
     }
 
     #[test]

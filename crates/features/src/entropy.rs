@@ -49,16 +49,22 @@ pub fn permutation_entropy(data: &[f64], order: usize, delay: usize) -> Result<f
         return Ok(0.0);
     }
     let num_patterns = data.len() - span;
-    let mut counts: std::collections::HashMap<Vec<u8>, usize> = std::collections::HashMap::new();
+    // BTreeMap, not HashMap: the final entropy sum runs in iteration order,
+    // and a hash map's order would make the low bits of the result vary
+    // between processes.
+    let mut counts: std::collections::BTreeMap<Vec<u8>, usize> = std::collections::BTreeMap::new();
     let mut indices: Vec<usize> = Vec::with_capacity(order);
     for start in 0..num_patterns {
         indices.clear();
         indices.extend(0..order);
-        // Sort pattern positions by their sample values to obtain the ordinal rank.
+        // Sort pattern positions by their sample values to obtain the ordinal
+        // rank. `total_cmp` ranks a NaN sample as the largest value instead of
+        // scrambling the whole pattern the way the former
+        // `partial_cmp().unwrap_or(Equal)` comparator did.
         indices.sort_by(|&a, &b| {
             let va = data[start + a * delay];
             let vb = data[start + b * delay];
-            va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
+            va.total_cmp(&vb)
         });
         let key: Vec<u8> = indices.iter().map(|&i| i as u8).collect();
         *counts.entry(key).or_insert(0) += 1;
@@ -140,7 +146,9 @@ pub fn permutation_entropy_scratch(
         }
         // Stable insertion sort of (value, position) pairs on the stack;
         // shifting only on strictly-greater keeps tie order identical to the
-        // stable sort in `permutation_entropy`.
+        // stable sort in `permutation_entropy`. The comparison is `total_cmp`
+        // for the same reason as there: a NaN sample ranks largest instead of
+        // freezing wherever it happens to sit.
         for (slot, position) in perm[..order].iter_mut().zip(0..order as u8) {
             *slot = position;
         }
@@ -148,7 +156,7 @@ pub fn permutation_entropy_scratch(
             let key_value = values[i];
             let key_position = perm[i];
             let mut j = i;
-            while j > 0 && values[j - 1] > key_value {
+            while j > 0 && values[j - 1].total_cmp(&key_value) == std::cmp::Ordering::Greater {
                 values[j] = values[j - 1];
                 perm[j] = perm[j - 1];
                 j -= 1;
@@ -559,6 +567,41 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn permutation_entropy_ranks_nan_samples_worst() {
+        // Regression for the NaN-unsafe rank sort: with the former
+        // `partial_cmp().unwrap_or(Equal)` comparator a NaN sample froze the
+        // sort mid-pattern and scrambled the ordinal ranks; with `total_cmp`
+        // it ranks as the largest sample, so a NaN behaves exactly like an
+        // infinite-amplitude spike.
+        let mut with_nan = pseudo_random(300, 41);
+        let mut with_inf = with_nan.clone();
+        with_nan[137] = f64::NAN;
+        with_inf[137] = f64::INFINITY;
+        for order in [3, 5] {
+            let pe_nan = permutation_entropy(&with_nan, order, 1).unwrap();
+            let pe_inf = permutation_entropy(&with_inf, order, 1).unwrap();
+            assert!(pe_nan.is_finite() && (0.0..=1.0).contains(&pe_nan));
+            assert_eq!(pe_nan.to_bits(), pe_inf.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_permutation_entropy_matches_on_nan_input() {
+        let mut signal = pseudo_random(200, 43);
+        signal[17] = f64::NAN;
+        signal[90] = f64::NAN;
+        let mut counts = Vec::new();
+        for order in [3, 4, 6] {
+            let reference = permutation_entropy(&signal, order, 1).unwrap();
+            let fast = permutation_entropy_scratch(&signal, order, 1, &mut counts).unwrap();
+            assert!(
+                (reference - fast).abs() < 1e-12,
+                "order {order}: {reference} vs {fast}"
+            );
         }
     }
 

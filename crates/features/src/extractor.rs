@@ -284,6 +284,7 @@ pub trait FeatureExtractor {
 /// channels, refills the flat output matrix in place, and fans the windows
 /// out across scoped worker threads, each checking one [`FeatureScratch`]
 /// out of the pool for its whole block.
+// lint: hot-path
 #[allow(clippy::too_many_arguments)]
 fn parallel_extract_into<MN, EX>(
     num_features: usize,

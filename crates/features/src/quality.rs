@@ -322,9 +322,11 @@ impl QualityExtractor {
             .extend(cleaned.windows(2).map(|p| (p[1] - p[0]).abs()));
         let line_length = scratch.diffs.iter().sum::<f64>() / (nf - 1.0);
         let max_step = scratch.diffs.iter().copied().fold(0.0_f64, f64::max);
-        scratch
-            .diffs
-            .sort_by(|a, b| a.partial_cmp(b).expect("diffs are finite"));
+        // `total_cmp` instead of `partial_cmp().expect(...)`: the diffs are
+        // built from the sanitized copy so they are finite today, but a NaN
+        // must never be able to panic the quality front end that exists to
+        // absorb hostile inputs.
+        scratch.diffs.sort_by(f64::total_cmp);
         let median_step = scratch.diffs[scratch.diffs.len() / 2];
         let max_jump = (max_step / (1.4826 * median_step + 1e-12)).min(1e6);
 
@@ -427,6 +429,22 @@ mod tests {
             q.assess_window(&a, &b).unwrap(),
             q.assess_window(&a, &b).unwrap()
         );
+    }
+
+    #[test]
+    fn nan_laced_window_yields_finite_deterministic_indicators() {
+        // Regression for the NaN-unsafe median-step sort: indicators must
+        // come out finite and reproducible even when the raw window carries
+        // NaN/±inf samples (they are sanitized to 0 before any arithmetic).
+        let q = QualityExtractor::new(64.0).unwrap();
+        let mut a = noise(11, 256);
+        a[3] = f64::NAN;
+        a[100] = f64::INFINITY;
+        a[200] = f64::NEG_INFINITY;
+        let b = noise(13, 256);
+        let first = q.assess_window(&a, &b).unwrap();
+        assert!(first.iter().all(|v| v.is_finite()), "{first:?}");
+        assert_eq!(first, q.assess_window(&a, &b).unwrap());
     }
 
     #[test]

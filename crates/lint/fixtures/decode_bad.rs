@@ -1,0 +1,28 @@
+// Seeded panic-free-decode violations. Scanned under a synthetic
+// `crates/ml/src/persist/...` label so the rule applies.
+
+fn decode(bytes: &[u8]) -> u64 {
+    if bytes[..8] != [0u8; 8] {
+        panic!("bad magic");
+    }
+    let declared = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let _kind = bytes.get(10).copied().unwrap();
+    declared
+}
+
+fn route(tag: u8) -> u8 {
+    match tag {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test scope is exempt: decode tests exercise panics on purpose.
+    #[test]
+    fn corrupt_header_is_detected() {
+        let bytes = [0u8; 32];
+        assert_eq!(super::decode(&bytes[..]), bytes[12..20].len() as u64 - 8);
+    }
+}

@@ -1,0 +1,18 @@
+// Corrected decode: typed errors and checked reads, no panic paths.
+
+enum PersistError {
+    Truncated,
+    BadMagic,
+}
+
+fn decode(bytes: &[u8]) -> Result<u64, PersistError> {
+    let magic = bytes.get(..8).ok_or(PersistError::Truncated)?;
+    if magic != [0u8; 8] {
+        return Err(PersistError::BadMagic);
+    }
+    let declared = bytes
+        .get(12..20)
+        .and_then(|s| <[u8; 8]>::try_from(s).ok())
+        .ok_or(PersistError::Truncated)?;
+    Ok(u64::from_le_bytes(declared))
+}

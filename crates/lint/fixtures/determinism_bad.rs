@@ -1,0 +1,31 @@
+// Seeded determinism violations for a deterministic-scope crate label.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn draw() -> f64 {
+    let _rng = rand::thread_rng();
+    0.5
+}
+
+fn stamp() -> Instant {
+    Instant::now()
+}
+
+fn tally(keys: &[u32]) -> HashMap<u32, usize> {
+    let mut counts = HashMap::new();
+    for k in keys {
+        *counts.entry(*k).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    // Test scope is exempt: a HashSet in a test only checks membership.
+    #[test]
+    fn unique() {
+        let seen: std::collections::HashSet<u32> = [1, 2, 3].into_iter().collect();
+        assert_eq!(seen.len(), 3);
+    }
+}

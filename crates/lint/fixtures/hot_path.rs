@@ -1,0 +1,33 @@
+// Hot-path fixture: the marked block allocates six different ways; the
+// unmarked twin below is free to allocate; one marked allocation carries an
+// annotated exemption.
+
+// lint: hot-path
+fn hot(samples: &[f64], out: &mut Vec<f64>) -> String {
+    let staged: Vec<f64> = samples.iter().map(|v| v * 2.0).collect();
+    let copy = staged.to_vec();
+    let boxed = Box::new(copy.clone());
+    out.extend(boxed.iter());
+    let mut extra = Vec::new();
+    extra.push(vec![1.0]);
+    format!("{}", extra.len())
+}
+
+fn cold(samples: &[f64]) -> Vec<f64> {
+    // No marker: setup code allocates freely.
+    let staged: Vec<f64> = samples.to_vec();
+    staged.clone()
+}
+
+// lint: hot-path
+fn hot_clean(samples: &[f64], out: &mut [f64]) {
+    for (o, s) in out.iter_mut().zip(samples) {
+        *o = s * 2.0;
+    }
+}
+
+// lint: hot-path
+fn hot_with_exemption(samples: &[f64]) -> Vec<f64> {
+    // lint: allow(hot-path-alloc) — cold error path, runs once per record at most
+    samples.to_vec()
+}

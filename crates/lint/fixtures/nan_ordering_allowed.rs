@@ -1,0 +1,11 @@
+// Both escape-hatch placements: standalone comment above the line, and a
+// trailing comment on the line itself.
+
+fn rank(values: &mut Vec<i32>) {
+    // lint: allow(nan-ordering) — i32 comparison, partial_cmp is total here
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn rank_trailing(values: &mut Vec<i32>) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap()); // lint: allow(nan-ordering) — i32 comparison, total by construction
+}

@@ -1,0 +1,23 @@
+// Seeded nan-ordering violations: every pattern this repo has shipped (and
+// fixed) at least once.
+
+fn rank(values: &mut Vec<f64>) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn peak(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .unwrap()
+        .0
+}
+
+fn rank_equal_default(values: &mut Vec<f64>) {
+    // The silent variant: a NaN freezes mid-sort instead of panicking.
+    values.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+}

@@ -1,0 +1,19 @@
+// Corrected forms: total_cmp everywhere, plus a partial_cmp use that feeds
+// an Option combinator instead of panicking.
+
+fn rank(values: &mut Vec<f64>) {
+    values.sort_by(f64::total_cmp);
+}
+
+fn peak(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn maybe_less(a: f64, b: f64) -> bool {
+    matches!(a.partial_cmp(&b), Some(std::cmp::Ordering::Less))
+}

@@ -1,0 +1,7 @@
+// An annotation without a reason must be rejected, and the violation it
+// tried to cover must still be reported.
+
+fn rank(values: &mut Vec<f64>) {
+    // lint: allow(nan-ordering)
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

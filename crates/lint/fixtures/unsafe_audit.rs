@@ -1,0 +1,10 @@
+// Unsafe-audit fixture: one documented block, one undocumented block.
+
+fn documented(ptr: *const u8) -> u8 {
+    // SAFETY: caller guarantees ptr is valid for one byte (checked above).
+    unsafe { *ptr }
+}
+
+fn undocumented(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}

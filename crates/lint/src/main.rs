@@ -1,0 +1,70 @@
+//! `seizure-lint` binary: scans the workspace and exits nonzero on any
+//! unannotated violation of the repo's invariants.
+//!
+//! Usage: `cargo run --release -p seizure-lint [workspace-root]`
+//!
+//! With no argument the workspace root is found by walking up from the
+//! current directory to the first `Cargo.toml` containing `[workspace]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => match find_workspace_root() {
+            Some(root) => root,
+            None => {
+                eprintln!("seizure-lint: no workspace root found above the current directory");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let started = Instant::now();
+    let (diagnostics, files) = match seizure_lint::lint_workspace(&root) {
+        Ok(result) => result,
+        Err(err) => {
+            eprintln!("seizure-lint: failed to scan {}: {err}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
+    for diag in &diagnostics {
+        println!("{diag}");
+    }
+    let rules = seizure_lint::Rule::ALL.len();
+    if diagnostics.is_empty() {
+        println!(
+            "seizure-lint: clean — {files} files, {rules} rules, {:.1} ms",
+            elapsed.as_secs_f64() * 1e3
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "seizure-lint: {} violation(s) across {files} files ({rules} rules, {:.1} ms)",
+            diagnostics.len(),
+            elapsed.as_secs_f64() * 1e3
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -147,6 +147,7 @@ impl FlatForest {
     }
 
     /// Positive-class probability of one tree for one sample.
+    // lint: hot-path
     #[inline]
     fn tree_proba(&self, root: u32, sample: &[f64]) -> f64 {
         let mut idx = root as usize;
@@ -169,6 +170,7 @@ impl FlatForest {
     /// # Panics
     ///
     /// Panics if the sample has fewer features than the training data.
+    // lint: hot-path
     pub fn predict_proba(&self, sample: &[f64]) -> f64 {
         let sum: f64 = self.roots.iter().map(|&r| self.tree_proba(r, sample)).sum();
         sum / self.roots.len() as f64
@@ -180,6 +182,7 @@ impl FlatForest {
         2 * self.votes(sample) >= self.roots.len()
     }
 
+    // lint: hot-path
     fn votes(&self, sample: &[f64]) -> usize {
         self.roots
             .iter()
@@ -234,6 +237,7 @@ impl FlatForest {
     ///
     /// Returns [`MlError::DimensionMismatch`] under the same conditions as
     /// [`FlatForest::predict_proba_batch`] (leaving `out` untouched).
+    // lint: hot-path
     pub fn predict_proba_batch_into(
         &self,
         matrix: &[f64],
@@ -270,6 +274,7 @@ impl FlatForest {
     ///
     /// Returns [`MlError::DimensionMismatch`] under the same conditions as
     /// [`FlatForest::predict_proba_batch`] (leaving `out` untouched).
+    // lint: hot-path
     pub fn predict_batch_into(
         &self,
         matrix: &[f64],

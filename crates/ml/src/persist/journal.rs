@@ -375,12 +375,15 @@ pub fn base_fingerprint(base_snapshot: &[u8]) -> Result<u64, PersistError> {
             available: base_snapshot.len(),
         });
     }
+    // lint: allow(panic-free-decode) — len >= ENVELOPE_LEN checked on entry
     if base_snapshot[..8] != MAGIC {
         let mut found = [0u8; 8];
+        // lint: allow(panic-free-decode) — len >= ENVELOPE_LEN checked on entry
         found.copy_from_slice(&base_snapshot[..8]);
         return Err(PersistError::BadMagic { found });
     }
     let tail = &base_snapshot[base_snapshot.len() - 8..];
+    // lint: allow(panic-free-decode) — tail slice is exactly 8 bytes by construction
     Ok(u64::from_le_bytes(tail.try_into().expect("8 bytes")))
 }
 
@@ -412,12 +415,15 @@ pub fn scan_journal(journal: &[u8]) -> Result<JournalScan, PersistError> {
             found[..rest.len()].copy_from_slice(rest);
             return Err(PersistError::BadMagic { found });
         }
+        // lint: allow(panic-free-decode) — rest.len() >= 8 checked above
         if rest[..8] != MAGIC {
             let mut found = [0u8; 8];
+            // lint: allow(panic-free-decode) — rest.len() >= 8 checked above
             found.copy_from_slice(&rest[..8]);
             return Err(PersistError::BadMagic { found });
         }
         if rest.len() >= 10 {
+            // lint: allow(panic-free-decode) — guarded by rest.len() >= 10
             let version = u16::from_le_bytes([rest[8], rest[9]]);
             if version != FORMAT_VERSION {
                 return Err(PersistError::UnsupportedVersion { found: version });
@@ -426,6 +432,7 @@ pub fn scan_journal(journal: &[u8]) -> Result<JournalScan, PersistError> {
         if rest.len() < 20 {
             break; // torn inside the header
         }
+        // lint: allow(panic-free-decode) — guarded by rest.len() >= 20
         let declared = u64::from_le_bytes(rest[12..20].try_into().expect("8 bytes"));
         let entry_len = (declared as usize).saturating_add(ENVELOPE_LEN);
         if rest.len() < entry_len {

@@ -494,16 +494,21 @@ impl<'a> SnapshotReader<'a> {
                 available: bytes.len(),
             });
         }
+        // lint: allow(panic-free-decode) — len >= ENVELOPE_LEN checked on entry
         if bytes[..8] != MAGIC {
             let mut found = [0u8; 8];
+            // lint: allow(panic-free-decode) — len >= ENVELOPE_LEN checked on entry
             found.copy_from_slice(&bytes[..8]);
             return Err(PersistError::BadMagic { found });
         }
+        // lint: allow(panic-free-decode) — len >= ENVELOPE_LEN checked on entry
         let version = u16::from_le_bytes([bytes[8], bytes[9]]);
         if version != FORMAT_VERSION {
             return Err(PersistError::UnsupportedVersion { found: version });
         }
+        // lint: allow(panic-free-decode) — len >= ENVELOPE_LEN checked on entry
         let found_kind = u16::from_le_bytes([bytes[10], bytes[11]]);
+        // lint: allow(panic-free-decode) — fixed 8-byte read inside the validated header
         let declared = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
         let body_end = bytes.len() - CHECKSUM_LEN;
         let actual = (body_end - HEADER_LEN) as u64;
@@ -520,6 +525,7 @@ impl<'a> SnapshotReader<'a> {
                 detail: format!("payload declares {declared} bytes but {actual} are present"),
             });
         }
+        // lint: allow(panic-free-decode) — body_end = len - CHECKSUM_LEN, len >= ENVELOPE_LEN
         let stored = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
         let computed = fnv1a(&bytes[..body_end]);
         if stored != computed {
@@ -551,12 +557,15 @@ impl<'a> SnapshotReader<'a> {
                 available: bytes.len(),
             });
         }
+        // lint: allow(panic-free-decode) — len >= ENVELOPE_LEN checked on entry
         if bytes[..8] != MAGIC {
             let mut found = [0u8; 8];
+            // lint: allow(panic-free-decode) — len >= ENVELOPE_LEN checked on entry
             found.copy_from_slice(&bytes[..8]);
             return Err(PersistError::BadMagic { found });
         }
         Ok(SnapshotKind::from_u16(u16::from_le_bytes([
+            // lint: allow(panic-free-decode) — len >= ENVELOPE_LEN checked on entry
             bytes[10], bytes[11],
         ])))
     }
@@ -594,6 +603,7 @@ impl<'a> SnapshotReader<'a> {
     ///
     /// [`PersistError::Corrupted`] when the payload is exhausted.
     pub fn u16(&mut self) -> Result<u16, PersistError> {
+        // lint: allow(panic-free-decode) — take(2) guarantees exactly 2 bytes
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
     }
 
@@ -603,6 +613,7 @@ impl<'a> SnapshotReader<'a> {
     ///
     /// [`PersistError::Corrupted`] when the payload is exhausted.
     pub fn u32(&mut self) -> Result<u32, PersistError> {
+        // lint: allow(panic-free-decode) — take(4) guarantees exactly 4 bytes
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
@@ -612,6 +623,7 @@ impl<'a> SnapshotReader<'a> {
     ///
     /// [`PersistError::Corrupted`] when the payload is exhausted.
     pub fn u64(&mut self) -> Result<u64, PersistError> {
+        // lint: allow(panic-free-decode) — take(8) guarantees exactly 8 bytes
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 

@@ -451,11 +451,17 @@ struct SlotHeader {
 impl SlotHeader {
     fn encode(&self) -> [u8; SLOT_HEADER_LEN] {
         let mut bytes = [0u8; SLOT_HEADER_LEN];
+        // lint: allow(panic-free-decode) — encode fills a fixed SLOT_HEADER_LEN array
         bytes[..8].copy_from_slice(&SLOT_MAGIC);
+        // lint: allow(panic-free-decode) — encode fills a fixed SLOT_HEADER_LEN array
         bytes[8..16].copy_from_slice(&self.sequence.to_le_bytes());
+        // lint: allow(panic-free-decode) — encode fills a fixed SLOT_HEADER_LEN array
         bytes[16..24].copy_from_slice(&self.base_len.to_le_bytes());
+        // lint: allow(panic-free-decode) — encode fills a fixed SLOT_HEADER_LEN array
         bytes[24..32].copy_from_slice(&self.base_fingerprint.to_le_bytes());
+        // lint: allow(panic-free-decode) — encode fills a fixed SLOT_HEADER_LEN array
         let checksum = fnv1a(&bytes[..32]);
+        // lint: allow(panic-free-decode) — encode fills a fixed SLOT_HEADER_LEN array
         bytes[32..].copy_from_slice(&checksum.to_le_bytes());
         bytes
     }
@@ -467,19 +473,26 @@ impl SlotHeader {
                 available: bytes.len(),
             });
         }
+        // lint: allow(panic-free-decode) — len >= SLOT_HEADER_LEN checked on entry
         if bytes[..8] != SLOT_MAGIC {
             let mut found = [0u8; 8];
+            // lint: allow(panic-free-decode) — len >= SLOT_HEADER_LEN checked on entry
             found.copy_from_slice(&bytes[..8]);
             return Err(PersistError::BadMagic { found });
         }
+        // lint: allow(panic-free-decode) — fixed 8-byte read, len >= SLOT_HEADER_LEN
         let stored = u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes"));
+        // lint: allow(panic-free-decode) — len >= SLOT_HEADER_LEN checked on entry
         let computed = fnv1a(&bytes[..32]);
         if stored != computed {
             return Err(PersistError::ChecksumMismatch { stored, computed });
         }
         Ok(SlotHeader {
+            // lint: allow(panic-free-decode) — fixed 8-byte read, len >= SLOT_HEADER_LEN
             sequence: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+            // lint: allow(panic-free-decode) — fixed 8-byte read, len >= SLOT_HEADER_LEN
             base_len: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
+            // lint: allow(panic-free-decode) — fixed 8-byte read, len >= SLOT_HEADER_LEN
             base_fingerprint: u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")),
         })
     }
@@ -704,15 +717,18 @@ impl<F: Flash> FlashStore<F> {
     /// envelope holding a decodable journal entry. `None` on anything else
     /// (erased space, torn tail, corruption) — the caller stops there.
     fn next_frame(bytes: &[u8]) -> Option<(JournalEntry, usize)> {
+        // lint: allow(panic-free-decode) — len >= ENVELOPE_LEN checked in the same condition
         if bytes.len() < ENVELOPE_LEN || bytes[..8] != super::MAGIC {
             return None;
         }
+        // lint: allow(panic-free-decode) — fixed 8-byte read, len >= ENVELOPE_LEN
         let declared = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
         let frame_len = declared.checked_add(ENVELOPE_LEN)?;
         if bytes.len() < frame_len {
             return None;
         }
         let frame = &bytes[..frame_len];
+        // lint: allow(panic-free-decode) — frame_len >= ENVELOPE_LEN > 8 by construction
         let stored = u64::from_le_bytes(frame[frame_len - 8..].try_into().expect("8 bytes"));
         if fnv1a(&frame[..frame_len - 8]) != stored {
             return None;

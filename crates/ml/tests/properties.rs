@@ -369,7 +369,7 @@ proptest! {
         prop_assert_eq!(train.len() + test.len(), n);
         // Every original sample appears exactly once across the two splits.
         let mut seen: Vec<f64> = train.features().iter().chain(test.features()).map(|r| r[0]).collect();
-        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        seen.sort_by(f64::total_cmp);
         for (i, v) in seen.iter().enumerate() {
             prop_assert_eq!(*v, i as f64);
         }
