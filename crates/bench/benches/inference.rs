@@ -1,24 +1,34 @@
-//! End-to-end inference benchmark: seed path vs batch engine.
+//! End-to-end inference benchmark: seed path vs batch engine vs streaming.
 //!
 //! Measures windows/second for the full hot path of the real-time detector —
 //! sliding-window rich-feature extraction followed by random-forest
-//! classification — in two configurations:
+//! classification — in three configurations:
 //!
 //! * **seed**: per-window `extract_window` (allocating) + per-row boxed
 //!   `RandomForest::predict_proba`, exactly the seed implementation's path;
 //! * **batch**: `extract_batch` (flat matrix, per-thread scratch, parallel
-//!   windows) + `FlatForest::predict_proba_batch` over the flat buffer.
+//!   windows) + `FlatForest::predict_proba_batch` over the flat buffer;
+//! * **streaming**: `StreamingRichExtractor::extract_batch_into` — the
+//!   hop-structured path that carries moments, ordinal pattern tables and
+//!   wavelet coefficients across the 75 % window overlap instead of
+//!   recomputing each window from scratch — plus the same flat forest.
 //!
 //! Also times the forest in isolation (boxed pointer-chasing vs flat
 //! struct-of-arrays). Results are printed and written to
 //! `BENCH_inference.json` at the workspace root.
 //!
 //! Run with: `cargo bench -p seizure-bench --bench inference`
+//!
+//! Pass `--quick` (the CI smoke gate) for a shortened signal and rep count
+//! that still asserts streaming-vs-batch probability equivalence and a
+//! conservative streaming speedup floor, without rewriting the JSON.
 
 use std::time::Instant;
 
 use seizure_bench::synth::synth_channels;
 use seizure_features::extractor::{FeatureExtractor, RichFeatureSet, SlidingWindowConfig};
+use seizure_features::streaming::StreamingRichExtractor;
+use seizure_features::FeatureMatrix;
 use seizure_ml::dataset::Dataset;
 use seizure_ml::flat::FlatForest;
 use seizure_ml::forest::{RandomForest, RandomForestConfig};
@@ -36,20 +46,23 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 }
 
 fn main() {
+    let quick = std::env::args().any(|arg| arg == "--quick");
     let fs = 256.0;
-    let secs = 120.0;
-    let reps = 5;
+    let secs = if quick { 24.0 } else { 120.0 };
+    let reps = if quick { 2 } else { 5 };
     let (a, b) = synth_channels(secs, fs, 0x1234_5678_9abc_def0);
     let cfg = SlidingWindowConfig::paper_default(fs).expect("paper config");
     let extractor = RichFeatureSet::new(fs).expect("extractor");
     let windows = cfg.num_windows(a.len());
 
     // Train a forest on the record's own features with a synthetic seizure
-    // band so both classes are present.
+    // band so both classes are present (the band scales with the signal so
+    // `--quick`'s short record still trains).
     let matrix = extractor
         .extract_batch(&a, &b, &cfg)
         .expect("training features");
-    let labels: Vec<bool> = (0..windows).map(|i| (40..70).contains(&i)).collect();
+    let seizure_band = windows / 3..windows / 3 + windows / 4;
+    let labels: Vec<bool> = (0..windows).map(|i| seizure_band.contains(&i)).collect();
     let dataset = Dataset::new(matrix.to_rows(), labels).expect("dataset");
     let forest_config = RandomForestConfig {
         n_trees: 30,
@@ -78,11 +91,35 @@ fn main() {
             .expect("batch probas")
     });
 
+    // --- End-to-end: streaming engine (hop-structured recompute
+    // elimination + flat forest), steady-state buffers reused across reps.
+    let mut stream = StreamingRichExtractor::new(&cfg).expect("streaming extractor");
+    let mut stream_matrix = FeatureMatrix::default();
+    let mut streaming_probas: Vec<f64> = Vec::new();
+    let (streaming_time, _) = best_of(reps, || {
+        stream
+            .extract_batch_into(&a, &b, &mut stream_matrix)
+            .expect("streaming features");
+        flat.predict_proba_batch_into(
+            stream_matrix.data(),
+            stream_matrix.num_features(),
+            &mut streaming_probas,
+        )
+        .expect("streaming probas");
+    });
+
     assert_eq!(seed_probas.len(), batch_probas.len());
+    assert_eq!(streaming_probas.len(), batch_probas.len());
     for (s, p) in seed_probas.iter().zip(batch_probas.iter()) {
         assert!(
             (s - p).abs() < 1e-9,
             "batch path diverged from seed path: {s} vs {p}"
+        );
+    }
+    for (s, p) in streaming_probas.iter().zip(batch_probas.iter()) {
+        assert!(
+            (s - p).abs() < 1e-6,
+            "streaming path diverged from batch path: {s} vs {p}"
         );
     }
 
@@ -100,7 +137,9 @@ fn main() {
 
     let seed_wps = windows as f64 / seed_time;
     let batch_wps = windows as f64 / batch_time;
+    let streaming_wps = windows as f64 / streaming_time;
     let speedup = batch_wps / seed_wps;
+    let streaming_speedup = streaming_wps / batch_wps;
     let boxed_wps = windows as f64 / boxed_forest_time;
     let flat_wps = windows as f64 / flat_forest_time;
     let threads = std::thread::available_parallelism()
@@ -116,10 +155,28 @@ fn main() {
         "  end-to-end batch path:  {batch_wps:>10.1} windows/s ({:.3} ms/window)",
         1e3 * batch_time / windows as f64
     );
-    println!("  end-to-end speedup:     {speedup:>10.2}x");
+    println!(
+        "  end-to-end streaming:   {streaming_wps:>10.1} windows/s ({:.3} ms/window)",
+        1e3 * streaming_time / windows as f64
+    );
+    println!("  batch vs seed:          {speedup:>10.2}x");
+    println!("  streaming vs batch:     {streaming_speedup:>10.2}x");
     println!("  boxed forest:           {boxed_wps:>10.1} windows/s");
     println!("  flat forest (batch):    {flat_wps:>10.1} windows/s");
     println!("  forest speedup:         {:>10.2}x", flat_wps / boxed_wps);
+
+    if quick {
+        // CI smoke gate: probability equivalence was asserted above; the
+        // speedup floor is deliberately conservative (the full run's target
+        // is >= 3x) so a loaded CI worker doesn't flake the build.
+        assert!(
+            streaming_speedup >= 1.2,
+            "streaming gate: expected at least a 1.2x end-to-end win over the \
+             batch path even on a short signal, measured {streaming_speedup:.2}x"
+        );
+        println!("quick gate passed (streaming {streaming_speedup:.2}x batch, probas within 1e-6)");
+        return;
+    }
 
     let json = format!(
         concat!(
@@ -133,6 +190,10 @@ fn main() {
             "    \"seed_windows_per_sec\": {:.1},\n",
             "    \"batch_windows_per_sec\": {:.1},\n",
             "    \"speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"streaming\": {{\n",
+            "    \"windows_per_sec\": {:.1},\n",
+            "    \"speedup_vs_batch\": {:.2}\n",
             "  }},\n",
             "  \"forest_only\": {{\n",
             "    \"boxed_windows_per_sec\": {:.1},\n",
@@ -148,6 +209,8 @@ fn main() {
         seed_wps,
         batch_wps,
         speedup,
+        streaming_wps,
+        streaming_speedup,
         boxed_wps,
         flat_wps,
         flat_wps / boxed_wps,

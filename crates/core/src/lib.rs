@@ -68,5 +68,7 @@ pub use label::SeizureLabel;
 pub use labeler::{LabelerConfig, PosterioriLabeler};
 pub use metric::{deviation_seconds, normalized_deviation};
 pub use pipeline::{SelfLearningPipeline, SelfLearningReport};
-pub use realtime::{RealTimeDetector, RealTimeDetectorConfig};
+pub use realtime::{
+    RealTimeDetector, RealTimeDetectorConfig, StreamingDetection, StreamingDetector,
+};
 pub use workspace::FeatureWorkspace;

@@ -13,9 +13,10 @@ use seizure_data::signal::EegSignal;
 use seizure_features::extractor::{FeatureExtractor, RichFeatureSet, SlidingWindowConfig};
 use seizure_features::matrix::FeatureMatrix;
 use seizure_features::quality::{
-    self, QualityExtractor, IDX_DISAGREEMENT, IDX_DRIFT_RATIO, IDX_FLAT_RUN_FRAC, IDX_HUM_RATIO,
-    IDX_LOG_STD, IDX_MAX_JUMP_SIGMA, IDX_RAILED_FRAC,
+    self, QualityExtractor, QualityScratch, IDX_DISAGREEMENT, IDX_DRIFT_RATIO, IDX_FLAT_RUN_FRAC,
+    IDX_HUM_RATIO, IDX_LOG_STD, IDX_MAX_JUMP_SIGMA, IDX_RAILED_FRAC, NUM_QUALITY_FEATURES,
 };
+use seizure_features::streaming::StreamingRichExtractor;
 use seizure_ml::dataset::Dataset;
 use seizure_ml::flat::FlatForest;
 use seizure_ml::forest::RandomForestConfig;
@@ -202,15 +203,23 @@ impl QualityGate {
         out.reserve(quality.num_windows());
         let mut prev = QualityVerdict::Clean;
         for row in quality.rows() {
-            let verdict = match (Self::raw_level(row), prev) {
-                (2, _) => QualityVerdict::Reject,
-                (1, QualityVerdict::Reject) => QualityVerdict::Reject,
-                (1, _) => QualityVerdict::Suspect,
-                (_, QualityVerdict::Reject) => QualityVerdict::Suspect,
-                _ => QualityVerdict::Clean,
-            };
+            let verdict = Self::next_verdict(Self::raw_level(row), prev);
             out.push(verdict);
             prev = verdict;
+        }
+    }
+
+    /// One step of the gate's Schmitt trigger: the verdict of a window with
+    /// severity `level` (see [`QualityGate::raw_level`]) given the previous
+    /// window's verdict — shared by the record-level `verdicts_into` sweep
+    /// and the sample-at-a-time [`StreamingDetector`].
+    fn next_verdict(level: u8, prev: QualityVerdict) -> QualityVerdict {
+        match (level, prev) {
+            (2, _) => QualityVerdict::Reject,
+            (1, QualityVerdict::Reject) => QualityVerdict::Reject,
+            (1, _) => QualityVerdict::Suspect,
+            (_, QualityVerdict::Reject) => QualityVerdict::Suspect,
+            _ => QualityVerdict::Clean,
         }
     }
 }
@@ -1278,6 +1287,183 @@ impl RealTimeDetector {
             &truth_labels,
         )?)
     }
+
+    /// Builds a sample-at-a-time streaming front end over this trained
+    /// detector for signals sampled at `fs` Hz: feed it one sample pair per
+    /// tick through [`StreamingDetector::push`] and it emits one
+    /// [`StreamingDetection`] per completed analysis window, reusing the
+    /// hop-structured extraction state across the 75 % window overlap
+    /// instead of recomputing each window from scratch.
+    ///
+    /// The streaming path matches [`RealTimeDetector::detect`] window for
+    /// window on a detector whose quality gate is uncalibrated, up to the
+    /// bounded floating-point error of the streaming extractor (see
+    /// [`seizure_features::streaming`]). One documented behavioural
+    /// difference: the record-level slow gain correction (AGC) is a
+    /// whole-record robust fit and is **not** applied while streaming, so a
+    /// calibrated gate may rescale batch inputs where the streaming path
+    /// classifies the raw samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidState`] if the detector is untrained and
+    /// propagates configuration errors (e.g. a window geometry whose hop
+    /// cannot be streamed).
+    pub fn streaming(&self, fs: f64) -> Result<StreamingDetector<'_>, CoreError> {
+        let forest = self.require_flat()?;
+        let window = self.window_config(fs)?;
+        let extractor = StreamingRichExtractor::new(&window)?;
+        let hop = window.step_samples();
+        let num_features = extractor.num_features();
+        Ok(StreamingDetector {
+            detector: self,
+            forest,
+            quality: QualityExtractor::new(fs)?,
+            quality_scratch: QualityScratch::default(),
+            quality_row: [0.0; NUM_QUALITY_FEATURES],
+            extractor,
+            row: vec![0.0; num_features],
+            hop_a: vec![0.0; hop],
+            hop_b: vec![0.0; hop],
+            fill: 0,
+            prev_verdict: QualityVerdict::Clean,
+            window_index: 0,
+        })
+    }
+}
+
+/// One completed analysis window emitted by [`StreamingDetector::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingDetection {
+    /// Zero-based index of the completed window (same indexing as the
+    /// per-window vectors of [`RealTimeDetector::detect`]).
+    pub window_index: usize,
+    /// The gated alarm: the forest's prediction, forced to `false` on
+    /// `Reject` windows when the quality gate is enabled.
+    pub alarm: bool,
+    /// The signal-quality verdict of the window (always `Clean` when the
+    /// gate is disabled).
+    pub verdict: QualityVerdict,
+}
+
+/// Sample-at-a-time detection front end borrowed from a trained
+/// [`RealTimeDetector`] (see [`RealTimeDetector::streaming`]).
+///
+/// Samples are buffered into hops; each hop advances the carried extraction
+/// state ([`StreamingRichExtractor`]), and once a full window of hops is in
+/// flight every further hop completes one window: quality verdict (with the
+/// same Schmitt-trigger hysteresis as the batch gate), standardization with
+/// the training statistics, forest classification and alarm gating. After
+/// the warm-up allocations in [`RealTimeDetector::streaming`], pushing
+/// samples performs no heap allocation.
+#[derive(Debug)]
+pub struct StreamingDetector<'a> {
+    detector: &'a RealTimeDetector,
+    forest: &'a FlatForest,
+    extractor: StreamingRichExtractor,
+    quality: QualityExtractor,
+    quality_scratch: QualityScratch,
+    quality_row: [f64; NUM_QUALITY_FEATURES],
+    row: Vec<f64>,
+    hop_a: Vec<f64>,
+    hop_b: Vec<f64>,
+    fill: usize,
+    prev_verdict: QualityVerdict,
+    window_index: usize,
+}
+
+impl StreamingDetector<'_> {
+    /// Number of samples per analysis window.
+    pub fn window_samples(&self) -> usize {
+        self.extractor.window_samples()
+    }
+
+    /// Number of samples between consecutive detections (the hop).
+    pub fn step_samples(&self) -> usize {
+        self.extractor.step_samples()
+    }
+
+    /// Index the next completed window will carry.
+    pub fn next_window_index(&self) -> usize {
+        self.window_index
+    }
+
+    /// Bytes of state carried across hops (the extractor's ring buffers and
+    /// carried operator state plus the hop staging buffers); the edge memory
+    /// model prices the extractor part as
+    /// `seizure_edge::memory::streaming_state_bytes`.
+    pub fn state_bytes(&self) -> usize {
+        self.extractor.state_bytes() + (self.hop_a.len() + self.hop_b.len()) * 8
+    }
+
+    /// Forgets all carried signal state (keeping the borrowed model) so the
+    /// next sample starts a new record; the quality gate's hysteresis is
+    /// reset to `Clean` and window indices restart at zero.
+    pub fn reset(&mut self) {
+        self.extractor.reset();
+        self.fill = 0;
+        self.prev_verdict = QualityVerdict::Clean;
+        self.window_index = 0;
+    }
+
+    /// Ingests one sample pair (F7T3, F8T4). Returns `Ok(None)` until the
+    /// sample completes an analysis window — every `window_samples()`-th
+    /// sample at first, then every `step_samples()`-th — and the completed
+    /// window's [`StreamingDetection`] afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric extraction failures.
+    // lint: hot-path
+    pub fn push(&mut self, f7t3: f64, f8t4: f64) -> Result<Option<StreamingDetection>, CoreError> {
+        self.hop_a[self.fill] = f7t3;
+        self.hop_b[self.fill] = f8t4;
+        self.fill += 1;
+        if self.fill < self.hop_a.len() {
+            return Ok(None);
+        }
+        self.fill = 0;
+        let completed = self
+            .extractor
+            .push_hop(&self.hop_a, &self.hop_b, &mut self.row)?;
+        if !completed {
+            return Ok(None);
+        }
+        let verdict = if self.detector.config.quality_gate {
+            self.quality.assess_window_into(
+                self.extractor.current_window(0),
+                self.extractor.current_window(1),
+                &mut self.quality_row,
+                &mut self.quality_scratch,
+            )?;
+            let verdict = QualityGate::next_verdict(
+                QualityGate::raw_level(&self.quality_row),
+                self.prev_verdict,
+            );
+            self.prev_verdict = verdict;
+            verdict
+        } else {
+            QualityVerdict::Clean
+        };
+        if !self.detector.feature_means.is_empty() {
+            scale_flat(
+                &mut self.row,
+                &self.detector.feature_means,
+                &self.detector.feature_stds,
+            );
+        }
+        let mut alarm = self.forest.predict(&self.row);
+        if self.detector.config.quality_gate && verdict == QualityVerdict::Reject {
+            alarm = false;
+        }
+        let detection = StreamingDetection {
+            window_index: self.window_index,
+            alarm,
+            verdict,
+        };
+        self.window_index += 1;
+        Ok(Some(detection))
+    }
 }
 
 /// Balanced training selection over per-window labels: every seizure window
@@ -2087,5 +2273,64 @@ mod tests {
             }
             cut += stride;
         }
+    }
+
+    #[test]
+    fn streaming_detector_matches_batch_detect() {
+        let (record, truth) = record_and_truth(11);
+        let mut detector = RealTimeDetector::new(fast_config());
+        assert!(matches!(
+            detector.streaming(64.0),
+            Err(CoreError::InvalidState { .. })
+        ));
+        let training = detector
+            .build_training_windows(record.signal(), &truth)
+            .unwrap();
+        detector.train(&training).unwrap();
+
+        let mut ws = FeatureWorkspace::new();
+        detector.detect_into(record.signal(), &mut ws).unwrap();
+        let batch_alarms = ws.predictions.clone();
+        let batch_verdicts = ws.verdicts.clone();
+
+        let fs = record.signal().sampling_frequency();
+        let mut streaming = detector.streaming(fs).unwrap();
+        assert_eq!(streaming.window_samples(), 256);
+        assert_eq!(streaming.step_samples(), 64);
+        assert!(streaming.state_bytes() > 0);
+        let mut alarms = Vec::new();
+        let mut verdicts = Vec::new();
+        for (&a, &b) in record
+            .signal()
+            .f7t3()
+            .iter()
+            .zip(record.signal().f8t4().iter())
+        {
+            if let Some(det) = streaming.push(a, b).unwrap() {
+                assert_eq!(det.window_index, alarms.len());
+                alarms.push(det.alarm);
+                verdicts.push(det.verdict);
+            }
+        }
+        // The gate is uncalibrated, so no AGC ran in the batch path and the
+        // streaming sweep must agree window for window.
+        assert_eq!(alarms, batch_alarms);
+        assert_eq!(verdicts, batch_verdicts);
+
+        // A reset detector replays the same record identically.
+        streaming.reset();
+        assert_eq!(streaming.next_window_index(), 0);
+        let mut replay = Vec::new();
+        for (&a, &b) in record
+            .signal()
+            .f7t3()
+            .iter()
+            .zip(record.signal().f8t4().iter())
+        {
+            if let Some(det) = streaming.push(a, b).unwrap() {
+                replay.push(det.alarm);
+            }
+        }
+        assert_eq!(replay, alarms);
     }
 }

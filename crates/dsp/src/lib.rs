@@ -51,8 +51,8 @@ pub mod window;
 
 pub use error::DspError;
 pub use fft::{fft, ifft, real_fft_magnitude, Complex, FftPlan};
-pub use spectrum::{band_power, periodogram, welch, PowerSpectrum, PsdPlan};
+pub use spectrum::{band_power, periodogram, welch, HopPeriodogram, PowerSpectrum, PsdPlan};
 pub use wavelet::{
-    dwt_single, idwt_single, wavedec, wavedec_into, waverec, Wavelet, WaveletDecomposition,
-    WaveletWorkspace,
+    dwt_single, idwt_single, wavedec, wavedec_into, waverec, StreamingWavelet, Wavelet,
+    WaveletDecomposition, WaveletWorkspace,
 };

@@ -613,6 +613,338 @@ pub fn waverec(decomposition: &WaveletDecomposition) -> Result<Vec<f64>, DspErro
     Ok(current)
 }
 
+/// Streaming multi-level DWT over sliding windows that advance by a fixed
+/// hop, reusing every coefficient the window overlap already paid for.
+///
+/// With periodic extension, a window's level-`l` coefficient band splits into
+/// a **clean prefix** — coefficients whose filter taps land entirely inside
+/// the clean prefix of the band above, which are therefore shift-covariant:
+/// window `w+1`'s clean coefficient `i` equals window `w`'s coefficient
+/// `i + step/2^l` — and a short **corrupted tail** (at most `taps - 2`
+/// coefficients per level for the wrap, plus the few that read the previous
+/// band's own tail) that must be recomputed for every window. Per window this
+/// operator shifts each clean prefix left with `copy_within`, computes only
+/// the `step/2^l` newly exposed clean coefficients, and recomputes the tail,
+/// instead of re-running the full filter bank — for the paper's 1024-sample
+/// window with a 256-sample hop that is roughly a 4–5× reduction in filter
+/// work.
+///
+/// Outputs are **bit-identical** to [`WaveletWorkspace::decompose`] on the
+/// same window: clean, interior-tail and wrapping-tail coefficients are all
+/// produced by the same ascending-tap accumulation as the batch filter step,
+/// so there is no error model to carry — only the operation schedule changes.
+///
+/// Approximation bands are maintained for every level (each feeds the next);
+/// detail bands are maintained only for `min_detail_level..=levels`, so
+/// callers that consume only coarse sub-bands (like the rich feature set's
+/// level 3–5 wavelet entropies) don't pay memory or shifts for the fine ones.
+///
+/// The contract is that consecutive [`StreamingWavelet::update`] calls
+/// receive windows of the same record offset by exactly `step` samples;
+/// [`StreamingWavelet::reset`] starts a new record.
+///
+/// # Example
+///
+/// ```
+/// use seizure_dsp::wavelet::{StreamingWavelet, Wavelet, WaveletWorkspace};
+///
+/// # fn main() -> Result<(), seizure_dsp::DspError> {
+/// let record: Vec<f64> = (0..2048).map(|i| (i as f64 * 0.05).sin()).collect();
+/// let mut streaming = StreamingWavelet::new(Wavelet::Daubechies4, 1024, 256, 5, 3)?;
+/// let mut batch = WaveletWorkspace::new(Wavelet::Daubechies4, 1024, 5)?;
+/// for start in (0..=1024).step_by(256) {
+///     let window = &record[start..start + 1024];
+///     streaming.update(window)?;
+///     batch.decompose(window)?;
+///     assert_eq!(streaming.detail(4).unwrap(), batch.detail(4).unwrap());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingWavelet {
+    wavelet: Wavelet,
+    levels: usize,
+    window_len: usize,
+    step: usize,
+    min_detail_level: usize,
+    /// Precomputed high-pass filter.
+    high: Vec<f64>,
+    /// Per-level clean-prefix length `c_l`, level 1 first; follows the
+    /// recurrence `c_l = (c_{l-1} - taps) / 2 + 1` with `c_0 = window_len`.
+    clean: Vec<usize>,
+    /// Per-level approximation band of the current window, level 1 first,
+    /// `window_len >> l` coefficients each: clean prefix then corrupted tail.
+    approx: Vec<Vec<f64>>,
+    /// Per-level detail band, empty below `min_detail_level`.
+    detail: Vec<Vec<f64>>,
+    /// Whether `update` has run at least once since construction/reset.
+    ready: bool,
+}
+
+impl StreamingWavelet {
+    /// Builds a streaming decomposition of `window_len`-sample windows
+    /// advancing by `step` samples, down to `levels` levels, keeping detail
+    /// bands from `min_detail_level` up.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WaveletWorkspace::new`] errors for degenerate window
+    /// geometry, plus [`DspError::InvalidParameter`] when `step` or
+    /// `window_len` is not a positive multiple of `2^levels` or
+    /// `min_detail_level` is outside `1..=levels`, and
+    /// [`DspError::InvalidLength`] when the window/hop geometry leaves a
+    /// level with fewer clean coefficients than it must produce per hop
+    /// (i.e. nothing would be reusable and batch recompute is the answer).
+    pub fn new(
+        wavelet: Wavelet,
+        window_len: usize,
+        step: usize,
+        levels: usize,
+        min_detail_level: usize,
+    ) -> Result<Self, DspError> {
+        if window_len == 0 {
+            return Err(DspError::EmptyInput {
+                operation: "StreamingWavelet::new",
+            });
+        }
+        if levels == 0 {
+            return Err(DspError::InvalidParameter {
+                name: "levels",
+                reason: "decomposition requires at least one level".to_string(),
+            });
+        }
+        if levels > wavelet.max_level(window_len) || window_len < wavelet.filter_len() * 2 {
+            return Err(DspError::InvalidLength {
+                operation: "StreamingWavelet::new",
+                actual: window_len,
+                requirement: "signal too short for the requested number of levels",
+            });
+        }
+        let scale = 1usize << levels;
+        if step == 0 || !step.is_multiple_of(scale) {
+            return Err(DspError::InvalidParameter {
+                name: "step",
+                reason: format!(
+                    "hop must be a positive multiple of 2^levels = {scale}, got {step}"
+                ),
+            });
+        }
+        if !window_len.is_multiple_of(scale) {
+            return Err(DspError::InvalidParameter {
+                name: "window_len",
+                reason: format!(
+                    "window length must be a multiple of 2^levels = {scale}, got {window_len}"
+                ),
+            });
+        }
+        if min_detail_level == 0 || min_detail_level > levels {
+            return Err(DspError::InvalidParameter {
+                name: "min_detail_level",
+                reason: format!("must be within 1..=levels ({levels}), got {min_detail_level}"),
+            });
+        }
+        let taps = wavelet.filter_len();
+        let mut clean = Vec::with_capacity(levels);
+        let mut c_prev = window_len;
+        for level in 1..=levels {
+            let c = if c_prev >= taps {
+                (c_prev - taps) / 2 + 1
+            } else {
+                0
+            };
+            if c < step >> level {
+                return Err(DspError::InvalidLength {
+                    operation: "StreamingWavelet::new",
+                    actual: window_len,
+                    requirement:
+                        "window/hop geometry must retain at least one hop of clean coefficients per level",
+                });
+            }
+            clean.push(c);
+            c_prev = c;
+        }
+        let approx = (1..=levels).map(|l| vec![0.0; window_len >> l]).collect();
+        let detail = (1..=levels)
+            .map(|l| {
+                if l >= min_detail_level {
+                    vec![0.0; window_len >> l]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        Ok(Self {
+            wavelet,
+            levels,
+            window_len,
+            step,
+            min_detail_level,
+            high: wavelet.high_pass(),
+            clean,
+            approx,
+            detail,
+            ready: false,
+        })
+    }
+
+    /// The wavelet family of the operator.
+    pub fn wavelet(&self) -> Wavelet {
+        self.wavelet
+    }
+
+    /// Number of decomposition levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The window length the operator was built for.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// Samples the window advances between consecutive `update` calls.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// Finest detail level that is maintained.
+    pub fn min_detail_level(&self) -> usize {
+        self.min_detail_level
+    }
+
+    /// Number of `f64` coefficient slots carried across windows (approximation
+    /// plus maintained detail bands) — the retained state the edge memory
+    /// model prices per channel.
+    pub fn state_len(&self) -> usize {
+        let approx: usize = self.approx.iter().map(Vec::len).sum();
+        let detail: usize = self.detail.iter().map(Vec::len).sum();
+        approx + detail
+    }
+
+    /// Forgets all carried coefficients so the next [`update`] treats its
+    /// window as the start of a new record.
+    ///
+    /// [`update`]: StreamingWavelet::update
+    pub fn reset(&mut self) {
+        self.ready = false;
+    }
+
+    /// Decomposes the next window of the record. The first call after
+    /// construction or [`reset`] computes every band in full; subsequent
+    /// calls assume `window` is the previous window advanced by exactly
+    /// `step` samples and only compute what the overlap cannot supply.
+    /// No heap allocations are performed.
+    ///
+    /// [`reset`]: StreamingWavelet::reset
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] if `window` does not match the
+    /// planned length.
+    // lint: hot-path
+    pub fn update(&mut self, window: &[f64]) -> Result<(), DspError> {
+        if window.len() != self.window_len {
+            return Err(DspError::InvalidLength {
+                operation: "StreamingWavelet::update",
+                actual: window.len(),
+                requirement: "window length must match the operator's planned length",
+            });
+        }
+        let first = !self.ready;
+        let low = self.wavelet.low_pass();
+        let taps = low.len();
+        for level in 1..=self.levels {
+            let n = self.window_len >> level;
+            let n_prev = self.window_len >> (level - 1);
+            let c = self.clean[level - 1];
+            let hop = self.step >> level;
+            let (prev_bufs, cur_bufs) = self.approx.split_at_mut(level - 1);
+            let prev_full: &[f64] = if level == 1 {
+                window
+            } else {
+                &prev_bufs[level - 2]
+            };
+            let approx = &mut cur_bufs[0];
+            let detail = &mut self.detail[level - 1];
+            let has_detail = !detail.is_empty();
+            let new_start = if first { 0 } else { c - hop };
+            if !first {
+                // Clean coefficients are shift-covariant: drop the first
+                // `hop` of them, keep the rest.
+                approx.copy_within(hop..c, 0);
+                if has_detail {
+                    detail.copy_within(hop..c, 0);
+                }
+            }
+            // Newly exposed clean coefficients: every tap lands inside the
+            // previous band's clean prefix (guaranteed by the `clean`
+            // recurrence), so a plain slice window suffices — identical
+            // arithmetic to the batch filter step's interior loop.
+            for i in new_start..c {
+                let input = &prev_full[2 * i..2 * i + taps];
+                let mut a = 0.0;
+                let mut d = 0.0;
+                for ((&lo, &hi), &x) in low.iter().zip(self.high.iter()).zip(input.iter()) {
+                    a += lo * x;
+                    d += hi * x;
+                }
+                approx[i] = a;
+                if has_detail {
+                    detail[i] = d;
+                }
+            }
+            // Corrupted tail: taps either read the previous band's own tail
+            // or wrap around the periodic boundary; recomputed every window
+            // with the same indexing as the batch boundary loop.
+            for i in c..n {
+                let mut a = 0.0;
+                let mut d = 0.0;
+                for (k, (&lo, &hi)) in low.iter().zip(self.high.iter()).enumerate() {
+                    let idx = periodic_index(2 * i as isize + k as isize, n_prev);
+                    let x = prev_full[idx];
+                    a += lo * x;
+                    d += hi * x;
+                }
+                approx[i] = a;
+                if has_detail {
+                    detail[i] = d;
+                }
+            }
+        }
+        self.ready = true;
+        Ok(())
+    }
+
+    /// Detail coefficients of the most recent window, `1` being the finest
+    /// level. Returns `None` before the first [`update`] call, for an
+    /// out-of-range level, or for a level below `min_detail_level`.
+    ///
+    /// [`update`]: StreamingWavelet::update
+    pub fn detail(&self, level: usize) -> Option<&[f64]> {
+        if !self.ready || level == 0 || level > self.levels {
+            return None;
+        }
+        let buf = &self.detail[level - 1];
+        if buf.is_empty() {
+            None
+        } else {
+            Some(buf.as_slice())
+        }
+    }
+
+    /// Approximation coefficients at the deepest level of the most recent
+    /// window (empty before the first [`update`] call).
+    ///
+    /// [`update`]: StreamingWavelet::update
+    pub fn approximation(&self) -> &[f64] {
+        if !self.ready {
+            return &[];
+        }
+        self.approx[self.levels - 1].as_slice()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -856,6 +1188,129 @@ mod tests {
         assert!(ws.detail(4).is_none());
         assert_eq!(ws.detail(1).unwrap().len(), 32);
         assert_eq!(ws.approximation().len(), 8);
+    }
+
+    #[test]
+    fn streaming_matches_workspace_bit_exactly() {
+        let record = test_signal(1024 + 12 * 256);
+        let mut streaming = StreamingWavelet::new(Wavelet::Daubechies4, 1024, 256, 5, 1).unwrap();
+        let mut batch = WaveletWorkspace::new(Wavelet::Daubechies4, 1024, 5).unwrap();
+        let mut windows = 0;
+        for start in (0..=record.len() - 1024).step_by(256) {
+            let window = &record[start..start + 1024];
+            streaming.update(window).unwrap();
+            batch.decompose(window).unwrap();
+            for level in 1..=5 {
+                assert_eq!(
+                    streaming.detail(level).unwrap(),
+                    batch.detail(level).unwrap(),
+                    "start={start} level={level}"
+                );
+            }
+            assert_eq!(
+                streaming.approximation(),
+                batch.approximation(),
+                "start={start}"
+            );
+            windows += 1;
+        }
+        assert_eq!(windows, 13);
+    }
+
+    #[test]
+    fn streaming_min_detail_level_skips_fine_bands() {
+        let record = test_signal(1024 + 4 * 256);
+        let mut streaming = StreamingWavelet::new(Wavelet::Daubechies4, 1024, 256, 5, 3).unwrap();
+        let mut batch = WaveletWorkspace::new(Wavelet::Daubechies4, 1024, 5).unwrap();
+        for start in (0..=record.len() - 1024).step_by(256) {
+            let window = &record[start..start + 1024];
+            streaming.update(window).unwrap();
+            batch.decompose(window).unwrap();
+            assert!(streaming.detail(1).is_none());
+            assert!(streaming.detail(2).is_none());
+            for level in 3..=5 {
+                assert_eq!(
+                    streaming.detail(level).unwrap(),
+                    batch.detail(level).unwrap(),
+                    "start={start} level={level}"
+                );
+            }
+        }
+        // Skipped fine bands shrink the carried state accordingly.
+        let full = StreamingWavelet::new(Wavelet::Daubechies4, 1024, 256, 5, 1).unwrap();
+        assert_eq!(full.state_len() - streaming.state_len(), 512 + 256);
+    }
+
+    #[test]
+    fn streaming_matches_workspace_across_geometries() {
+        for (wavelet, window, step, levels) in [
+            (Wavelet::Daubechies4, 512usize, 128usize, 4usize),
+            (Wavelet::Daubechies4, 256, 64, 5),
+            (Wavelet::Daubechies2, 256, 64, 3),
+            (Wavelet::Haar, 256, 128, 2),
+        ] {
+            let record = test_signal(window + 6 * step);
+            let mut streaming = StreamingWavelet::new(wavelet, window, step, levels, 1).unwrap();
+            let mut batch = WaveletWorkspace::new(wavelet, window, levels).unwrap();
+            for start in (0..=record.len() - window).step_by(step) {
+                let w = &record[start..start + window];
+                streaming.update(w).unwrap();
+                batch.decompose(w).unwrap();
+                for level in 1..=levels {
+                    assert_eq!(
+                        streaming.detail(level).unwrap(),
+                        batch.detail(level).unwrap(),
+                        "{wavelet} window={window} step={step} start={start} level={level}"
+                    );
+                }
+                assert_eq!(streaming.approximation(), batch.approximation());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_reset_restarts_the_record() {
+        let record = test_signal(1024 + 2 * 256);
+        let mut streaming = StreamingWavelet::new(Wavelet::Daubechies4, 1024, 256, 5, 1).unwrap();
+        for start in (0..=record.len() - 1024).step_by(256) {
+            streaming.update(&record[start..start + 1024]).unwrap();
+        }
+        // Jump to an unrelated offset: without a reset the shift assumption
+        // is violated, with one the output matches a fresh decomposition.
+        streaming.reset();
+        assert!(streaming.detail(3).is_none());
+        let window = &record[128..128 + 1024];
+        streaming.update(window).unwrap();
+        let mut batch = WaveletWorkspace::new(Wavelet::Daubechies4, 1024, 5).unwrap();
+        batch.decompose(window).unwrap();
+        assert_eq!(streaming.detail(3).unwrap(), batch.detail(3).unwrap());
+    }
+
+    #[test]
+    fn streaming_validation() {
+        // Hop not a multiple of 2^levels.
+        assert!(StreamingWavelet::new(Wavelet::Daubechies4, 1024, 100, 5, 1).is_err());
+        // Zero hop, zero levels, empty window.
+        assert!(StreamingWavelet::new(Wavelet::Daubechies4, 1024, 0, 5, 1).is_err());
+        assert!(StreamingWavelet::new(Wavelet::Daubechies4, 1024, 256, 0, 1).is_err());
+        assert!(StreamingWavelet::new(Wavelet::Daubechies4, 0, 256, 5, 1).is_err());
+        // Non-overlapping windows leave no reusable coefficients.
+        assert!(StreamingWavelet::new(Wavelet::Daubechies4, 1024, 1024, 5, 1).is_err());
+        // min_detail_level outside 1..=levels.
+        assert!(StreamingWavelet::new(Wavelet::Daubechies4, 1024, 256, 5, 0).is_err());
+        assert!(StreamingWavelet::new(Wavelet::Daubechies4, 1024, 256, 5, 6).is_err());
+        // Too deep for the window.
+        assert!(StreamingWavelet::new(Wavelet::Daubechies4, 64, 32, 7, 1).is_err());
+
+        let mut ok = StreamingWavelet::new(Wavelet::Daubechies4, 1024, 256, 5, 3).unwrap();
+        assert_eq!(ok.wavelet(), Wavelet::Daubechies4);
+        assert_eq!(ok.levels(), 5);
+        assert_eq!(ok.window_len(), 1024);
+        assert_eq!(ok.step(), 256);
+        assert_eq!(ok.min_detail_level(), 3);
+        assert!(ok.detail(3).is_none());
+        assert!(ok.approximation().is_empty());
+        assert!(ok.update(&[0.0; 512]).is_err());
     }
 
     #[test]

@@ -53,6 +53,28 @@ pub const GATE_STATE_BYTES: usize = 1 + 3 * 8;
 /// `tests/edge_platform.rs` pins it to the real layout.
 const QUALITY_FEATURES: usize = 15;
 
+/// `f64` slots one hop summary of the streaming extractor carries (the raw
+/// moment accumulator, the two second-order difference accumulators,
+/// partial waveform folds and the eight boundary samples). Mirrors
+/// `seizure-features`' `streaming::HOP_SUMMARY_F64_SLOTS`; pinned by
+/// `tests/edge_platform.rs`.
+const HOP_SUMMARY_F64: usize = 24;
+
+/// `u32` slots per hop summary (zero-crossing count plus the order-3 and
+/// order-5 ordinal pattern tables). Mirrors
+/// `streaming::HOP_SUMMARY_U32_SLOTS`; pinned by `tests/edge_platform.rs`.
+const HOP_SUMMARY_U32: usize = 1 + 6 + 120;
+
+/// The rich feature set decomposes with db4 to at most this many levels.
+const STREAM_WAVELET_MAX_LEVELS: usize = 5;
+
+/// db4 filter length, for the `wmaxlev` clamp.
+const STREAM_WAVELET_FILTER_LEN: usize = 8;
+
+/// Coarsest detail level the rich set reads Shannon entropies from; the
+/// streaming wavelet only maintains detail buffers from here up.
+const STREAM_MIN_DETAIL_LEVEL: usize = 3;
+
 impl MemoryModel {
     /// Creates a memory model for the given platform.
     pub fn new(spec: PlatformSpec) -> Self {
@@ -265,6 +287,82 @@ impl MemoryModel {
         Ok(budget)
     }
 
+    /// Bytes of state the streaming feature extractor
+    /// (`seizure-features`' `StreamingRichExtractor`) carries across hops
+    /// for this platform's channel count: per channel, the linearized
+    /// window ring buffer, `window / step` hop summaries
+    /// ([`HOP_SUMMARY_F64`] `f64` + [`HOP_SUMMARY_U32`] `u32` slots each),
+    /// the carried db4 coefficients (approximations on every level, details
+    /// from level [`STREAM_MIN_DETAIL_LEVEL`] up) and, when `hop_welch` is
+    /// set, the ring of hop periodograms. The formula mirrors the extractor's
+    /// own `state_bytes()` byte for byte (`tests/edge_platform.rs` pins the
+    /// two against each other); transient FFT scratch is excluded on both
+    /// sides. Returns 0 for geometries the streaming extractor rejects
+    /// (window not a multiple of the step).
+    pub fn streaming_state_bytes(
+        &self,
+        window_samples: usize,
+        step_samples: usize,
+        hop_welch: bool,
+    ) -> usize {
+        if step_samples == 0 || !window_samples.is_multiple_of(step_samples) {
+            return 0;
+        }
+        let k = window_samples / step_samples;
+        // db4 `wmaxlev`, clamped to the rich set's decomposition depth.
+        let max_level = if window_samples < STREAM_WAVELET_FILTER_LEN {
+            0
+        } else {
+            let ratio = window_samples as f64 / (STREAM_WAVELET_FILTER_LEN as f64 - 1.0);
+            ratio.log2().floor().max(0.0) as usize
+        };
+        let levels = STREAM_WAVELET_MAX_LEVELS.min(max_level).max(1);
+        let min_detail = STREAM_MIN_DETAIL_LEVEL.min(levels);
+        let mut wavelet_slots = 0usize;
+        for level in 1..=levels {
+            wavelet_slots += window_samples >> level;
+            if level >= min_detail {
+                wavelet_slots += window_samples >> level;
+            }
+        }
+        let hop_psd_slots = if hop_welch {
+            k * (step_samples / 2 + 1)
+        } else {
+            0
+        };
+        let f64_slots = window_samples + k * HOP_SUMMARY_F64 + wavelet_slots + hop_psd_slots;
+        let u32_slots = k * HOP_SUMMARY_U32;
+        self.spec.num_channels * (f64_slots * std::mem::size_of::<f64>() + u32_slots * 4)
+    }
+
+    /// [`MemoryModel::budget_with_quality_gate`] for a detector running the
+    /// sample-at-a-time streaming front end: the RAM side additionally holds
+    /// [`MemoryModel::streaming_state_bytes`] of carried extraction state
+    /// plus one hop of staging samples per channel. On the paper platform
+    /// (STM32L151, 48 KB RAM) the full-precision 4 s / 75 % state at 256 Hz
+    /// is ~41 KB — streamable on its own, but `fits_ram` turns `false` once
+    /// the hour-long quality ribbon shares the RAM, documenting that a
+    /// deployment would down-convert the carried state to `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::InvalidParameter`] if the buffer duration is not
+    /// positive.
+    pub fn budget_with_streaming(
+        &self,
+        buffer_secs: f64,
+        snapshot_bytes: usize,
+        window_samples: usize,
+        step_samples: usize,
+    ) -> Result<MemoryBudget, EdgeError> {
+        let mut budget = self.budget_with_quality_gate(buffer_secs, snapshot_bytes)?;
+        let staging = self.spec.num_channels * step_samples * std::mem::size_of::<f64>();
+        budget.working_bytes +=
+            self.streaming_state_bytes(window_samples, step_samples, false) + staging;
+        budget.fits_ram = budget.working_bytes <= self.spec.ram_bytes;
+        Ok(budget)
+    }
+
     /// Computes the memory budget for a history buffer of `buffer_secs`
     /// seconds (the paper uses one hour, the maximum delay between a missed
     /// seizure and the patient's confirmation).
@@ -454,5 +552,49 @@ mod tests {
                 .fits_flash
         ); // 240 KB history + 160 KB store > 384 KB
         assert!(model.budget_with_ab_store(0.0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn streaming_state_closed_form_prices_the_paper_geometry() {
+        let model = model();
+        // 1024-sample window, 256-sample hop, 5 db4 levels: per channel the
+        // window ring (1024 f64), four hop summaries, the carried approx
+        // bands 512+256+128+64+32 and detail bands 128+64+32.
+        let wavelet_slots = (512 + 256 + 128 + 64 + 32) + (128 + 64 + 32);
+        let per_channel =
+            (1024 + 4 * HOP_SUMMARY_F64 + wavelet_slots) * 8 + 4 * HOP_SUMMARY_U32 * 4;
+        assert_eq!(
+            model.streaming_state_bytes(1024, 256, false),
+            2 * per_channel
+        );
+        // Welch-reuse mode adds four hop periodograms of 129 bins each.
+        assert_eq!(
+            model.streaming_state_bytes(1024, 256, true),
+            2 * (per_channel + 4 * 129 * 8)
+        );
+        // Unstreamable geometries price to zero.
+        assert_eq!(model.streaming_state_bytes(1024, 0, false), 0);
+        assert_eq!(model.streaming_state_bytes(1024, 300, false), 0);
+    }
+
+    #[test]
+    fn streaming_budget_extends_ram_and_documents_the_full_hour_boundary() {
+        let model = model();
+        let gated = model.budget_with_quality_gate(1200.0, 64 * 1024).unwrap();
+        let streaming = model
+            .budget_with_streaming(1200.0, 64 * 1024, 1024, 256)
+            .unwrap();
+        assert_eq!(streaming.history_bytes, gated.history_bytes);
+        assert_eq!(
+            streaming.working_bytes,
+            gated.working_bytes + model.streaming_state_bytes(1024, 256, false) + 2 * 256 * 8
+        );
+        // The carried state alone fits the 48 KB RAM…
+        assert!(model.streaming_state_bytes(1024, 256, false) <= 48 * 1024);
+        // …but a full-precision f64 deployment next to the hour-long quality
+        // ribbon does not: a real deployment stores the carried state as f32.
+        let hour = model.budget_with_streaming(3600.0, 0, 1024, 256).unwrap();
+        assert!(!hour.fits_ram, "{} bytes", hour.working_bytes);
+        assert!(model.budget_with_streaming(0.0, 1, 1024, 256).is_err());
     }
 }

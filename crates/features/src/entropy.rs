@@ -134,7 +134,28 @@ pub fn permutation_entropy_scratch(
     let table_size: usize = (2..=order).product();
     counts.clear();
     counts.resize(table_size, 0);
+    accumulate_pattern_counts(data, order, delay, counts);
+    Ok(entropy_from_counts(counts, num_patterns, order))
+}
 
+/// Ranks every ordinal pattern of `data` (starts `0..len − span`) with its
+/// Lehmer code and increments the matching slot of the dense `order!`-entry
+/// table `counts`. Shared between [`permutation_entropy_scratch`] and the
+/// streaming extractor's per-hop pattern tables, so summing hop tables and
+/// running [`entropy_from_counts`] over the merged counts is bit-identical
+/// to the batch computation by construction.
+// lint: hot-path
+pub(crate) fn accumulate_pattern_counts(
+    data: &[f64],
+    order: usize,
+    delay: usize,
+    counts: &mut [u32],
+) {
+    let span = (order - 1) * delay;
+    if data.len() <= span {
+        return;
+    }
+    let num_patterns = data.len() - span;
     let mut values = [0.0f64; MAX_SCRATCH_ORDER];
     let mut perm = [0u8; MAX_SCRATCH_ORDER];
     for start in 0..num_patterns {
@@ -175,7 +196,165 @@ pub fn permutation_entropy_scratch(
         }
         counts[rank] += 1;
     }
+}
 
+/// Drop-front / insert-back transition tables for the incremental ordinal
+/// ranker: `drop[r]` is the Lehmer rank of an order-`m` pattern after its
+/// first (oldest) sample leaves, `ins[r_sub * m + c]` the rank after a new
+/// sample enters at the back with `c` of the retained samples ordered at or
+/// below it. Both are pure combinatorics — built once from the permutation
+/// group, independent of any signal.
+struct OrdinalTransitions {
+    /// Order-3 rank → order-2 rank of the two retained samples.
+    drop3: [u8; 6],
+    /// `[order-2 rank][insert slot 0..=2]` → order-3 rank.
+    ins3: [u8; 6],
+    /// Order-5 rank → order-4 rank of the four retained samples.
+    drop5: [u8; 120],
+    /// `[order-4 rank][insert slot 0..=4]` → order-5 rank.
+    ins5: [u8; 120],
+}
+
+static ORDINAL_TRANSITIONS: std::sync::OnceLock<OrdinalTransitions> = std::sync::OnceLock::new();
+
+/// Lehmer-code rank of a permutation of `0..len`, in the same mixed-radix
+/// form as [`accumulate_pattern_counts`]'s inner loop.
+fn lehmer_rank(perm: &[u8]) -> usize {
+    let order = perm.len();
+    let mut rank = 0usize;
+    for i in 0..order {
+        let mut smaller_later = 0usize;
+        for j in i + 1..order {
+            smaller_later += usize::from(perm[j] < perm[i]);
+        }
+        rank = rank * (order - i) + smaller_later;
+    }
+    rank
+}
+
+/// All permutations of `0..order` indexed by their Lehmer rank.
+fn perms_by_rank(order: usize) -> Vec<Vec<u8>> {
+    let table_size: usize = (2..=order).product();
+    let mut by_rank = vec![Vec::new(); table_size];
+    let mut current: Vec<u8> = Vec::with_capacity(order);
+    let mut used = vec![false; order];
+    fn rec(order: usize, current: &mut Vec<u8>, used: &mut [bool], by_rank: &mut [Vec<u8>]) {
+        if current.len() == order {
+            by_rank[lehmer_rank(current)] = current.clone();
+            return;
+        }
+        for p in 0..order {
+            if !used[p] {
+                used[p] = true;
+                current.push(p as u8);
+                rec(order, current, used, by_rank);
+                current.pop();
+                used[p] = false;
+            }
+        }
+    }
+    rec(order, &mut current, &mut used, &mut by_rank);
+    by_rank
+}
+
+/// Fills one order's transition tables from the permutation group.
+fn fill_transitions(order: usize, drop: &mut [u8], ins: &mut [u8]) {
+    let by_rank = perms_by_rank(order);
+    let by_rank_sub = perms_by_rank(order - 1);
+    for (rank, perm) in by_rank.iter().enumerate() {
+        // Removing the oldest sample (position 0) keeps the value order of
+        // the rest; renumber positions down by one.
+        let sub: Vec<u8> = perm.iter().filter(|&&p| p != 0).map(|&p| p - 1).collect();
+        drop[rank] = lehmer_rank(&sub) as u8;
+    }
+    for (rank_sub, perm_sub) in by_rank_sub.iter().enumerate() {
+        for slot in 0..order {
+            // The incoming sample has the latest position, so a stable order
+            // puts it immediately after the `slot` retained samples that
+            // compare at or below it.
+            let mut full: Vec<u8> = perm_sub.clone();
+            full.insert(slot, (order - 1) as u8);
+            ins[rank_sub * order + slot] = lehmer_rank(&full) as u8;
+        }
+    }
+}
+
+fn ordinal_transitions() -> &'static OrdinalTransitions {
+    ORDINAL_TRANSITIONS.get_or_init(|| {
+        let mut tables = OrdinalTransitions {
+            drop3: [0; 6],
+            ins3: [0; 6],
+            drop5: [0; 120],
+            ins5: [0; 120],
+        };
+        fill_transitions(3, &mut tables.drop3, &mut tables.ins3);
+        fill_transitions(5, &mut tables.drop5, &mut tables.ins5);
+        tables
+    })
+}
+
+/// Delay-1 fast twin of [`accumulate_pattern_counts`] for orders 3 and 5:
+/// ranks the first window with the same stable sort, then slides — each
+/// subsequent start costs `order − 1` `total_cmp` comparisons (the incoming
+/// sample against the retained ones) and two table lookups instead of a full
+/// sort. Counts are integers and the transition tables replicate the stable
+/// tie order, so the resulting table is identical to the generic ranker's
+/// bit for bit (property-tested below, NaNs included). Used by the streaming
+/// extractor's per-hop tables.
+// lint: hot-path
+pub(crate) fn accumulate_pattern_counts_delay1(data: &[f64], order: usize, counts: &mut [u32]) {
+    debug_assert!(
+        order == 3 || order == 5,
+        "transition tables are built for orders 3 and 5"
+    );
+    if data.len() < order {
+        return;
+    }
+    let tables = ordinal_transitions();
+    let (drop, ins): (&[u8], &[u8]) = if order == 3 {
+        (&tables.drop3, &tables.ins3)
+    } else {
+        (&tables.drop5, &tables.ins5)
+    };
+
+    // Seed: rank the first window exactly as the generic ranker does.
+    let mut values = [0.0f64; MAX_SCRATCH_ORDER];
+    let mut perm = [0u8; MAX_SCRATCH_ORDER];
+    values[..order].copy_from_slice(&data[..order]);
+    for (slot, position) in perm[..order].iter_mut().zip(0..order as u8) {
+        *slot = position;
+    }
+    for i in 1..order {
+        let key_value = values[i];
+        let key_position = perm[i];
+        let mut j = i;
+        while j > 0 && values[j - 1].total_cmp(&key_value) == std::cmp::Ordering::Greater {
+            values[j] = values[j - 1];
+            perm[j] = perm[j - 1];
+            j -= 1;
+        }
+        values[j] = key_value;
+        perm[j] = key_position;
+    }
+    let mut rank = lehmer_rank(&perm[..order]);
+    counts[rank] += 1;
+
+    for start in 1..=data.len() - order {
+        let incoming = data[start + order - 1];
+        let mut slot = 0usize;
+        for &retained in &data[start..start + order - 1] {
+            slot += usize::from(retained.total_cmp(&incoming) != std::cmp::Ordering::Greater);
+        }
+        rank = usize::from(ins[usize::from(drop[rank]) * order + slot]);
+        counts[rank] += 1;
+    }
+}
+
+/// Normalized permutation entropy from a filled pattern-count table: the
+/// entropy sum runs in rank order (exactly as [`permutation_entropy_scratch`]
+/// always has), normalized by `ln(order!)` and clamped to `[0, 1]`.
+// lint: hot-path
+pub(crate) fn entropy_from_counts(counts: &[u32], num_patterns: usize, order: usize) -> f64 {
     let mut entropy = 0.0;
     for &count in counts.iter() {
         if count > 0 {
@@ -185,9 +364,9 @@ pub fn permutation_entropy_scratch(
     }
     let max_entropy = ln_factorial(order);
     if max_entropy <= 0.0 {
-        return Ok(0.0);
+        return 0.0;
     }
-    Ok((entropy / max_entropy).clamp(0.0, 1.0))
+    (entropy / max_entropy).clamp(0.0, 1.0)
 }
 
 /// Shannon entropy (in nats) of the energy distribution of `data`.
@@ -199,6 +378,26 @@ pub fn shannon_entropy(data: &[f64]) -> f64 {
     let probs = energy_distribution(data);
     let mut h = 0.0;
     for p in probs {
+        if p > 0.0 {
+            h -= p * p.ln();
+        }
+    }
+    h
+}
+
+/// Allocation-free twin of [`shannon_entropy`], bit-identical by replicating
+/// the same per-element expression `x * x / total` instead of materializing
+/// the probability vector. Used on streaming hot paths where the batch
+/// function's intermediate `Vec` is forbidden.
+// lint: hot-path
+pub fn shannon_entropy_noalloc(data: &[f64]) -> f64 {
+    let total: f64 = data.iter().map(|x| x * x).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for x in data {
+        let p = x * x / total;
         if p > 0.0 {
             h -= p * p.ln();
         }
@@ -390,6 +589,35 @@ mod tests {
     }
 
     #[test]
+    fn incremental_pattern_counts_match_the_generic_ranker() {
+        // Random data, quantized data (heavy ties), constants and NaNs all
+        // have to produce bit-identical tables for orders 3 and 5, at every
+        // length from degenerate to a few hundred samples.
+        for seed in 0..20u64 {
+            for n in [0usize, 1, 2, 3, 4, 5, 6, 7, 31, 256] {
+                let mut data = pseudo_random(n, seed);
+                if seed % 3 == 1 {
+                    for x in &mut data {
+                        *x = (*x * 4.0).round();
+                    }
+                }
+                if seed % 5 == 2 && n > 4 {
+                    data[n / 2] = f64::NAN;
+                    data[n - 1] = f64::NAN;
+                }
+                for order in [3usize, 5] {
+                    let table_size: usize = (2..=order).product();
+                    let mut generic = vec![0u32; table_size];
+                    let mut fast = vec![0u32; table_size];
+                    accumulate_pattern_counts(&data, order, 1, &mut generic);
+                    accumulate_pattern_counts_delay1(&data, order, &mut fast);
+                    assert_eq!(generic, fast, "seed {seed}, n {n}, order {order}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn permutation_entropy_of_monotone_series_is_zero() {
         let ramp: Vec<f64> = (0..200).map(|i| i as f64 * 0.5).collect();
         for order in [3, 5, 7] {
@@ -451,6 +679,14 @@ mod tests {
     fn shannon_entropy_zero_signal_is_zero() {
         assert_eq!(shannon_entropy(&[0.0; 8]), 0.0);
         assert_eq!(shannon_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn shannon_entropy_noalloc_is_bit_identical() {
+        let data = pseudo_random(256, 11);
+        assert_eq!(shannon_entropy_noalloc(&data), shannon_entropy(&data));
+        assert_eq!(shannon_entropy_noalloc(&[0.0; 8]), 0.0);
+        assert_eq!(shannon_entropy_noalloc(&[]), 0.0);
     }
 
     #[test]

@@ -503,6 +503,18 @@ impl FeatureExtractor for PaperFeatureSet {
         ])
     }
 
+    fn extract_matrix(
+        &self,
+        f7t3: &[f64],
+        f8t4: &[f64],
+        config: &SlidingWindowConfig,
+    ) -> Result<FeatureMatrix, FeatureError> {
+        // The legacy row-by-row path delegates to the flat batch engine so
+        // every caller gets the allocation-free parallel extraction; the
+        // sequential trait default remains available as the test reference.
+        self.extract_batch(f7t3, f8t4, config)
+    }
+
     fn extract_batch(
         &self,
         f7t3: &[f64],
@@ -548,10 +560,10 @@ pub struct RichFeatureSet {
 }
 
 /// Number of features [`RichFeatureSet`] produces per channel.
-const RICH_FEATURES_PER_CHANNEL: usize = 27;
+pub(crate) const RICH_FEATURES_PER_CHANNEL: usize = 27;
 
 /// Decomposition depth used for the rich set's wavelet entropy features.
-const RICH_WAVELET_LEVELS: usize = 5;
+pub(crate) const RICH_WAVELET_LEVELS: usize = 5;
 
 impl RichFeatureSet {
     /// Creates the extractor for signals sampled at `fs` Hz.
@@ -770,6 +782,17 @@ impl FeatureExtractor for RichFeatureSet {
         let mut out = self.channel_features(f7t3)?;
         out.extend(self.channel_features(f8t4)?);
         Ok(out)
+    }
+
+    fn extract_matrix(
+        &self,
+        f7t3: &[f64],
+        f8t4: &[f64],
+        config: &SlidingWindowConfig,
+    ) -> Result<FeatureMatrix, FeatureError> {
+        // Delegate the legacy row-by-row entry point to the flat batch
+        // engine; the sequential trait default remains the test reference.
+        self.extract_batch(f7t3, f8t4, config)
     }
 
     fn extract_batch(
@@ -1007,6 +1030,23 @@ mod tests {
         }
     }
 
+    /// Window-by-window reference built directly from `extract_window`, the
+    /// way the pre-batch sequential path used to assemble matrices.
+    fn sequential_reference<E: FeatureExtractor>(
+        ex: &E,
+        a: &[f64],
+        b: &[f64],
+        cfg: &SlidingWindowConfig,
+    ) -> FeatureMatrix {
+        let mut reference = FeatureMatrix::with_names(ex.feature_names());
+        for (w1, w2) in cfg.windows(a).zip(cfg.windows(b)) {
+            reference
+                .push_row(ex.extract_window(w1, w2).unwrap())
+                .unwrap();
+        }
+        reference
+    }
+
     #[test]
     fn paper_batch_extraction_matches_sequential() {
         let fs = 256.0;
@@ -1014,7 +1054,7 @@ mod tests {
         let cfg = SlidingWindowConfig::paper_default(fs).unwrap();
         let ex = PaperFeatureSet::new(fs).unwrap();
         let batch = ex.extract_batch(&a, &b, &cfg).unwrap();
-        let reference = ex.extract_matrix(&a, &b, &cfg).unwrap();
+        let reference = sequential_reference(&ex, &a, &b, &cfg);
         assert_matrices_close(&batch, &reference, 1e-9);
     }
 
@@ -1025,8 +1065,25 @@ mod tests {
         let cfg = SlidingWindowConfig::paper_default(fs).unwrap();
         let ex = RichFeatureSet::new(fs).unwrap();
         let batch = ex.extract_batch(&a, &b, &cfg).unwrap();
-        let reference = ex.extract_matrix(&a, &b, &cfg).unwrap();
+        let reference = sequential_reference(&ex, &a, &b, &cfg);
         assert_matrices_close(&batch, &reference, 1e-9);
+    }
+
+    #[test]
+    fn extract_matrix_delegates_to_batch_engine() {
+        // The legacy `extract_matrix` entry point now routes through the
+        // flat batch engine: same names, same rows, bit-identical data.
+        let fs = 256.0;
+        let (a, b) = two_channels(fs, 12.0);
+        let cfg = SlidingWindowConfig::paper_default(fs).unwrap();
+        let rich = RichFeatureSet::new(fs).unwrap();
+        let via_matrix = rich.extract_matrix(&a, &b, &cfg).unwrap();
+        let via_batch = rich.extract_batch(&a, &b, &cfg).unwrap();
+        assert_eq!(via_matrix, via_batch);
+        let paper = PaperFeatureSet::new(fs).unwrap();
+        let via_matrix = paper.extract_matrix(&a, &b, &cfg).unwrap();
+        let via_batch = paper.extract_batch(&a, &b, &cfg).unwrap();
+        assert_eq!(via_matrix, via_batch);
     }
 
     #[test]

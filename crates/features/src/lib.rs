@@ -64,10 +64,12 @@ pub mod quality;
 pub mod scratch;
 pub mod selection;
 pub mod statistics;
+pub mod streaming;
 pub mod waveform;
 
 pub use error::FeatureError;
 pub use extractor::{FeatureExtractor, PaperFeatureSet, RichFeatureSet, SlidingWindowConfig};
 pub use matrix::FeatureMatrix;
-pub use quality::QualityExtractor;
+pub use quality::{QualityExtractor, QualityScratch};
 pub use scratch::{FeatureScratch, FeatureScratchPool};
+pub use streaming::{SpectralMode, StreamingRichExtractor};

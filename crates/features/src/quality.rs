@@ -93,9 +93,12 @@ fn goertzel_power(x: &[f64], fs: f64, freq: f64) -> f64 {
     (s1 * s1 + s2 * s2 - coeff * s1 * s2).max(0.0)
 }
 
-/// Reusable buffers for one window's worth of quality arithmetic.
+/// Reusable buffers for one window's worth of quality arithmetic. Acquire
+/// one per worker (or per streaming detector) and hand it to
+/// [`QualityExtractor::assess_window_into`] so repeated assessments stay
+/// allocation-free after warm-up.
 #[derive(Debug, Default)]
-struct QualityScratch {
+pub struct QualityScratch {
     cleaned: Vec<f64>,
     diffs: Vec<f64>,
 }
@@ -226,7 +229,18 @@ impl QualityExtractor {
         Ok(())
     }
 
-    fn assess_window_into(
+    /// Assesses one window pair into a caller-provided row of
+    /// [`NUM_QUALITY_FEATURES`] slots, reusing `scratch` buffers — the
+    /// single-window building block behind
+    /// [`QualityExtractor::extract_batch_into`], exposed so streaming
+    /// callers can grade windows as they complete without a matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeatureError::ChannelLengthMismatch`] if the windows differ
+    /// in length and [`FeatureError::SignalTooShort`] below four samples.
+    // lint: hot-path
+    pub fn assess_window_into(
         &self,
         f7t3: &[f64],
         f8t4: &[f64],

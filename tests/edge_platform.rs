@@ -287,3 +287,53 @@ fn dual_slot_store_formula_matches_the_real_layout() {
             .fits_flash
     );
 }
+
+/// The edge memory model's streaming-state formula must agree byte for byte
+/// with the streaming extractor's own accounting, for both spectral modes
+/// and across window geometries — so the RAM a wearable reserves for the
+/// hop-structured extraction covers exactly the state the extractor carries.
+#[test]
+fn streaming_state_formula_matches_the_real_extractor() {
+    use selflearn_seizure::features::extractor::SlidingWindowConfig;
+    use selflearn_seizure::features::streaming::{SpectralMode, StreamingRichExtractor};
+
+    let memory = MemoryModel::new(PlatformSpec::stm32l151_default());
+    for (fs, window_secs, overlap) in [
+        (256.0, 4.0, 0.75),
+        (256.0, 2.0, 0.75),
+        (64.0, 4.0, 0.75),
+        (256.0, 2.0, 0.5),
+    ] {
+        let config = SlidingWindowConfig::new(fs, window_secs, overlap).unwrap();
+        let window = config.window_samples();
+        let step = config.step_samples();
+        let exact = StreamingRichExtractor::new(&config).unwrap();
+        assert_eq!(
+            memory.streaming_state_bytes(window, step, false),
+            exact.state_bytes(),
+            "exact mode, fs {fs}, {window_secs} s window, {overlap} overlap"
+        );
+        let welch = StreamingRichExtractor::with_mode(&config, SpectralMode::HopWelch).unwrap();
+        assert_eq!(
+            memory.streaming_state_bytes(window, step, true),
+            welch.state_bytes(),
+            "hop-welch mode, fs {fs}, {window_secs} s window, {overlap} overlap"
+        );
+    }
+
+    // The budget the wearable actually plans around: carried state plus one
+    // hop of staging per channel on the RAM side, gate accounting unchanged.
+    let config = SlidingWindowConfig::new(256.0, 4.0, 0.75).unwrap();
+    let snapshot = memory.trainer_snapshot_bytes(256, 54, 30, 30 * 128);
+    let gated = memory.budget_with_quality_gate(1200.0, snapshot).unwrap();
+    let streaming = memory
+        .budget_with_streaming(1200.0, snapshot, 1024, 256)
+        .unwrap();
+    assert_eq!(streaming.history_bytes, gated.history_bytes);
+    assert_eq!(
+        streaming.working_bytes,
+        gated.working_bytes
+            + StreamingRichExtractor::new(&config).unwrap().state_bytes()
+            + 2 * 256 * 8
+    );
+}
