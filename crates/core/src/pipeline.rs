@@ -267,10 +267,10 @@ impl SelfLearningPipeline {
     /// engine: the record's windows are extracted into the pipeline's
     /// reusable workspace, a balanced selection is staged into the flat batch
     /// buffers, and [`RealTimeDetector::retrain_incremental`] appends it to
-    /// the detector's growing pool — merging into the presorted feature
-    /// columns and refitting only the trees whose bootstrap pools the new
-    /// windows touched, instead of paying a full `train_forest` per missed
-    /// seizure.
+    /// the detector's growing pool — sorting only the block-local presorted
+    /// runs the batch touches and refitting only the trees whose bootstrap
+    /// pools the new windows touched, instead of paying a full
+    /// `train_forest` per missed seizure.
     ///
     /// The seizure counter follows the label's **actual seizure content**: a
     /// label that marks no window of this record as seizure (too short for

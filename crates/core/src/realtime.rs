@@ -504,10 +504,11 @@ impl RealTimeDetector {
 
     /// Adds new labeled windows (flat row-major, `labels.len() *
     /// num_features` values) to the detector's growing training pool and
-    /// retrains through the [`IncrementalTrainer`]: the pool append merges
-    /// into the presorted feature columns and only the trees whose bootstrap
-    /// pools were touched by the growth are refitted, so the self-learning
-    /// loop stops paying a full `train_forest` per missed seizure.
+    /// retrains through the [`IncrementalTrainer`]: the pool append sorts
+    /// only the block-local presorted runs it touches, and only the trees
+    /// whose bootstrap pools were touched by the growth are refitted —
+    /// loading just their owned blocks — so the self-learning loop stops
+    /// paying a full `train_forest` per missed seizure.
     ///
     /// Unlike [`RealTimeDetector::train_flat`], the incremental path trains
     /// on **raw** features (no standardization): forests split on per-feature

@@ -4,11 +4,16 @@
 //! missed seizure is observed, even though the personalized training set only
 //! ever *grows*. [`IncrementalTrainer`] is a stateful retraining engine built
 //! on the scratch machinery of [`crate::training`]: it owns a growable
-//! [`TrainingSet`] (appends merge into the presorted per-feature index
-//! arrays, no prefix re-sort) and caches one fitted arena per tree together
+//! [`TrainingSet`] whose per-block sorted runs are **aligned with the
+//! ownership blocks below** (appends sort only the touched tail/new block
+//! runs, no prefix re-sort), and caches one fitted arena per tree together
 //! with a fingerprint of the sample pool the tree's bootstrap stream drew
 //! from. On [`IncrementalTrainer::retrain`] only the trees whose pools were
-//! touched by the growth are refitted; the rest are reused verbatim.
+//! touched by the growth are refitted; the rest are reused verbatim. A
+//! refitted tree hands `fit_tree_jobs` exactly its owned block list, so its
+//! scratch load k-way-merges O(owned blocks) of presorted runs instead of
+//! scanning the whole pool — the per-seizure retrain cost is O(batch) end to
+//! end, independent of how large the pool has grown.
 //!
 //! # Pool partitioning
 //!
@@ -28,8 +33,10 @@
 //! Every retrained state is a pure function of `(final training set, config,
 //! seed)`: block ownership depends only on the final sample count, each
 //! tree's bootstrap draws replay a private ChaCha8 stream parameterized by
-//! its pool length, and [`TrainingSet::append_rows`] reproduces the exact
-//! presorted orders a from-scratch build would produce. Consequently a
+//! its pool length, [`TrainingSet::append_rows`] reproduces the exact
+//! per-block sorted runs a from-scratch build would produce, and the
+//! owned-run k-way merge reproduces the whole-pool `(value, id)` sort over
+//! the owned subset. Consequently a
 //! trainer grown through **any** schedule of appends emits a [`FlatForest`]
 //! identical — node for node, hence prediction-equivalent on any matrix — to
 //! a fresh trainer fitted once on the final dataset with the same seed (a
@@ -67,7 +74,7 @@ use crate::flat::FlatForest;
 use crate::forest::RandomForestConfig;
 use crate::training::{
     fit_tree_jobs, resolve_tree_config, stitch_forest, tree_stream_seed, IdWidth, NodeArena,
-    TrainingSet, TreeJob,
+    TrainingSet, TreeJob, MAX_RUN_BLOCK,
 };
 use rand::Rng;
 use rand::SeedableRng;
@@ -78,10 +85,12 @@ use rand_chacha::ChaCha8Rng;
 pub struct IncrementalTrainerConfig {
     /// Hyper-parameters shared with the batch forest engines.
     pub forest: RandomForestConfig,
-    /// Samples per ownership block. Smaller blocks spread fresh data over
-    /// more (cheaper) trees and reach tree specialization sooner; larger
-    /// blocks keep each tree's pool bigger. The default (128) puts every
-    /// tree of a 30-tree ensemble on its own data once ~4k samples arrived.
+    /// Samples per ownership block (at most 65 536 — block-relative sample
+    /// ids are u16). Smaller blocks spread fresh data over more (cheaper)
+    /// trees and reach tree specialization sooner; larger blocks keep each
+    /// tree's pool bigger. The default (128) puts every tree of a 30-tree
+    /// ensemble on its own data once ~4k samples arrived. The training set's
+    /// per-block sorted runs are aligned with these blocks.
     pub block_size: usize,
 }
 
@@ -114,6 +123,12 @@ pub struct IncrementalTrainer {
     set: Option<TrainingSet>,
     trees: Vec<TreeState>,
     last_refit: usize,
+    /// Diagnostic mode: refitted trees select the **whole pool** and draw
+    /// global ids (the pre-block-run behaviour), emulating the old O(pool)
+    /// scratch load. Output forests are bit-identical to the owned-block
+    /// path; the retrain bench uses this as its speedup baseline. Never
+    /// persisted; restored trainers reset to `false`.
+    reference_loads: bool,
 }
 
 impl IncrementalTrainer {
@@ -126,7 +141,15 @@ impl IncrementalTrainer {
             set: None,
             trees: Vec::new(),
             last_refit: 0,
+            reference_loads: false,
         }
+    }
+
+    /// Switches between owned-block scratch loads (`false`, the default) and
+    /// the whole-pool reference loads described on the field — forests are
+    /// bit-identical either way; only the retrain cost differs.
+    pub fn set_reference_loads(&mut self, on: bool) {
+        self.reference_loads = on;
     }
 
     /// The trainer's configuration.
@@ -210,6 +233,7 @@ impl IncrementalTrainer {
             set,
             trees,
             last_refit,
+            reference_loads: false,
         }
     }
 
@@ -219,7 +243,8 @@ impl IncrementalTrainer {
     ///
     /// # Errors
     ///
-    /// Returns [`MlError::InvalidParameter`] for a zero `block_size` or
+    /// Returns [`MlError::InvalidParameter`] for a zero `block_size`, a
+    /// `block_size` above 65 536 (block-relative ids are u16) or
     /// invalid forest hyper-parameters, [`MlError::DimensionMismatch`] if
     /// the matrix does not match `labels.len() * num_features` or
     /// `num_features` differs from earlier appends, and
@@ -243,6 +268,15 @@ impl IncrementalTrainer {
                 reason: "ownership blocks must hold at least one sample".to_string(),
             });
         }
+        if block > MAX_RUN_BLOCK {
+            return Err(MlError::InvalidParameter {
+                name: "block_size",
+                reason: format!(
+                    "ownership blocks are limited to {MAX_RUN_BLOCK} samples (block-relative \
+                     u16 ids), got {block}"
+                ),
+            });
+        }
         if self.config.forest.n_trees > 1
             && labels.len() > block
             && labels.windows(2).all(|w| w[0] == w[1])
@@ -259,7 +293,16 @@ impl IncrementalTrainer {
             });
         }
         match &mut self.set {
-            None => self.set = Some(TrainingSet::from_rows(rows, num_features, labels)?),
+            // Align the set's sorted-run blocks with the ownership blocks,
+            // so a tree's owned pool is exactly a list of presorted runs.
+            None => {
+                self.set = Some(TrainingSet::from_rows_in_blocks(
+                    rows,
+                    num_features,
+                    labels,
+                    block,
+                )?)
+            }
             Some(set) => {
                 if num_features != set.num_features() {
                     return Err(MlError::DimensionMismatch {
@@ -273,6 +316,7 @@ impl IncrementalTrainer {
             }
         }
         let set = self.set.as_ref().expect("training set installed above");
+        debug_assert_eq!(set.run_block(), block, "run blocks track ownership blocks");
         let tree_config = resolve_tree_config(set, &self.config.forest)?;
         let n = set.len();
         let n_trees = self.config.forest.n_trees;
@@ -280,10 +324,17 @@ impl IncrementalTrainer {
         let tail_short = num_blocks * block - n;
 
         // Fingerprint every tree's pool and draw fresh bootstrap streams for
-        // the ones whose pool grew (or that were never fitted).
+        // the ones whose pool grew (or that were never fitted). Draws are
+        // **selection-local**: a tree's owned blocks (ascending `t,
+        // t + n_trees, ...`) are all full except possibly the global tail,
+        // so local id `j` addresses the `j`-th sample of their concatenation
+        // and the draw maps onto the owned pool with no arithmetic at all.
         let mut draw_buf: Vec<u32> = Vec::new();
-        // (tree index, draw range, new fingerprint) per refitted tree.
-        let mut pending: Vec<(usize, std::ops::Range<usize>, TreeState)> = Vec::new();
+        let mut block_buf: Vec<u32> = Vec::new();
+        // (tree index, draw range, block range, new fingerprint) per
+        // refitted tree.
+        type Pending = (usize, std::ops::Range<usize>, std::ops::Range<usize>, TreeState);
+        let mut pending: Vec<Pending> = Vec::new();
         for t in 0..n_trees {
             let blocks_owned = if t < num_blocks {
                 (num_blocks - 1 - t) / n_trees + 1
@@ -305,26 +356,33 @@ impl IncrementalTrainer {
             if unchanged {
                 continue;
             }
+            let block_start = block_buf.len();
+            if blocks_owned == 0 || self.reference_loads {
+                block_buf.extend(0..num_blocks as u32);
+            } else {
+                block_buf.extend((0..blocks_owned).map(|i| (t + i * n_trees) as u32));
+            }
             let m =
                 ((pool_len as f64 * self.config.forest.bootstrap_fraction).round() as usize).max(1);
             let start = draw_buf.len();
             let mut rng = ChaCha8Rng::seed_from_u64(draw_stream_seed(self.seed, t));
             for _ in 0..m {
                 let j = rng.gen_range(0..pool_len);
-                let id = if blocks_owned == 0 {
-                    j
-                } else {
-                    // Owned blocks are ascending `t, t + n_trees, ...`; only
-                    // the last one can be the (short) global tail, so `j`
-                    // maps arithmetically onto the owned-block sequence.
+                let id = if blocks_owned > 0 && self.reference_loads {
+                    // Reference mode selects the whole pool, so the draw must
+                    // be mapped back to a global id (the old O(pool) layout);
+                    // the drawn sample is the same either way.
                     let b = t + (j / block) * n_trees;
                     b * block + j % block
+                } else {
+                    j
                 };
                 draw_buf.push(id as u32);
             }
             pending.push((
                 t,
                 start..draw_buf.len(),
+                block_start..block_buf.len(),
                 TreeState {
                     arena: NodeArena::default(),
                     blocks_owned,
@@ -335,8 +393,9 @@ impl IncrementalTrainer {
 
         let jobs: Vec<TreeJob<'_>> = pending
             .iter()
-            .map(|(t, range, _)| TreeJob {
-                draws: &draw_buf[range.clone()],
+            .map(|(t, draws, blocks, _)| TreeJob {
+                blocks: &block_buf[blocks.clone()],
+                draws: &draw_buf[draws.clone()],
                 seed: tree_stream_seed(self.seed, *t),
             })
             .collect();
@@ -344,7 +403,7 @@ impl IncrementalTrainer {
 
         self.trees.resize(n_trees, TreeState::default());
         self.last_refit = pending.len();
-        for ((t, _, mut state), arena) in pending.into_iter().zip(arenas) {
+        for ((t, _, _, mut state), arena) in pending.into_iter().zip(arenas) {
             state.arena = arena;
             self.trees[t] = state;
         }

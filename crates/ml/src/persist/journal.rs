@@ -12,7 +12,13 @@
 //! each entry through the same `retrain` call that produced it, so the
 //! reconstruction is **node-identical** to the trainer that never lost power
 //! (property-tested over random grow schedules, split points and journal
-//! truncation points; see `crates/ml/tests/properties.rs`).
+//! truncation points; see `crates/ml/tests/properties.rs`). Replay also
+//! reconstructs the pool's block-local presorted runs: the decoded base
+//! snapshot rebuilds its runs on the trainer's own ownership block size and
+//! every replayed batch re-enters through `retrain`'s O(batch) block-run
+//! append, so the replayed trainer's runs — and therefore every future
+//! owned-block refit, including pools past 65 536 rows — match the
+//! uninterrupted trainer bit for bit.
 //!
 //! # Journal format
 //!

@@ -48,13 +48,17 @@
 //!
 //! * [`FlatForest`] — everything (struct-of-arrays nodes, roots, feature
 //!   count).
-//! * [`TrainingSet`] — the column-major design matrix and the labels. The
-//!   presorted per-feature id orders are **rebuilt** on load rather than
-//!   stored: they are fully determined by the columns (`f64::total_cmp`
-//!   with stable ties), re-sorting ~5 k samples × 54 features costs
-//!   single-digit milliseconds, and dropping them shrinks the snapshot by
-//!   one third — the deciding factor against a 384 KB-Flash budget (see
-//!   `seizure-edge`'s `MemoryModel::trainer_snapshot_bytes`).
+//! * [`TrainingSet`] — the design matrix (serialized feature-major, the v2
+//!   wire layout, regardless of the in-memory block-major storage) and the
+//!   labels. The per-block sorted id runs are **rebuilt** on load rather
+//!   than stored: they are fully determined by the columns and the block
+//!   length (`f64::total_cmp` with stable ties), rebuilding sorts each
+//!   block independently (O(n log block), cheaper than the global sort the
+//!   flat orders needed), and dropping them shrinks the snapshot — the
+//!   deciding factor against a 384 KB-Flash budget (see `seizure-edge`'s
+//!   `MemoryModel::trainer_snapshot_bytes`). A trainer snapshot rebuilds
+//!   its runs with the trainer's own `block_size`, so the restored set is
+//!   `==`-identical to the saved one.
 //! * [`IncrementalTrainer`] — config, seed, the training set, every cached
 //!   per-tree arena together with its `(blocks_owned, pool_len)` draw-stream
 //!   fingerprint, and the last refit count. A restored trainer is
@@ -91,7 +95,7 @@
 use crate::flat::{FlatForest, LEAF};
 use crate::forest::RandomForestConfig;
 use crate::incremental::{IncrementalTrainer, IncrementalTrainerConfig, TreeState};
-use crate::training::{NodeArena, TrainingSet};
+use crate::training::{NodeArena, TrainingSet, MAX_RUN_BLOCK};
 use std::error::Error;
 use std::fmt;
 
@@ -921,20 +925,36 @@ pub fn forest_from_bytes(bytes: &[u8]) -> Result<FlatForest, PersistError> {
 fn write_training_set_body(w: &mut SnapshotWriter, set: &TrainingSet) {
     w.usize(set.num_features());
     w.bools(set.labels());
-    w.slice_f64(set.columns());
+    // The v2 wire layout is one flat feature-major f64 slice. The in-memory
+    // storage is block-major, but iterating feature → ascending blocks walks
+    // the samples of each feature in global order, so the emitted bytes are
+    // identical to `slice_f64` over the old flat columns.
+    w.usize(set.len() * set.num_features());
+    for f in 0..set.num_features() {
+        for b in 0..set.num_blocks() {
+            for &v in set.block_values(f, b) {
+                w.f64(v);
+            }
+        }
+    }
 }
 
-fn read_training_set_body(r: &mut SnapshotReader<'_>) -> Result<TrainingSet, PersistError> {
+fn read_training_set_body(
+    r: &mut SnapshotReader<'_>,
+    run_block: usize,
+) -> Result<TrainingSet, PersistError> {
     let num_features = r.usize()?;
     let labels = r.bools()?;
     let columns = r.slice_f64()?;
-    TrainingSet::from_columns(columns, num_features, labels).map_err(|e| PersistError::Corrupted {
-        detail: format!("training set does not reconstruct: {e}"),
+    TrainingSet::from_columns(columns, num_features, labels, run_block).map_err(|e| {
+        PersistError::Corrupted {
+            detail: format!("training set does not reconstruct: {e}"),
+        }
     })
 }
 
-/// Snapshots a [`TrainingSet`]. Only the column-major matrix and the labels
-/// are stored; the presorted per-feature orders are rebuilt on load (see the
+/// Snapshots a [`TrainingSet`]. Only the feature-major matrix and the labels
+/// are stored; the per-block sorted id runs are rebuilt on load (see the
 /// module docs for why).
 pub fn training_set_to_bytes(set: &TrainingSet) -> Vec<u8> {
     let mut w = SnapshotWriter::new();
@@ -942,16 +962,17 @@ pub fn training_set_to_bytes(set: &TrainingSet) -> Vec<u8> {
     w.finish(SnapshotKind::TrainingSet)
 }
 
-/// Restores a [`TrainingSet`] snapshot. The rebuilt presorted orders are
-/// identical to the saved set's (the presort is a pure function of the
-/// columns), so the restored set is `==`-identical to the original.
+/// Restores a [`TrainingSet`] snapshot. The rebuilt sorted runs are
+/// identical to the saved set's (the runs are a pure function of the columns
+/// and the block length; standalone sets use the default maximum block), so
+/// the restored set is `==`-identical to the original.
 ///
 /// # Errors
 ///
 /// A typed [`PersistError`] for any malformed input; see the module docs.
 pub fn training_set_from_bytes(bytes: &[u8]) -> Result<TrainingSet, PersistError> {
     let mut r = SnapshotReader::open(bytes, SnapshotKind::TrainingSet)?;
-    let set = read_training_set_body(&mut r)?;
+    let set = read_training_set_body(&mut r, MAX_RUN_BLOCK)?;
     r.finish()?;
     Ok(set)
 }
@@ -1004,7 +1025,11 @@ pub fn trainer_from_bytes(bytes: &[u8]) -> Result<IncrementalTrainer, PersistErr
     let seed = r.u64()?;
     let last_refit = r.usize()?;
     let set = if r.bool()? {
-        Some(read_training_set_body(&mut r)?)
+        // Rebuild the sorted runs aligned with the trainer's ownership
+        // blocks. A pathological persisted block_size (zero or beyond the
+        // u16-relative-id ceiling) is clamped here so decode stays total;
+        // `retrain` re-validates the configured value before using it.
+        Some(read_training_set_body(&mut r, block_size.clamp(1, MAX_RUN_BLOCK))?)
     } else {
         None
     };

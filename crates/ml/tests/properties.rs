@@ -403,6 +403,41 @@ proptest! {
         }
     }
 
+    /// The owned-block scratch load (k-way merge of the owned blocks'
+    /// sorted runs, selection-local draws) must be bit-identical to the
+    /// whole-pool reference load (full-pool scan, global draws — the old
+    /// O(pool) layout) over random grow schedules: same trees, same nodes,
+    /// same bits.
+    #[test]
+    fn owned_block_loads_match_whole_pool_reference_loads(
+        (rows, labels) in labeled_points(10..80),
+        seed in 0u64..30,
+        cuts_raw in prop::collection::vec(1usize..1000, 0..3),
+    ) {
+        let n = rows.len();
+        let labels = cap_runs(labels, 8);
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let config = IncrementalTrainerConfig {
+            forest: RandomForestConfig { n_trees: 7, max_depth: 5, ..Default::default() },
+            block_size: 8,
+        };
+        let mut cuts: Vec<usize> = cuts_raw.iter().map(|c| 1 + c % n).collect();
+        cuts.push(n);
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut owned = IncrementalTrainer::new(config, seed);
+        let mut reference = IncrementalTrainer::new(config, seed);
+        reference.set_reference_loads(true);
+        let mut prev = 0;
+        for &cut in &cuts {
+            let (r, l) = (&flat[prev * 3..cut * 3], &labels[prev..cut]);
+            let fast = owned.retrain(r, 3, l).unwrap();
+            let slow = reference.retrain(r, 3, l).unwrap();
+            prop_assert_eq!(&fast, &slow);
+            prev = cut;
+        }
+    }
+
     #[test]
     fn kmeans_assigns_every_point_to_an_existing_cluster(seed in 0u64..200, k in 1usize..4) {
         let points: Vec<Vec<f64>> = (0..30)
@@ -465,4 +500,87 @@ fn u16_sample_ids_are_bit_identical_at_the_65536_boundary() {
         train_forest(&past, &config, 3).unwrap(),
         train_forest_with_width(&past, &config, 3, IdWidth::Wide).unwrap()
     );
+}
+
+/// Pseudo-random rows/labels for the 65 536-crossing tests (same generator
+/// as [`boundary_set`], returned flat).
+fn boundary_rows(n: usize) -> (Vec<f64>, Vec<bool>) {
+    let mut rows = Vec::with_capacity(n * 2);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        rows.push((h % 9973) as f64);
+        rows.push(((h >> 32) % 101) as f64);
+        labels.push(h % 89 < 44);
+    }
+    (rows, labels)
+}
+
+/// Growing a pool **across** the 65 536-row boundary under block-relative
+/// u16 ids must be bit-identical to a from-scratch build: the append splits
+/// the tail-block merge from the fresh second block, and the trained forest
+/// (auto-wide at this size) must match the rebuilt set's node for node.
+#[test]
+fn append_vs_rebuild_is_bit_identical_crossing_the_65536_boundary() {
+    let (rows, labels) = boundary_rows(70_000);
+    let cut = 65_000; // below the boundary; the append crosses it
+    let mut grown = TrainingSet::from_rows(&rows[..cut * 2], 2, &labels[..cut]).unwrap();
+    grown
+        .append_rows(&rows[cut * 2..], &labels[cut..])
+        .unwrap();
+    let rebuilt = TrainingSet::from_rows(&rows, 2, &labels).unwrap();
+    assert_eq!(grown, rebuilt);
+
+    let config = RandomForestConfig {
+        n_trees: 2,
+        max_depth: 4,
+        bootstrap_fraction: 0.02,
+        max_features: Some(2),
+        ..RandomForestConfig::default()
+    };
+    let from_grown = train_forest(&grown, &config, 5).unwrap();
+    let from_rebuilt = train_forest(&rebuilt, &config, 5).unwrap();
+    assert_eq!(from_grown, from_rebuilt);
+}
+
+/// `save → load → retrain` across the 65 536-row boundary: a trainer
+/// snapshotted below the boundary and restored must retrain the crossing
+/// batch node-identically to the uninterrupted trainer — and both must
+/// equal a from-scratch fit of the final pool (block-relative ids dissolve
+/// the id-width cliff; refitted subset trees keep narrow ids throughout).
+#[test]
+fn save_load_retrain_is_node_identical_crossing_the_65536_boundary() {
+    let (rows, labels) = boundary_rows(70_000);
+    let cut = 64_000;
+    let config = IncrementalTrainerConfig {
+        forest: RandomForestConfig {
+            n_trees: 5,
+            max_depth: 4,
+            bootstrap_fraction: 0.02,
+            max_features: Some(2),
+            ..RandomForestConfig::default()
+        },
+        block_size: 8192,
+    };
+    let mut uninterrupted = IncrementalTrainer::new(config, 9);
+    uninterrupted
+        .retrain(&rows[..cut * 2], 2, &labels[..cut])
+        .unwrap();
+
+    let restored = trainer_from_bytes(&trainer_to_bytes(&uninterrupted)).unwrap();
+    assert_eq!(restored, uninterrupted);
+    let mut resumed = restored;
+
+    let direct = uninterrupted
+        .retrain(&rows[cut * 2..], 2, &labels[cut..])
+        .unwrap();
+    let after_resume = resumed
+        .retrain(&rows[cut * 2..], 2, &labels[cut..])
+        .unwrap();
+    assert_eq!(direct, after_resume);
+    assert_eq!(resumed, uninterrupted);
+
+    let mut scratch = IncrementalTrainer::new(config, 9);
+    let reference = scratch.retrain(&rows, 2, &labels).unwrap();
+    assert_eq!(direct, reference);
 }
